@@ -1,0 +1,16 @@
+"""Benchmark E1 — Fig. 1: PPR vs SimRank aggregation maps on Texas."""
+
+from conftest import run_once
+
+from repro.experiments.fig1_aggregation_maps import run
+
+
+def test_bench_fig1_aggregation_maps(benchmark):
+    result = run_once(benchmark, run, "texas", num_centers=10)
+    ppr_mass = result.mean_same_label_mass("ppr")
+    simrank_mass = result.mean_same_label_mass("simrank")
+    assert 0.0 <= ppr_mass <= 1.0
+    assert 0.0 <= simrank_mass <= 1.0
+    # SimRank concentrates more aggregation weight on same-label nodes than
+    # the local PPR operator does (Fig. 1(b) vs (c)).
+    assert simrank_mass > ppr_mass

@@ -1,0 +1,13 @@
+"""Benchmark E2 (figure) — Fig. 2: SimRank score densities."""
+
+from conftest import run_once
+
+from repro.experiments.fig2_score_densities import run
+
+
+def test_bench_fig2_score_densities(benchmark):
+    result = run_once(benchmark, run, datasets=("texas",), scale_factor=1.0, bins=20)
+    histogram = result.histograms["texas"]
+    centres, density = histogram["intra"]
+    assert len(centres) == 20
+    assert density.min() >= 0.0

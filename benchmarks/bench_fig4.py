@@ -1,0 +1,16 @@
+"""Benchmark E5 — Fig. 4: convergence of SIGMA vs leading baselines."""
+
+from conftest import BENCH_CONFIG, run_once
+
+from repro.experiments.fig4_convergence import run
+
+
+def test_bench_fig4_convergence(benchmark):
+    result = run_once(benchmark, run, datasets=("penn94",),
+                      models=("linkx", "glognn", "sigma"),
+                      scale_factor=0.5, config=BENCH_CONFIG, seed=0)
+    assert len(result.curves) == 3
+    for curve in result.curves:
+        assert curve.times.size == curve.accuracies.size > 0
+        # Curves are monotone in time by construction.
+        assert (curve.times[1:] >= curve.times[:-1]).all()

@@ -1,0 +1,17 @@
+"""Benchmark E6 — Fig. 5: scalability with graph size (SIGMA vs GloGNN)."""
+
+from conftest import BENCH_CONFIG, run_once
+
+from repro.experiments.fig5_scalability import run
+
+
+def test_bench_fig5_scalability(benchmark):
+    result = run_once(benchmark, run, base_dataset="pokec", num_sizes=3, shrink=2.0,
+                      base_scale=0.25, config=BENCH_CONFIG, seed=0)
+    sigma_series = result.series("sigma")
+    glognn_series = result.series("glognn")
+    assert len(sigma_series) == len(glognn_series) == 3
+    # Learning time grows with the number of edges for both methods.
+    sigma_sorted = sorted(sigma_series)
+    assert sigma_sorted[0][1] <= sigma_sorted[-1][1] * 1.5
+    assert len(result.speedup_trend()) == 3

@@ -1,0 +1,14 @@
+"""Benchmark E8 — Fig. 7: accuracy/runtime trade-off over the top-k scheme."""
+
+from conftest import BENCH_CONFIG, run_once
+
+from repro.experiments.fig7_topk_tradeoff import run
+
+
+def test_bench_fig7_topk_tradeoff(benchmark):
+    result = run_once(benchmark, run, "pokec", top_ks=(4, 16, 64),
+                      num_repeats=1, scale_factor=0.25, config=BENCH_CONFIG, seed=0)
+    assert len(result.points) == 3
+    ks = [k for k, _ in result.accuracy_series()]
+    assert ks == [4, 16, 64]
+    assert result.saturation_k() in ks

@@ -1,0 +1,14 @@
+"""Benchmark E12 — Fig. 8: grouping effect of the SIGMA embeddings."""
+
+from conftest import BENCH_CONFIG, run_once
+
+from repro.experiments.fig8_grouping import run
+
+
+def test_bench_fig8_grouping(benchmark):
+    result = run_once(benchmark, run, datasets=("texas", "pubmed"),
+                      scale_factor=0.5, config=BENCH_CONFIG, num_pairs=5000, seed=0)
+    assert len(result.stats) == 2
+    for stats in result.stats:
+        # Same-class embeddings are more similar than cross-class embeddings.
+        assert stats.intra_similarity > stats.inter_similarity

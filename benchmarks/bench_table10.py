@@ -1,0 +1,13 @@
+"""Benchmark E11 — Table X: converged values of the balance factor α."""
+
+from conftest import BENCH_CONFIG, run_once
+
+from repro.experiments.table10_alpha import run
+
+
+def test_bench_table10_alpha(benchmark):
+    result = run_once(benchmark, run, datasets=("penn94", "snap-patents"),
+                      num_repeats=1, scale_factor=0.5, config=BENCH_CONFIG, seed=0)
+    assert set(result.alphas) == {"penn94", "snap-patents"}
+    for alpha in result.alphas.values():
+        assert 0.0 < alpha < 1.0

@@ -1,0 +1,13 @@
+"""Benchmark E13 — Table XI: iterative SIGMA vs iterative GCN."""
+
+from conftest import BENCH_CONFIG, run_once
+
+from repro.experiments.table11_iterative import run
+
+
+def test_bench_table11_iterative(benchmark):
+    result = run_once(benchmark, run, datasets=("arxiv-year",), layers=(1, 2),
+                      num_repeats=1, scale_factor=0.5, config=BENCH_CONFIG, seed=0)
+    assert set(result.accuracies) == {"gcn-1", "sigma-1", "gcn-2", "sigma-2"}
+    # SimRank-rewired propagation beats plain GCN on the heterophilous graph.
+    assert result.sigma_beats_gcn_everywhere(depth=1)

@@ -1,0 +1,13 @@
+"""Benchmark E2 — Table II: intra/inter-class SimRank statistics."""
+
+from conftest import run_once
+
+from repro.experiments.table2_simrank_stats import run
+
+
+def test_bench_table2_simrank_stats(benchmark):
+    result = run_once(benchmark, run, datasets=("texas", "chameleon"),
+                      scale_factor=0.5, num_pairs=5000)
+    assert set(result.stats) == {"texas", "chameleon"}
+    # The paper's claim: intra-class pairs score higher than inter-class pairs.
+    assert result.all_separations_positive

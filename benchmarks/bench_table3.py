@@ -1,0 +1,13 @@
+"""Benchmark E14 — Table III: aggregation complexity comparison."""
+
+from conftest import run_once
+
+from repro.experiments.table3_complexity import run
+
+
+def test_bench_table3_complexity(benchmark):
+    result = run_once(benchmark, run, "pokec", scale_factor=0.25)
+    models = [entry.model for entry in result.entries]
+    assert "SIGMA" in models and "GloGNN" in models
+    # SIGMA's O(k n f) aggregation is the cheapest once the graph is large.
+    assert result.cheapest_model() == "SIGMA"

@@ -1,0 +1,22 @@
+"""Benchmark E3 — Table V: accuracy of SIGMA against baselines.
+
+Reduced scale: two heterophilous datasets, a representative subset of
+baselines, two repeats.  Asserts the paper's qualitative outcome — SIGMA is
+not dominated by the local GCN baseline and lands in the top tier.
+"""
+
+from conftest import BENCH_CONFIG, run_once
+
+from repro.experiments.table5_accuracy import run
+
+
+def test_bench_table5_accuracy(benchmark):
+    result = run_once(
+        benchmark, run,
+        datasets=("chameleon", "arxiv-year"),
+        models=("mlp", "gcn", "linkx", "glognn", "sigma"),
+        num_repeats=2, scale_factor=0.5, config=BENCH_CONFIG, tune=False, seed=0)
+    ranks = result.ranks()
+    assert set(ranks) == {"mlp", "gcn", "linkx", "glognn", "sigma"}
+    # SIGMA should rank in the upper half of this five-model comparison.
+    assert ranks["sigma"] <= 3.0

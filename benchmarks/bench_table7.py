@@ -1,0 +1,19 @@
+"""Benchmark E4 — Table VII: learning-time breakdown (LINKX / GloGNN / SIGMA)."""
+
+from conftest import BENCH_CONFIG, run_once
+
+from repro.experiments.table7_learning_time import run
+
+
+def test_bench_table7_learning_time(benchmark):
+    result = run_once(benchmark, run, datasets=("arxiv-year", "pokec"),
+                      models=("linkx", "glognn", "sigma"),
+                      num_repeats=1, scale_factor=0.5, config=BENCH_CONFIG, seed=0)
+    rows = result.rows()
+    assert len(rows) == 6
+    # SIGMA's one-shot aggregation is cheaper than GloGNN's iterative one.
+    for dataset in result.datasets:
+        sigma_row = next(r for r in result.rows_by_model["sigma"] if r["dataset"] == dataset)
+        glognn_row = next(r for r in result.rows_by_model["glognn"] if r["dataset"] == dataset)
+        assert sigma_row["agg"] < glognn_row["agg"]
+    assert result.average_speedup_over("glognn") > 1.0

@@ -1,0 +1,16 @@
+"""Benchmark E9 — Table VIII: SIGMA / GloGNN component ablation."""
+
+from conftest import BENCH_CONFIG, run_once
+
+from repro.experiments.table8_ablation import run
+
+
+def test_bench_table8_ablation(benchmark):
+    result = run_once(benchmark, run, datasets=("arxiv-year",),
+                      num_repeats=1, scale_factor=0.5, config=BENCH_CONFIG, seed=0)
+    assert "sigma" in result.accuracies and "sigma w/o S" in result.accuracies
+    # Removing the adjacency embedding hurts most, as in the paper.
+    drop_without_a = result.average_drop("sigma w/o A", "sigma")
+    drop_without_s = result.average_drop("sigma w/o S", "sigma")
+    assert drop_without_a >= -0.05
+    assert drop_without_s >= -0.05

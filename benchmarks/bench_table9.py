@@ -1,0 +1,13 @@
+"""Benchmark E10 — Table IX: sensitivity to the feature factor δ."""
+
+from conftest import BENCH_CONFIG, run_once
+
+from repro.experiments.table9_delta import run
+
+
+def test_bench_table9_delta(benchmark):
+    result = run_once(benchmark, run, datasets=("penn94",), deltas=(0.1, 0.5, 0.9),
+                      num_repeats=1, scale_factor=0.5, config=BENCH_CONFIG, seed=0)
+    assert len(result.rows()) == 3
+    best = result.best_delta("penn94")
+    assert best in (0.1, 0.5, 0.9)

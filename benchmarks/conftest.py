@@ -1,0 +1,42 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at reduced
+scale (smaller synthetic graphs, fewer repeats, shorter training) so the
+whole suite completes in minutes on a laptop.  The full-scale artefacts are
+produced by ``repro-experiment <id>`` instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.training.config import TrainConfig
+
+# Training configuration shared by all benchmarks: short but long enough for
+# the relative ordering between models to emerge.
+BENCH_CONFIG = TrainConfig(
+    learning_rate=0.01,
+    weight_decay=1e-3,
+    max_epochs=40,
+    patience=20,
+    track_test_history=False,
+)
+
+# Node-count multiplier applied to the synthetic benchmarks.
+BENCH_SCALE = 0.25
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> TrainConfig:
+    return BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

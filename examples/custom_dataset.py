@@ -1,0 +1,60 @@
+"""Using SIGMA on your own graph.
+
+This example builds a small co-purchase-style graph from scratch (an edge
+list plus node features and labels), wraps it in the library's ``Graph`` and
+``Dataset`` containers, and trains SIGMA on it — the workflow a downstream
+user would follow with their own data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TrainConfig, Trainer, create_model
+from repro.datasets import Dataset, stratified_splits
+from repro.graphs import Graph, node_homophily
+
+
+def build_toy_graph(num_nodes: int = 400, seed: int = 7) -> Graph:
+    """A toy two-class heterophilous graph: edges mostly cross classes."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=num_nodes)
+    edges = []
+    for _ in range(num_nodes * 4):
+        u = int(rng.integers(num_nodes))
+        # 80% of edges connect to the *other* class (strong heterophily).
+        if rng.random() < 0.8:
+            candidates = np.flatnonzero(labels != labels[u])
+        else:
+            candidates = np.flatnonzero(labels == labels[u])
+        v = int(rng.choice(candidates))
+        if u != v:
+            edges.append((u, v))
+    centroids = rng.normal(size=(2, 16))
+    features = centroids[labels] + 0.8 * rng.normal(size=(num_nodes, 16))
+    return Graph.from_edges(num_nodes, edges, features=features, labels=labels,
+                            name="toy-copurchase")
+
+
+def main() -> None:
+    graph = build_toy_graph()
+    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges, "
+          f"node homophily {node_homophily(graph):.2f}")
+
+    splits = stratified_splits(graph.labels, num_splits=3, seed=1)
+    dataset = Dataset(graph=graph, splits=splits, name="toy-copurchase")
+
+    config = TrainConfig(max_epochs=150, patience=40, track_test_history=False)
+    for model_name in ("gcn", "sigma"):
+        accuracies = []
+        for split_index in range(dataset.num_splits):
+            model = create_model(model_name, graph, rng=split_index)
+            result = Trainer(model, config).fit(dataset.split(split_index))
+            accuracies.append(result.test_accuracy)
+        mean = 100 * float(np.mean(accuracies))
+        std = 100 * float(np.std(accuracies))
+        print(f"{model_name:6s}: {mean:.1f} ± {std:.1f} % test accuracy")
+
+
+if __name__ == "__main__":
+    main()

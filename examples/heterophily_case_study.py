@@ -1,0 +1,53 @@
+"""Case study: why global SimRank aggregation helps under heterophily.
+
+Scenario: classifying pages of a Wikipedia-like web graph (the paper's
+Chameleon benchmark) where linked pages usually belong to *different*
+categories.  The script
+
+1. measures the graph's homophily,
+2. shows that SimRank scores separate intra-class from inter-class pairs
+   (the paper's Table II / Fig. 2 argument),
+3. contrasts how much aggregation weight PPR (local) and SimRank (global)
+   put on same-label nodes (Fig. 1), and
+4. trains GCN, LINKX and SIGMA to show the accuracy consequence.
+"""
+
+from __future__ import annotations
+
+from repro import TrainConfig, Trainer, create_model, load_dataset
+from repro.experiments.fig1_aggregation_maps import run as run_fig1
+from repro.graphs import node_homophily
+from repro.simrank import exact_simrank, simrank_class_statistics
+
+
+def main() -> None:
+    dataset = load_dataset("chameleon", seed=0)
+    graph = dataset.graph
+
+    print("1) graph heterophily")
+    print(f"   node homophily = {node_homophily(graph):.2f} "
+          "(well below 0.5: most neighbours have a different label)\n")
+
+    print("2) SimRank separates intra- from inter-class pairs")
+    scores = exact_simrank(graph)
+    stats = simrank_class_statistics(graph, scores, num_pairs=10000, seed=0)
+    print(f"   intra-class SimRank: {stats.intra_mean:.3f} ± {stats.intra_std:.3f}")
+    print(f"   inter-class SimRank: {stats.inter_mean:.3f} ± {stats.inter_std:.3f}\n")
+
+    print("3) aggregation mass on same-label nodes (PPR vs SimRank)")
+    fig1 = run_fig1("chameleon", num_centers=8, seed=0)
+    print(f"   PPR    : {fig1.mean_same_label_mass('ppr'):.3f}")
+    print(f"   SimRank: {fig1.mean_same_label_mass('simrank'):.3f}\n")
+
+    print("4) downstream accuracy")
+    config = TrainConfig(max_epochs=200, patience=50, weight_decay=1e-3,
+                         track_test_history=False)
+    for model_name, overrides in (("gcn", {}), ("linkx", {}),
+                                  ("sigma", {"delta": 0.3, "final_layers": 2})):
+        model = create_model(model_name, graph, rng=0, **overrides)
+        result = Trainer(model, config).fit(dataset.split(0))
+        print(f"   {model_name:6s} test accuracy = {result.test_accuracy:.3f}")
+
+
+if __name__ == "__main__":
+    main()

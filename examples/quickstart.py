@@ -1,0 +1,42 @@
+"""Quickstart: train SIGMA on a heterophilous benchmark and compare baselines.
+
+Run with ``python examples/quickstart.py``.  The script loads the synthetic
+stand-in for the Texas web-page graph (a small, strongly heterophilous
+benchmark), trains SIGMA and two reference baselines, and prints test
+accuracy together with SIGMA's timing breakdown.
+"""
+
+from __future__ import annotations
+
+from repro import TrainConfig, Trainer, create_model, load_dataset
+from repro.graphs import node_homophily
+
+
+def main() -> None:
+    dataset = load_dataset("texas", seed=0)
+    graph = dataset.graph
+    print(f"dataset: {dataset.name}  nodes={graph.num_nodes}  edges={graph.num_edges}  "
+          f"classes={graph.num_classes}  node homophily={node_homophily(graph):.2f}")
+
+    config = TrainConfig(max_epochs=200, patience=50, learning_rate=0.01,
+                         weight_decay=1e-3, track_test_history=False)
+
+    for model_name in ("mlp", "gcn", "sigma"):
+        model = create_model(model_name, graph, rng=0)
+        result = Trainer(model, config).fit(dataset.split(0))
+        print(f"{model_name:6s} test accuracy = {result.test_accuracy:.3f}  "
+              f"(best epoch {result.best_epoch}, learn time {result.learning_time:.2f}s)")
+
+    # A closer look at SIGMA: the learned balance between local and global
+    # aggregation and the cost of the SimRank precomputation.
+    sigma = create_model("sigma", graph, rng=0)
+    result = Trainer(sigma, config).fit(dataset.split(0))
+    print("\nSIGMA details")
+    print(f"  learned alpha (local/global balance): {sigma.alpha:.3f}")
+    print(f"  SimRank precompute time: {result.timing.precompute:.3f}s")
+    print(f"  aggregation time during training: {result.timing.aggregation:.3f}s")
+    print(f"  stored SimRank entries per node: {sigma.simrank.average_entries_per_node:.1f}")
+
+
+if __name__ == "__main__":
+    main()

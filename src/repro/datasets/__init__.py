@@ -1,0 +1,38 @@
+"""Dataset substrate: synthetic heterophily benchmarks mirroring the paper.
+
+The paper evaluates on 12 public datasets (Texas … pokec).  Those datasets
+(and the authors' splits) are not redistributable or downloadable in this
+offline environment, so this package provides a *feature-conditioned
+stochastic block model* that is instantiated with each dataset's published
+statistics (class count, feature dimensionality, node homophily, average
+degree) at laptop scale.  See DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.datasets.dataset import Dataset, Split
+from repro.datasets.registry import (
+    DATASET_SPECS,
+    LARGE_DATASETS,
+    SMALL_DATASETS,
+    DatasetSpec,
+    get_spec,
+    list_datasets,
+    load_dataset,
+)
+from repro.datasets.splits import random_splits, stratified_splits
+from repro.datasets.synthetic import SyntheticGraphConfig, generate_synthetic_graph
+
+__all__ = [
+    "Dataset",
+    "Split",
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "SMALL_DATASETS",
+    "LARGE_DATASETS",
+    "get_spec",
+    "list_datasets",
+    "load_dataset",
+    "random_splits",
+    "stratified_splits",
+    "SyntheticGraphConfig",
+    "generate_synthetic_graph",
+]

@@ -1,0 +1,123 @@
+"""Dataset container: a labelled graph plus train/validation/test splits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graphs.graph import Graph
+
+
+@dataclass(frozen=True)
+class Split:
+    """Index sets for one train/validation/test split."""
+
+    train: np.ndarray
+    val: np.ndarray
+    test: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("train", "val", "test"):
+            indices = np.asarray(getattr(self, name), dtype=np.int64)
+            object.__setattr__(self, name, indices)
+        overlap = (
+            np.intersect1d(self.train, self.val).size
+            + np.intersect1d(self.train, self.test).size
+            + np.intersect1d(self.val, self.test).size
+        )
+        if overlap:
+            raise DatasetError("train/val/test splits must be disjoint")
+
+    @property
+    def sizes(self) -> Dict[str, int]:
+        return {"train": self.train.size, "val": self.val.size, "test": self.test.size}
+
+    def mask(self, which: str, num_nodes: int) -> np.ndarray:
+        """Boolean mask of length ``num_nodes`` for the requested subset."""
+        indices = getattr(self, which, None)
+        if indices is None:
+            raise DatasetError(f"unknown split subset {which!r}")
+        mask = np.zeros(num_nodes, dtype=bool)
+        mask[indices] = True
+        return mask
+
+
+@dataclass
+class Dataset:
+    """A benchmark dataset: graph, labels and repeated splits.
+
+    Attributes
+    ----------
+    graph:
+        The attributed, labelled graph.
+    splits:
+        One :class:`Split` per experimental repeat (the paper uses 5 repeats
+        on small datasets and 10 on large ones).
+    name:
+        Benchmark name (e.g. ``"texas"``).
+    metadata:
+        Free-form statistics recorded at generation time (target homophily,
+        scale factor, ...), echoed in experiment reports.
+    """
+
+    graph: Graph
+    splits: List[Split]
+    name: str = "dataset"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.graph.labels is None:
+            raise DatasetError("a Dataset requires node labels")
+        if self.graph.features is None:
+            raise DatasetError("a Dataset requires node features")
+        if not self.splits:
+            raise DatasetError("a Dataset requires at least one split")
+        n = self.graph.num_nodes
+        for split in self.splits:
+            for subset in (split.train, split.val, split.test):
+                if subset.size and (subset.min() < 0 or subset.max() >= n):
+                    raise DatasetError("split indices out of node range")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    @property
+    def num_classes(self) -> int:
+        return self.graph.num_classes
+
+    @property
+    def num_features(self) -> int:
+        return self.graph.num_features
+
+    @property
+    def num_splits(self) -> int:
+        return len(self.splits)
+
+    def split(self, index: int = 0) -> Split:
+        if not 0 <= index < len(self.splits):
+            raise DatasetError(
+                f"split index {index} out of range [0, {len(self.splits)})"
+            )
+        return self.splits[index]
+
+    def summary(self) -> Dict[str, object]:
+        """Dataset statistics in the shape of the paper's Table V header."""
+        return {
+            "name": self.name,
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "features": self.num_features,
+            "classes": self.num_classes,
+            **{k: v for k, v in self.metadata.items()},
+        }
+
+
+__all__ = ["Dataset", "Split"]

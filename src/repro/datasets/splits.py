@@ -1,0 +1,79 @@
+"""Train/validation/test split generation.
+
+The paper follows the splits of Li et al. (GloGNN), which use 50%/25%/25%
+random splits per repeat.  :func:`stratified_splits` reproduces that
+protocol with per-class stratification so small classes appear in every
+subset.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.datasets.dataset import Split
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+
+
+def _partition(indices: np.ndarray, train_frac: float, val_frac: float,
+               rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    shuffled = rng.permutation(indices)
+    n = shuffled.size
+    n_train = int(round(train_frac * n))
+    n_val = int(round(val_frac * n))
+    train = shuffled[:n_train]
+    val = shuffled[n_train:n_train + n_val]
+    test = shuffled[n_train + n_val:]
+    return train, val, test
+
+
+def random_splits(num_nodes: int, *, train_frac: float = 0.5, val_frac: float = 0.25,
+                  num_splits: int = 5, seed: RngLike = 0) -> List[Split]:
+    """Uniform random splits ignoring labels."""
+    _check_fracs(train_frac, val_frac)
+    rngs = spawn_rngs(seed, num_splits)
+    indices = np.arange(num_nodes)
+    splits = []
+    for rng in rngs:
+        train, val, test = _partition(indices, train_frac, val_frac, rng)
+        splits.append(Split(train=train, val=val, test=test))
+    return splits
+
+
+def stratified_splits(labels: np.ndarray, *, train_frac: float = 0.5,
+                      val_frac: float = 0.25, num_splits: int = 5,
+                      seed: RngLike = 0) -> List[Split]:
+    """Per-class stratified random splits (the paper's protocol)."""
+    _check_fracs(train_frac, val_frac)
+    labels = np.asarray(labels, dtype=np.int64).ravel()
+    classes = np.unique(labels)
+    rngs = spawn_rngs(seed, num_splits)
+    splits = []
+    for rng in rngs:
+        train_parts, val_parts, test_parts = [], [], []
+        for klass in classes:
+            class_indices = np.flatnonzero(labels == klass)
+            train, val, test = _partition(class_indices, train_frac, val_frac, rng)
+            train_parts.append(train)
+            val_parts.append(val)
+            test_parts.append(test)
+        splits.append(Split(
+            train=np.sort(np.concatenate(train_parts)),
+            val=np.sort(np.concatenate(val_parts)),
+            test=np.sort(np.concatenate(test_parts)),
+        ))
+    return splits
+
+
+def _check_fracs(train_frac: float, val_frac: float) -> None:
+    if not 0 < train_frac < 1 or not 0 < val_frac < 1:
+        raise DatasetError("train_frac and val_frac must be in (0, 1)")
+    if train_frac + val_frac >= 1.0:
+        raise DatasetError(
+            f"train_frac + val_frac must be < 1, got {train_frac + val_frac}"
+        )
+
+
+__all__ = ["random_splits", "stratified_splits"]

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can distinguish library failures from programming errors with a single
+``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised when a graph is malformed or an operation on it is invalid."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset specification or split is invalid."""
+
+
+class SimRankError(ReproError):
+    """Raised when SimRank computation receives invalid parameters."""
+
+
+class ModelError(ReproError):
+    """Raised when a model is mis-configured or used before being built."""
+
+
+class TrainingError(ReproError):
+    """Raised when a training run cannot proceed."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment configuration is invalid."""

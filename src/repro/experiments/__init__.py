@@ -1,0 +1,24 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment module exposes
+
+* ``run(...)`` — returns a structured result object (rows, series, …);
+* ``main()``  — runs at default scale and prints the paper-style artefact.
+
+``python -m repro.experiments.runner --list`` shows all experiments;
+``repro-experiment table5`` (console script) runs one of them.
+"""
+
+from repro.experiments.common import (
+    DEFAULT_EXPERIMENT_CONFIG,
+    QUICK_EXPERIMENT_CONFIG,
+    format_table,
+    tune_hyperparameters,
+)
+
+__all__ = [
+    "DEFAULT_EXPERIMENT_CONFIG",
+    "QUICK_EXPERIMENT_CONFIG",
+    "format_table",
+    "tune_hyperparameters",
+]

@@ -1,0 +1,97 @@
+"""Experiment E5 — Fig. 4: convergence (test accuracy vs training time).
+
+For each large dataset, trains the leading baselines and SIGMA while
+recording cumulative wall-clock time and test accuracy per epoch, producing
+the series plotted in the paper's Fig. 4.  The quantitative summary reports
+the time each model needs to reach 95% of its own final accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.registry import load_dataset
+from repro.experiments.common import DEFAULT_EXPERIMENT_CONFIG, format_table
+from repro.models.registry import create_model
+from repro.training.config import TrainConfig
+from repro.training.trainer import Trainer
+
+DEFAULT_DATASETS = ("genius", "penn94", "arxiv-year", "pokec")
+DEFAULT_MODELS = ("mixhop", "gcnii", "linkx", "glognn", "sigma")
+
+
+@dataclass
+class ConvergenceCurve:
+    """One model's (time, test-accuracy) trajectory on one dataset."""
+
+    model: str
+    dataset: str
+    times: np.ndarray
+    accuracies: np.ndarray
+
+    @property
+    def final_accuracy(self) -> float:
+        return float(self.accuracies[-1]) if self.accuracies.size else 0.0
+
+    def time_to_fraction(self, fraction: float = 0.95) -> float:
+        """Seconds needed to reach ``fraction`` of the final accuracy."""
+        if self.accuracies.size == 0:
+            return float("nan")
+        target = fraction * self.accuracies.max()
+        reached = np.flatnonzero(self.accuracies >= target)
+        if reached.size == 0:
+            return float(self.times[-1])
+        return float(self.times[reached[0]])
+
+
+@dataclass
+class Fig4Result:
+    curves: List[ConvergenceCurve] = field(default_factory=list)
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [{
+            "dataset": curve.dataset,
+            "model": curve.model,
+            "final_accuracy": round(100 * curve.final_accuracy, 2),
+            "time_to_95pct": round(curve.time_to_fraction(0.95), 3),
+            "total_time": round(float(curve.times[-1]) if curve.times.size else 0.0, 3),
+        } for curve in self.curves]
+
+    def curve(self, model: str, dataset: str) -> ConvergenceCurve:
+        for entry in self.curves:
+            if entry.model == model and entry.dataset == dataset:
+                return entry
+        raise KeyError(f"no curve for {model} on {dataset}")
+
+
+def run(datasets: Sequence[str] = DEFAULT_DATASETS,
+        models: Sequence[str] = DEFAULT_MODELS, *,
+        scale_factor: float = 1.0, config: Optional[TrainConfig] = None,
+        seed: int = 0) -> Fig4Result:
+    """Record per-epoch accuracy/time curves for each (model, dataset)."""
+    base = config or DEFAULT_EXPERIMENT_CONFIG
+    config = base.with_overrides(track_test_history=True)
+    result = Fig4Result()
+    for dataset_name in datasets:
+        dataset = load_dataset(dataset_name, seed=seed, scale_factor=scale_factor)
+        for model_name in models:
+            model = create_model(model_name, dataset.graph, rng=seed)
+            trained = Trainer(model, config).fit(dataset.split(0))
+            times = np.array([record.elapsed_seconds for record in trained.history])
+            accuracies = np.array([record.test_accuracy for record in trained.history])
+            result.curves.append(ConvergenceCurve(model=model_name, dataset=dataset_name,
+                                                  times=times, accuracies=accuracies))
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    result = run()
+    print("Fig. 4 — convergence efficiency (time to 95% of final accuracy)")
+    print(format_table(result.rows()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,105 @@
+"""Experiment E6 — Fig. 5: scalability of SIGMA and GloGNN with graph size.
+
+The paper scales pokec down/up over a geometric grid of edge counts and
+plots learning time (and SIGMA's precomputation time) against edge count on
+a log axis, observing near-linear scaling for both methods and a growing
+speed-up of SIGMA over GloGNN.  This experiment does the same with the
+synthetic pokec generator, varying the node count so the edge count follows
+a geometric grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+from repro.datasets.registry import get_spec
+from repro.datasets.splits import stratified_splits
+from repro.datasets.synthetic import generate_synthetic_graph
+from repro.experiments.common import QUICK_EXPERIMENT_CONFIG, format_table
+from repro.models.registry import create_model
+from repro.training.config import TrainConfig
+from repro.training.trainer import Trainer
+
+
+@dataclass
+class ScalabilityPoint:
+    """Timing of one model at one graph size."""
+
+    model: str
+    num_nodes: int
+    num_edges: int
+    precompute_seconds: float
+    learning_seconds: float
+
+
+@dataclass
+class Fig5Result:
+    points: List[ScalabilityPoint] = field(default_factory=list)
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [{
+            "model": point.model,
+            "nodes": point.num_nodes,
+            "edges": point.num_edges,
+            "precompute": round(point.precompute_seconds, 3),
+            "learn": round(point.learning_seconds, 3),
+        } for point in self.points]
+
+    def series(self, model: str) -> List[tuple[int, float]]:
+        return [(point.num_edges, point.learning_seconds)
+                for point in self.points if point.model == model]
+
+    def speedup_trend(self) -> List[tuple[int, float]]:
+        """Per-size speed-up of SIGMA over GloGNN (edges, ratio)."""
+        sigma = {p.num_edges: p.learning_seconds for p in self.points if p.model == "sigma"}
+        glognn = {p.num_edges: p.learning_seconds for p in self.points if p.model == "glognn"}
+        shared = sorted(set(sigma) & set(glognn))
+        return [(edges, glognn[edges] / sigma[edges]) for edges in shared if sigma[edges] > 0]
+
+
+def run(*, base_dataset: str = "pokec", num_sizes: int = 4, shrink: float = 2.0,
+        models: Sequence[str] = ("sigma", "glognn"),
+        config: Optional[TrainConfig] = None, seed: int = 0,
+        base_scale: float = 1.0) -> Fig5Result:
+    """Measure learning time across a geometric grid of graph sizes.
+
+    The largest size is the base dataset at ``base_scale``; each subsequent
+    size divides the node count by ``shrink`` (edges shrink roughly
+    proportionally, matching the paper's geometric grid of edge counts).
+    """
+    config = config or QUICK_EXPERIMENT_CONFIG
+    spec = get_spec(base_dataset)
+    result = Fig5Result()
+    for level in range(num_sizes):
+        scale = base_scale / (shrink**level)
+        graph_config = spec.build_config(scale)
+        graph = generate_synthetic_graph(graph_config, seed=seed)
+        splits = stratified_splits(graph.labels, num_splits=1, seed=seed + 1)
+        dataset = Dataset(graph=graph, splits=splits, name=f"{base_dataset}@{scale:.3f}")
+        for model_name in models:
+            model = create_model(model_name, graph, rng=seed)
+            trained = Trainer(model, config).fit(dataset.split(0))
+            result.points.append(ScalabilityPoint(
+                model=model_name,
+                num_nodes=graph.num_nodes,
+                num_edges=graph.num_edges,
+                precompute_seconds=trained.timing.precompute,
+                learning_seconds=trained.learning_time,
+            ))
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    result = run()
+    print("Fig. 5 — scalability of SIGMA and GloGNN across graph sizes")
+    print(format_table(result.rows()))
+    for edges, ratio in result.speedup_trend():
+        print(f"edges={edges}: SIGMA speed-up over GloGNN = {ratio:.2f}x")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

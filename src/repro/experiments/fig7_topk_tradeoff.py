@@ -1,0 +1,73 @@
+"""Experiment E8 — Fig. 7: accuracy/runtime trade-off over the top-k scheme.
+
+Fixes ε = 0.1 and sweeps k, recording total runtime (precompute + training)
+and accuracy.  The paper's observation: accuracy saturates around k = 32
+while the runtime keeps growing, motivating the practical choice
+k ∈ {16, 32}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.datasets.registry import load_dataset
+from repro.experiments.common import DEFAULT_EXPERIMENT_CONFIG, format_table
+from repro.training.config import TrainConfig
+from repro.training.evaluation import repeated_evaluation
+
+DEFAULT_TOP_KS = (4, 8, 16, 32, 64, 128)
+
+
+@dataclass
+class Fig7Result:
+    dataset: str
+    points: List[Dict[str, float]] = field(default_factory=list)
+
+    def rows(self) -> List[Dict[str, object]]:
+        return list(self.points)
+
+    def accuracy_series(self) -> List[tuple[int, float]]:
+        return [(int(point["top_k"]), float(point["accuracy"])) for point in self.points]
+
+    def runtime_series(self) -> List[tuple[int, float]]:
+        return [(int(point["top_k"]), float(point["runtime"])) for point in self.points]
+
+    def saturation_k(self, tolerance: float = 0.5) -> int:
+        """Smallest k whose accuracy is within ``tolerance`` points of the best."""
+        best = max(float(point["accuracy"]) for point in self.points)
+        eligible = [int(point["top_k"]) for point in self.points
+                    if best - float(point["accuracy"]) <= tolerance]
+        return min(eligible) if eligible else int(self.points[-1]["top_k"])
+
+
+def run(dataset_name: str = "pokec", *, top_ks: Sequence[int] = DEFAULT_TOP_KS,
+        epsilon: float = 0.1, num_repeats: int = 1, scale_factor: float = 1.0,
+        config: Optional[TrainConfig] = None, seed: int = 0,
+        final_layers: int = 2) -> Fig7Result:
+    """Sweep k at fixed ε and record accuracy and total runtime."""
+    config = config or DEFAULT_EXPERIMENT_CONFIG
+    dataset = load_dataset(dataset_name, seed=seed, scale_factor=scale_factor)
+    result = Fig7Result(dataset=dataset_name)
+    for top_k in top_ks:
+        summary = repeated_evaluation(
+            "sigma", dataset, num_repeats=num_repeats, config=config, seed=seed,
+            epsilon=epsilon, top_k=top_k, final_layers=final_layers)
+        result.points.append({
+            "top_k": top_k,
+            "accuracy": round(100 * summary.mean_accuracy, 2),
+            "runtime": round(summary.mean_learning_time, 3),
+            "aggregation": round(summary.mean_aggregation_time, 3),
+        })
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    result = run()
+    print(f"Fig. 7 — accuracy/runtime trade-off over top-k on {result.dataset}")
+    print(format_table(result.rows()))
+    print(f"accuracy saturates at k = {result.saturation_k()}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,80 @@
+"""Command-line entry point dispatching to the experiment modules.
+
+Examples
+--------
+``repro-experiment --list``
+``repro-experiment table5``
+``repro-experiment fig6 --scale-factor 0.25``
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+from typing import Dict
+
+from repro.errors import ExperimentError
+
+EXPERIMENTS: Dict[str, str] = {
+    "fig1": "repro.experiments.fig1_aggregation_maps",
+    "table2": "repro.experiments.table2_simrank_stats",
+    "fig2": "repro.experiments.fig2_score_densities",
+    "table3": "repro.experiments.table3_complexity",
+    "table5": "repro.experiments.table5_accuracy",
+    "table7": "repro.experiments.table7_learning_time",
+    "fig4": "repro.experiments.fig4_convergence",
+    "fig5": "repro.experiments.fig5_scalability",
+    "fig6": "repro.experiments.fig6_epsilon_topk",
+    "fig7": "repro.experiments.fig7_topk_tradeoff",
+    "table8": "repro.experiments.table8_ablation",
+    "table9": "repro.experiments.table9_delta",
+    "table10": "repro.experiments.table10_alpha",
+    "fig8": "repro.experiments.fig8_grouping",
+    "table11": "repro.experiments.table11_iterative",
+}
+
+
+def run_experiment(name: str, *, scale_factor: float = 1.0, print_result: bool = True):
+    """Run the experiment registered under ``name`` and return its result."""
+    key = name.lower()
+    if key not in EXPERIMENTS:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    module = importlib.import_module(EXPERIMENTS[key])
+    accepts_scale = "scale_factor" in inspect.signature(module.run).parameters
+    if scale_factor != 1.0 and accepts_scale:
+        result = module.run(scale_factor=scale_factor)
+    else:
+        result = module.run()
+    if print_result:
+        from repro.experiments.common import format_table
+
+        rows = result.rows() if hasattr(result, "rows") else []
+        print(f"== {key} ==")
+        print(format_table(rows))
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate a table or figure from the SIGMA paper.")
+    parser.add_argument("experiment", nargs="?", help="experiment id, e.g. table5 or fig6")
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument("--scale-factor", type=float, default=1.0,
+                        help="node-count multiplier for quicker runs")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        print("available experiments:")
+        for key, module in sorted(EXPERIMENTS.items()):
+            print(f"  {key:10s} -> {module}")
+        return 0
+
+    run_experiment(args.experiment, scale_factor=args.scale_factor)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Graph substrate: containers, normalisation and homophily measures."""
+
+from repro.graphs.graph import Graph
+from repro.graphs.homophily import (
+    class_insensitive_edge_homophily,
+    edge_homophily,
+    node_homophily,
+)
+from repro.graphs.normalize import (
+    add_self_loops,
+    column_normalize,
+    row_normalize,
+    symmetric_normalize,
+)
+from repro.graphs.sparse import top_k_per_row
+
+__all__ = [
+    "Graph",
+    "node_homophily",
+    "edge_homophily",
+    "class_insensitive_edge_homophily",
+    "row_normalize",
+    "column_normalize",
+    "symmetric_normalize",
+    "add_self_loops",
+    "top_k_per_row",
+]

@@ -1,0 +1,220 @@
+"""The :class:`Graph` container used throughout the library.
+
+A :class:`Graph` wraps an undirected adjacency matrix stored in CSR format
+together with optional node features and labels.  It exposes the quantities
+the SIGMA paper relies on — degrees, neighbour lists, average degree ``d``,
+and cheap conversions to the propagation operators used by the models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import GraphError
+
+
+def _as_csr(adjacency: sp.spmatrix | np.ndarray) -> sp.csr_matrix:
+    matrix = sp.csr_matrix(adjacency, dtype=np.float64)
+    matrix.eliminate_zeros()
+    matrix.sort_indices()
+    return matrix
+
+
+@dataclass
+class Graph:
+    """An undirected attributed graph.
+
+    Parameters
+    ----------
+    adjacency:
+        ``(n, n)`` sparse adjacency matrix.  It is symmetrised on
+        construction unless ``assume_symmetric`` is given to
+        :meth:`from_edges`.
+    features:
+        Optional ``(n, f)`` dense node-feature matrix.
+    labels:
+        Optional ``(n,)`` integer label vector.
+    name:
+        Human readable dataset name, used in experiment reports.
+    """
+
+    adjacency: sp.csr_matrix
+    features: Optional[np.ndarray] = None
+    labels: Optional[np.ndarray] = None
+    name: str = "graph"
+    _degrees: np.ndarray = field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        self.adjacency = _as_csr(self.adjacency)
+        rows, cols = self.adjacency.shape
+        if rows != cols:
+            raise GraphError(
+                f"adjacency must be square, got shape {self.adjacency.shape}"
+            )
+        if (self.adjacency != self.adjacency.T).nnz != 0:
+            raise GraphError("adjacency must be symmetric (undirected graph)")
+        if (self.adjacency.data < 0).any():
+            raise GraphError("adjacency must not contain negative weights")
+        if self.features is not None:
+            self.features = np.asarray(self.features, dtype=np.float64)
+            if self.features.ndim != 2 or self.features.shape[0] != rows:
+                raise GraphError(
+                    "features must be a (num_nodes, dim) matrix, got shape "
+                    f"{self.features.shape} for {rows} nodes"
+                )
+        if self.labels is not None:
+            self.labels = np.asarray(self.labels, dtype=np.int64).ravel()
+            if self.labels.shape[0] != rows:
+                raise GraphError(
+                    f"labels must have one entry per node, got {self.labels.shape[0]} "
+                    f"for {rows} nodes"
+                )
+        self._degrees = np.asarray(self.adjacency.sum(axis=1)).ravel()
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        edges: Iterable[Tuple[int, int]] | np.ndarray,
+        *,
+        features: Optional[np.ndarray] = None,
+        labels: Optional[np.ndarray] = None,
+        name: str = "graph",
+    ) -> "Graph":
+        """Build an undirected, unweighted graph from an edge list.
+
+        Duplicate edges and self-loops are removed; each undirected edge is
+        stored in both directions.
+        """
+        edge_array = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges,
+                                dtype=np.int64)
+        if edge_array.size == 0:
+            adjacency = sp.csr_matrix((num_nodes, num_nodes), dtype=np.float64)
+            return cls(adjacency, features=features, labels=labels, name=name)
+        if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+            raise GraphError(f"edges must be (m, 2) pairs, got shape {edge_array.shape}")
+        src, dst = edge_array[:, 0], edge_array[:, 1]
+        if (src < 0).any() or (dst < 0).any() or (src >= num_nodes).any() or (dst >= num_nodes).any():
+            raise GraphError("edge endpoints must be in [0, num_nodes)")
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        all_src = np.concatenate([src, dst])
+        all_dst = np.concatenate([dst, src])
+        data = np.ones(all_src.shape[0], dtype=np.float64)
+        adjacency = sp.coo_matrix((data, (all_src, all_dst)), shape=(num_nodes, num_nodes))
+        adjacency = adjacency.tocsr()
+        adjacency.data[:] = 1.0  # collapse duplicate edges to weight one
+        return cls(adjacency, features=features, labels=labels, name=name)
+
+    @classmethod
+    def from_networkx(cls, nx_graph, *, features: Optional[np.ndarray] = None,
+                      labels: Optional[np.ndarray] = None, name: str = "graph") -> "Graph":
+        """Build a :class:`Graph` from an (undirected) networkx graph."""
+        import networkx as nx
+
+        nodes = sorted(nx_graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        edges = [(index[u], index[v]) for u, v in nx_graph.edges()]
+        return cls.from_edges(len(nodes), edges, features=features, labels=labels, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return self.adjacency.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges (each counted once)."""
+        return int(self.adjacency.nnz // 2)
+
+    @property
+    def num_directed_edges(self) -> int:
+        """Number of stored (directed) adjacency entries."""
+        return int(self.adjacency.nnz)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Weighted node degrees (row sums of the adjacency matrix)."""
+        return self._degrees
+
+    @property
+    def average_degree(self) -> float:
+        """Average degree ``d = m / n`` used in the paper's complexity bounds."""
+        if self.num_nodes == 0:
+            return 0.0
+        return float(self._degrees.mean())
+
+    @property
+    def num_classes(self) -> int:
+        if self.labels is None:
+            raise GraphError("graph has no labels")
+        return int(self.labels.max()) + 1
+
+    @property
+    def num_features(self) -> int:
+        if self.features is None:
+            raise GraphError("graph has no features")
+        return int(self.features.shape[1])
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Return the neighbour indices of ``node``."""
+        if not 0 <= node < self.num_nodes:
+            raise GraphError(f"node {node} out of range [0, {self.num_nodes})")
+        start, end = self.adjacency.indptr[node], self.adjacency.indptr[node + 1]
+        return self.adjacency.indices[start:end]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self.neighbors(u)
+
+    def edge_list(self) -> np.ndarray:
+        """Return the ``(m, 2)`` array of undirected edges with ``u < v``."""
+        coo = self.adjacency.tocoo()
+        mask = coo.row < coo.col
+        return np.stack([coo.row[mask], coo.col[mask]], axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    def subgraph(self, nodes: Sequence[int], *, name: Optional[str] = None) -> "Graph":
+        """Return the induced subgraph on ``nodes`` (relabelled to 0..k-1)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        adjacency = self.adjacency[nodes][:, nodes]
+        features = self.features[nodes] if self.features is not None else None
+        labels = self.labels[nodes] if self.labels is not None else None
+        return Graph(adjacency, features=features, labels=labels,
+                     name=name or f"{self.name}-sub")
+
+    def with_features(self, features: np.ndarray) -> "Graph":
+        return Graph(self.adjacency, features=features, labels=self.labels, name=self.name)
+
+    def with_labels(self, labels: np.ndarray) -> "Graph":
+        return Graph(self.adjacency, features=self.features, labels=labels, name=self.name)
+
+    def copy(self) -> "Graph":
+        return Graph(
+            self.adjacency.copy(),
+            features=None if self.features is None else self.features.copy(),
+            labels=None if self.labels is None else self.labels.copy(),
+            name=self.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"Graph(name={self.name!r}, nodes={self.num_nodes}, edges={self.num_edges}"]
+        if self.features is not None:
+            parts.append(f", features={self.features.shape[1]}")
+        if self.labels is not None:
+            parts.append(f", classes={self.num_classes}")
+        parts.append(")")
+        return "".join(parts)
+
+
+__all__ = ["Graph"]

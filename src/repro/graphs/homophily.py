@@ -1,0 +1,96 @@
+"""Graph homophily measures.
+
+The paper characterises datasets by *node homophily* (its Eq. (1)): the
+average fraction of a node's neighbours that share its label.  Edge
+homophily and the class-insensitive variant of Lim et al. (LINKX) are also
+provided because the large-scale benchmark datasets are usually reported
+with those measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+
+def _require_labels(graph: Graph) -> np.ndarray:
+    if graph.labels is None:
+        raise GraphError("homophily measures require node labels")
+    return graph.labels
+
+
+def node_homophily(graph: Graph) -> float:
+    """Node homophily ``H_node`` as defined in Eq. (1) of the paper.
+
+    Nodes without neighbours are skipped (they contribute no neighbourhood
+    fraction), matching the common implementation in heterophily benchmarks.
+    """
+    labels = _require_labels(graph)
+    adjacency = graph.adjacency
+    total = 0.0
+    counted = 0
+    for node in range(graph.num_nodes):
+        start, end = adjacency.indptr[node], adjacency.indptr[node + 1]
+        neighbors = adjacency.indices[start:end]
+        if neighbors.size == 0:
+            continue
+        same = np.count_nonzero(labels[neighbors] == labels[node])
+        total += same / neighbors.size
+        counted += 1
+    if counted == 0:
+        return 0.0
+    return float(total / counted)
+
+
+def edge_homophily(graph: Graph) -> float:
+    """Fraction of edges whose endpoints share a label."""
+    labels = _require_labels(graph)
+    edges = graph.edge_list()
+    if edges.shape[0] == 0:
+        return 0.0
+    same = np.count_nonzero(labels[edges[:, 0]] == labels[edges[:, 1]])
+    return float(same / edges.shape[0])
+
+
+def class_insensitive_edge_homophily(graph: Graph) -> float:
+    """Class-insensitive edge homophily (Lim et al., 2021).
+
+    Averages, over classes, the excess of the per-class edge homophily above
+    the class prior, clipped at zero.  Values near zero indicate strong
+    heterophily even when class sizes are imbalanced.
+    """
+    labels = _require_labels(graph)
+    edges = graph.edge_list()
+    num_classes = int(labels.max()) + 1
+    n = graph.num_nodes
+    if edges.shape[0] == 0 or num_classes < 2:
+        return 0.0
+    score = 0.0
+    for klass in range(num_classes):
+        mask = labels[edges[:, 0]] == klass
+        mask |= labels[edges[:, 1]] == klass
+        klass_edges = edges[mask]
+        if klass_edges.shape[0] == 0:
+            continue
+        both = np.count_nonzero(
+            (labels[klass_edges[:, 0]] == klass) & (labels[klass_edges[:, 1]] == klass)
+        )
+        h_k = both / klass_edges.shape[0]
+        prior = np.count_nonzero(labels == klass) / n
+        score += max(0.0, h_k - prior)
+    return float(score / (num_classes - 1))
+
+
+def heterophily_extent(graph: Graph) -> float:
+    """The paper's heterophily extent ``p``: 1 - node homophily."""
+    return 1.0 - node_homophily(graph)
+
+
+__all__ = [
+    "node_homophily",
+    "edge_homophily",
+    "class_insensitive_edge_homophily",
+    "heterophily_extent",
+]

@@ -1,0 +1,87 @@
+"""Adjacency-normalisation operators used by GNN propagation.
+
+The SIGMA paper uses the random-walk matrix ``P = D^-1 A`` in its SimRank
+derivation (Theorem III.2) and the symmetric GCN normalisation
+``Â = D̃^-1/2 (A + I) D̃^-1/2`` for the convolutional baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import GraphError
+
+
+def _degree_vector(adjacency: sp.spmatrix, axis: int = 1) -> np.ndarray:
+    return np.asarray(adjacency.sum(axis=axis)).ravel()
+
+
+def add_self_loops(adjacency: sp.spmatrix, weight: float = 1.0) -> sp.csr_matrix:
+    """Return ``A + weight * I`` in CSR format."""
+    n = adjacency.shape[0]
+    return (sp.csr_matrix(adjacency) + weight * sp.identity(n, format="csr")).tocsr()
+
+
+def row_normalize(adjacency: sp.spmatrix) -> sp.csr_matrix:
+    """Random-walk normalisation ``P = D^-1 A`` (rows sum to one).
+
+    Isolated nodes keep an all-zero row.
+    """
+    adjacency = sp.csr_matrix(adjacency, dtype=np.float64)
+    degrees = _degree_vector(adjacency)
+    inv = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv[nonzero] = 1.0 / degrees[nonzero]
+    return sp.diags(inv).dot(adjacency).tocsr()
+
+
+def column_normalize(adjacency: sp.spmatrix) -> sp.csr_matrix:
+    """Column-stochastic normalisation ``W = A D^-1`` (columns sum to one)."""
+    adjacency = sp.csr_matrix(adjacency, dtype=np.float64)
+    degrees = _degree_vector(adjacency, axis=0)
+    inv = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv[nonzero] = 1.0 / degrees[nonzero]
+    return adjacency.dot(sp.diags(inv)).tocsr()
+
+
+def symmetric_normalize(adjacency: sp.spmatrix, *, self_loops: bool = True) -> sp.csr_matrix:
+    """GCN normalisation ``D̃^-1/2 (A [+ I]) D̃^-1/2``."""
+    adjacency = sp.csr_matrix(adjacency, dtype=np.float64)
+    if self_loops:
+        adjacency = add_self_loops(adjacency)
+    degrees = _degree_vector(adjacency)
+    inv_sqrt = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv_sqrt[nonzero] = 1.0 / np.sqrt(degrees[nonzero])
+    diag = sp.diags(inv_sqrt)
+    return diag.dot(adjacency).dot(diag).tocsr()
+
+
+def normalized_adjacency_power(adjacency: sp.spmatrix, power: int,
+                               *, self_loops: bool = True) -> sp.csr_matrix:
+    """Return ``Â^power`` with the symmetric normalisation.
+
+    ``power = 0`` returns the identity.  Raises :class:`GraphError` for
+    negative powers.
+    """
+    if power < 0:
+        raise GraphError(f"power must be non-negative, got {power}")
+    n = adjacency.shape[0]
+    if power == 0:
+        return sp.identity(n, format="csr")
+    normalized = symmetric_normalize(adjacency, self_loops=self_loops)
+    result = normalized
+    for _ in range(power - 1):
+        result = result.dot(normalized)
+    return result.tocsr()
+
+
+__all__ = [
+    "add_self_loops",
+    "row_normalize",
+    "column_normalize",
+    "symmetric_normalize",
+    "normalized_adjacency_power",
+]

@@ -1,0 +1,77 @@
+"""Sparse-matrix helpers shared by the SimRank and PPR substrates."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def top_k_per_row(matrix: sp.spmatrix, k: int, *, keep_diagonal: bool = False) -> sp.csr_matrix:
+    """Keep only the ``k`` largest entries of each row of ``matrix``.
+
+    This implements the paper's top-k pruning of the approximate SimRank
+    matrix, reducing the aggregation operator to ``O(k n)`` stored entries.
+
+    Parameters
+    ----------
+    matrix:
+        Sparse matrix whose rows are pruned independently.
+    k:
+        Number of entries to keep per row.  Rows with fewer than ``k``
+        non-zeros are left untouched.
+    keep_diagonal:
+        When true the diagonal entry is always retained (useful when the
+        matrix encodes self-similarity that must survive pruning).
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    csr = sp.csr_matrix(matrix, copy=True)
+    n_rows = csr.shape[0]
+    data, indices, indptr = csr.data, csr.indices, csr.indptr
+    new_data: list[np.ndarray] = []
+    new_indices: list[np.ndarray] = []
+    new_indptr = np.zeros(n_rows + 1, dtype=np.int64)
+    for row in range(n_rows):
+        start, end = indptr[row], indptr[row + 1]
+        row_data = data[start:end]
+        row_indices = indices[start:end]
+        if row_data.size > k:
+            order = np.argpartition(row_data, row_data.size - k)[-k:]
+            keep_mask = np.zeros(row_data.size, dtype=bool)
+            keep_mask[order] = True
+            if keep_diagonal:
+                diag_pos = np.flatnonzero(row_indices == row)
+                keep_mask[diag_pos] = True
+            row_data = row_data[keep_mask]
+            row_indices = row_indices[keep_mask]
+        new_data.append(row_data)
+        new_indices.append(row_indices)
+        new_indptr[row + 1] = new_indptr[row] + row_data.size
+    pruned = sp.csr_matrix(
+        (np.concatenate(new_data) if new_data else np.array([], dtype=np.float64),
+         np.concatenate(new_indices) if new_indices else np.array([], dtype=np.int64),
+         new_indptr),
+        shape=csr.shape,
+    )
+    pruned.sort_indices()
+    return pruned
+
+
+def sparse_row_normalize(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """Normalise every non-empty row of ``matrix`` to sum to one."""
+    csr = sp.csr_matrix(matrix, dtype=np.float64, copy=True)
+    row_sums = np.asarray(csr.sum(axis=1)).ravel()
+    scale = np.ones_like(row_sums)
+    nonzero = row_sums != 0
+    scale[nonzero] = 1.0 / row_sums[nonzero]
+    return sp.diags(scale).dot(csr).tocsr()
+
+
+def dense_to_sparse_threshold(matrix: np.ndarray, threshold: float) -> sp.csr_matrix:
+    """Convert a dense matrix to CSR, dropping entries below ``threshold``."""
+    dense = np.asarray(matrix, dtype=np.float64).copy()
+    dense[np.abs(dense) < threshold] = 0.0
+    return sp.csr_matrix(dense)
+
+
+__all__ = ["top_k_per_row", "sparse_row_normalize", "dense_to_sparse_threshold"]

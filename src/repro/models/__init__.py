@@ -1,0 +1,41 @@
+"""Node-classification models: SIGMA and the paper's baselines."""
+
+from repro.models.base import NodeClassifier
+from repro.models.acmgcn import ACMGCN
+from repro.models.appnp import APPNP
+from repro.models.gat import GAT
+from repro.models.gcn import GCN
+from repro.models.gcnii import GCNII
+from repro.models.glognn import GloGNN
+from repro.models.gprgnn import GPRGNN
+from repro.models.h2gcn import H2GCN
+from repro.models.linkx import LINKX
+from repro.models.mixhop import MixHop
+from repro.models.mlp import MLPClassifier
+from repro.models.pprgo import PPRGo
+from repro.models.registry import create_model, default_hyperparameters, list_models
+from repro.models.sgc import SGC
+from repro.models.sigma import SIGMA
+from repro.models.sigma_iterative import SIGMAIterative
+
+__all__ = [
+    "NodeClassifier",
+    "MLPClassifier",
+    "GCN",
+    "SGC",
+    "GAT",
+    "APPNP",
+    "MixHop",
+    "GCNII",
+    "GPRGNN",
+    "H2GCN",
+    "ACMGCN",
+    "LINKX",
+    "GloGNN",
+    "PPRGo",
+    "SIGMA",
+    "SIGMAIterative",
+    "create_model",
+    "list_models",
+    "default_hyperparameters",
+]

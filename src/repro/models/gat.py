@@ -1,0 +1,152 @@
+"""Graph Attention Network baseline (single- or multi-head)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.models.base import NodeClassifier
+from repro.nn.activations import ReLU
+from repro.nn.dropout import Dropout
+from repro.nn.init import glorot_uniform
+from repro.nn.linear import Linear
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def _segment_softmax(scores: np.ndarray, segments: np.ndarray, num_segments: int) -> np.ndarray:
+    """Softmax of ``scores`` grouped by ``segments`` (the edge-target node)."""
+    maxima = np.full(num_segments, -np.inf)
+    np.maximum.at(maxima, segments, scores)
+    shifted = scores - maxima[segments]
+    exp = np.exp(shifted)
+    denom = np.zeros(num_segments)
+    np.add.at(denom, segments, exp)
+    return exp / denom[segments]
+
+
+class GATLayer(Module):
+    """Single attention head: ``o_i = Σ_{j∈N(i)∪{i}} α_ij W h_j``.
+
+    Attention logits use the standard GAT form
+    ``e_ij = LeakyReLU(a_srcᵀ W h_i + a_dstᵀ W h_j)`` with softmax over each
+    target node's neighbourhood.
+    """
+
+    def __init__(self, in_features: int, out_features: int, edges: np.ndarray,
+                 num_nodes: int, *, negative_slope: float = 0.2,
+                 rng: RngLike = None, name: str = "gat") -> None:
+        super().__init__()
+        generator = ensure_rng(rng)
+        self.num_nodes = num_nodes
+        # Edge list with self-loops added; column 0 is the target node i,
+        # column 1 the source node j whose message flows to i.
+        self_loops = np.stack([np.arange(num_nodes)] * 2, axis=1)
+        both_directions = np.vstack([edges, edges[:, ::-1], self_loops])
+        self.targets = both_directions[:, 0]
+        self.sources = both_directions[:, 1]
+        self.negative_slope = float(negative_slope)
+        self.weight = Parameter(glorot_uniform(in_features, out_features, rng=generator),
+                                name=f"{name}.weight")
+        self.att_src = Parameter(glorot_uniform(out_features, 1, rng=generator).ravel(),
+                                 name=f"{name}.att_src")
+        self.att_dst = Parameter(glorot_uniform(out_features, 1, rng=generator).ravel(),
+                                 name=f"{name}.att_dst")
+        self._cache: Optional[dict] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        transformed = inputs @ self.weight.value
+        score_src = transformed @ self.att_src.value
+        score_dst = transformed @ self.att_dst.value
+        raw = score_src[self.targets] + score_dst[self.sources]
+        positive = raw > 0
+        activated = np.where(positive, raw, self.negative_slope * raw)
+        attention = _segment_softmax(activated, self.targets, self.num_nodes)
+        output = np.zeros_like(transformed)
+        np.add.at(output, self.targets, attention[:, None] * transformed[self.sources])
+        self._cache = {
+            "inputs": inputs,
+            "transformed": transformed,
+            "attention": attention,
+            "positive": positive,
+        }
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cache = self._cache
+        transformed = cache["transformed"]
+        attention = cache["attention"]
+        positive = cache["positive"]
+
+        # Path 1: through the weighted message sum.
+        grad_transformed = np.zeros_like(transformed)
+        np.add.at(grad_transformed, self.sources,
+                  attention[:, None] * grad_output[self.targets])
+        grad_attention = np.einsum("ef,ef->e", grad_output[self.targets],
+                                   transformed[self.sources])
+
+        # Softmax backward per target group.
+        weighted = attention * grad_attention
+        group_sum = np.zeros(self.num_nodes)
+        np.add.at(group_sum, self.targets, weighted)
+        grad_activated = attention * (grad_attention - group_sum[self.targets])
+
+        # LeakyReLU backward.
+        grad_raw = np.where(positive, grad_activated, self.negative_slope * grad_activated)
+
+        # Attention-vector and transformed-feature gradients.
+        grad_score_src = np.zeros(self.num_nodes)
+        grad_score_dst = np.zeros(self.num_nodes)
+        np.add.at(grad_score_src, self.targets, grad_raw)
+        np.add.at(grad_score_dst, self.sources, grad_raw)
+        self.att_src.grad += transformed.T @ grad_score_src
+        self.att_dst.grad += transformed.T @ grad_score_dst
+        grad_transformed += np.outer(grad_score_src, self.att_src.value)
+        grad_transformed += np.outer(grad_score_dst, self.att_dst.value)
+
+        self.weight.grad += cache["inputs"].T @ grad_transformed
+        return grad_transformed @ self.weight.value.T
+
+
+class GAT(NodeClassifier):
+    """Two-layer GAT: multi-head concatenation then a single-head output layer."""
+
+    def __init__(self, graph: Graph, *, hidden: int = 8, num_heads: int = 4,
+                 dropout: float = 0.5, negative_slope: float = 0.2,
+                 rng: RngLike = None) -> None:
+        super().__init__(graph, hidden=hidden)
+        generator = ensure_rng(rng)
+        with self.timing.measure("precompute"):
+            edges = graph.edge_list()
+        self.heads: List[GATLayer] = [
+            GATLayer(self.num_features, hidden, edges, self.num_nodes,
+                     negative_slope=negative_slope, rng=generator, name=f"gat.head{h}")
+            for h in range(num_heads)
+        ]
+        self.activation = ReLU()
+        self.dropout = Dropout(dropout, rng=generator)
+        self.output_layer = GATLayer(hidden * num_heads, self.num_classes, edges,
+                                     self.num_nodes, negative_slope=negative_slope,
+                                     rng=generator, name="gat.out")
+
+    def forward(self) -> np.ndarray:
+        with self.timing.measure("aggregation"):
+            head_outputs = [head(self.graph.features) for head in self.heads]
+            hidden = np.concatenate(head_outputs, axis=1)
+            hidden = self.dropout(self.activation(hidden))
+            return self.output_layer(hidden)
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        with self.timing.measure("aggregation"):
+            grad = self.output_layer.backward(grad_logits)
+            grad = self.activation.backward(self.dropout.backward(grad))
+            width = grad.shape[1] // len(self.heads)
+            for index, head in enumerate(self.heads):
+                head.backward(grad[:, index * width:(index + 1) * width])
+
+
+__all__ = ["GAT", "GATLayer"]

@@ -1,0 +1,66 @@
+"""Graph Convolutional Network (Kipf & Welling) baseline.
+
+Uses the symmetric normalisation ``Â = D̃^{-1/2}(A + I)D̃^{-1/2}`` and the
+standard two-layer architecture ``Â · ReLU(Â X W₁) W₂``; deeper variants are
+available through ``num_layers`` (used by the Table XI iterative study).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.normalize import symmetric_normalize
+from repro.models.base import NodeClassifier
+from repro.nn.activations import ReLU
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.propagation.sparse_ops import SparsePropagation
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class GCN(NodeClassifier):
+    """Multi-layer GCN with dropout between layers."""
+
+    def __init__(self, graph: Graph, *, hidden: int = 64, num_layers: int = 2,
+                 dropout: float = 0.5, rng: RngLike = None) -> None:
+        super().__init__(graph, hidden=hidden)
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+        generator = ensure_rng(rng)
+        with self.timing.measure("precompute"):
+            operator = symmetric_normalize(graph.adjacency)
+        self.propagation = SparsePropagation(operator, timing=self.timing)
+        self.num_layers = num_layers
+        dims = [self.num_features] + [hidden] * (num_layers - 1) + [self.num_classes]
+        self.linears: List[Linear] = [
+            Linear(dims[i], dims[i + 1], rng=generator, name=f"gcn.{i}")
+            for i in range(num_layers)
+        ]
+        self.activations: List[ReLU] = [ReLU() for _ in range(num_layers - 1)]
+        self.dropouts: List[Dropout] = [Dropout(dropout, rng=generator)
+                                        for _ in range(num_layers - 1)]
+
+    def forward(self) -> np.ndarray:
+        hidden = self.graph.features
+        for layer in range(self.num_layers):
+            hidden = self.propagation(hidden)
+            hidden = self.linears[layer](hidden)
+            if layer < self.num_layers - 1:
+                hidden = self.activations[layer](hidden)
+                hidden = self.dropouts[layer](hidden)
+        return hidden
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        grad = grad_logits
+        for layer in reversed(range(self.num_layers)):
+            if layer < self.num_layers - 1:
+                grad = self.dropouts[layer].backward(grad)
+                grad = self.activations[layer].backward(grad)
+            grad = self.linears[layer].backward(grad)
+            grad = self.propagation.backward(grad)
+
+
+__all__ = ["GCN"]

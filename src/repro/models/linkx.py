@@ -1,0 +1,64 @@
+"""LINKX baseline: decoupled MLP embeddings of adjacency and features.
+
+LINKX (Lim et al., 2021) embeds the adjacency rows and the node features
+with two separate MLPs, combines them with a linear layer plus residual
+connections, and finishes with a final MLP — no message passing at all.
+It is the architecture SIGMA's feature-transformation stage is derived from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.models.base import NodeClassifier
+from repro.nn.activations import ReLU
+from repro.nn.linear import Linear
+from repro.nn.mlp import MLP
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class LINKX(NodeClassifier):
+    """LINKX: ``MLP_f(σ(W[h_A ‖ h_X] + h_A + h_X))``."""
+
+    def __init__(self, graph: Graph, *, hidden: int = 64, num_layers: int = 2,
+                 dropout: float = 0.5, rng: RngLike = None) -> None:
+        super().__init__(graph, hidden=hidden)
+        generator = ensure_rng(rng)
+        with self.timing.measure("precompute"):
+            self._adjacency = graph.adjacency.tocsr()
+        self.mlp_adjacency = MLP(self.num_nodes, hidden, hidden, num_layers=1,
+                                 rng=generator, name="linkx.mlp_a")
+        self.mlp_features = MLP(self.num_features, hidden, hidden, num_layers=1,
+                                rng=generator, name="linkx.mlp_x")
+        self.combine = Linear(2 * hidden, hidden, rng=generator, name="linkx.combine")
+        self.combine_act = ReLU()
+        self.mlp_final = MLP(hidden, hidden, self.num_classes, num_layers=num_layers,
+                             dropout=dropout, rng=generator, name="linkx.mlp_f")
+        self._cache: Optional[dict] = None
+
+    def forward(self) -> np.ndarray:
+        hidden_a = self.mlp_adjacency(self._adjacency)
+        hidden_x = self.mlp_features(self.graph.features)
+        concatenated = np.concatenate([hidden_a, hidden_x], axis=1)
+        combined = self.combine(concatenated) + hidden_a + hidden_x
+        activated = self.combine_act(combined)
+        self._cache = {"width": hidden_a.shape[1]}
+        return self.mlp_final(activated)
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        width = self._cache["width"]
+        grad_activated = self.mlp_final.backward(grad_logits)
+        grad_combined = self.combine_act.backward(grad_activated)
+        grad_concat = self.combine.backward(grad_combined)
+        grad_a = grad_concat[:, :width] + grad_combined
+        grad_x = grad_concat[:, width:] + grad_combined
+        self.mlp_adjacency.backward(grad_a)
+        self.mlp_features.backward(grad_x)
+
+
+__all__ = ["LINKX"]

@@ -1,0 +1,110 @@
+"""MixHop baseline: each layer concatenates several adjacency powers."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.normalize import symmetric_normalize
+from repro.models.base import NodeClassifier
+from repro.nn.activations import ReLU
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.propagation.sparse_ops import SparsePropagation
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class _MixHopLayer:
+    """One MixHop layer: ``concat_p(Â^p H W_p)`` over the configured powers."""
+
+    def __init__(self, in_features: int, out_features: int, powers: Sequence[int],
+                 propagation: SparsePropagation, rng, name: str) -> None:
+        self.powers = list(powers)
+        self.propagation = propagation
+        self.linears = [Linear(in_features, out_features, rng=rng, name=f"{name}.p{p}")
+                        for p in self.powers]
+        self.out_features = out_features * len(self.powers)
+        self._cache: List[np.ndarray] = []
+
+    def forward(self, hidden: np.ndarray) -> np.ndarray:
+        outputs = []
+        self._cache = []
+        propagated = hidden
+        by_power = {0: hidden}
+        max_power = max(self.powers)
+        for power in range(1, max_power + 1):
+            propagated = self.propagation(propagated)
+            by_power[power] = propagated
+        for power, linear in zip(self.powers, self.linears):
+            outputs.append(linear(by_power[power]))
+        return np.concatenate(outputs, axis=1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        width = grad_output.shape[1] // len(self.powers)
+        grad_input = None
+        for index, (power, linear) in enumerate(zip(self.powers, self.linears)):
+            grad_part = grad_output[:, index * width:(index + 1) * width]
+            grad_hidden = linear.backward(grad_part)
+            for _ in range(power):
+                grad_hidden = self.propagation.backward(grad_hidden)
+            grad_input = grad_hidden if grad_input is None else grad_input + grad_hidden
+        return grad_input
+
+    def parameters(self):
+        params = []
+        for linear in self.linears:
+            params.extend(linear.parameters())
+        return params
+
+
+class MixHop(NodeClassifier):
+    """Two MixHop layers followed by a linear classification head."""
+
+    def __init__(self, graph: Graph, *, hidden: int = 64, powers: Sequence[int] = (0, 1, 2),
+                 num_layers: int = 2, dropout: float = 0.5, rng: RngLike = None) -> None:
+        super().__init__(graph, hidden=hidden)
+        generator = ensure_rng(rng)
+        with self.timing.measure("precompute"):
+            operator = symmetric_normalize(graph.adjacency)
+        self.propagation = SparsePropagation(operator, timing=self.timing)
+        self.layers: List[_MixHopLayer] = []
+        self.activations: List[ReLU] = []
+        self.dropouts: List[Dropout] = []
+        in_features = self.num_features
+        for index in range(num_layers):
+            layer = _MixHopLayer(in_features, hidden, powers, self.propagation,
+                                 generator, name=f"mixhop.{index}")
+            self.layers.append(layer)
+            self.activations.append(ReLU())
+            self.dropouts.append(Dropout(dropout, rng=generator))
+            in_features = layer.out_features
+        self.head = Linear(in_features, self.num_classes, rng=generator, name="mixhop.head")
+
+    def parameters(self):
+        params = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        params.extend(self.head.parameters())
+        return params
+
+    def forward(self) -> np.ndarray:
+        hidden = self.graph.features
+        for layer, activation, dropout in zip(self.layers, self.activations, self.dropouts):
+            hidden = layer.forward(hidden)
+            hidden = activation(hidden)
+            hidden = dropout(hidden)
+        return self.head(hidden)
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        grad = self.head.backward(grad_logits)
+        for layer, activation, dropout in zip(reversed(self.layers),
+                                              reversed(self.activations),
+                                              reversed(self.dropouts)):
+            grad = dropout.backward(grad)
+            grad = activation.backward(grad)
+            grad = layer.backward(grad)
+
+
+__all__ = ["MixHop"]

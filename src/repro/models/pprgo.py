@@ -1,0 +1,44 @@
+"""PPRGo baseline: predictions propagated with a precomputed top-k PPR matrix.
+
+PPRGo is the closest architectural relative of SIGMA among homophilous
+models: both precompute a constant aggregation matrix and apply it once.
+The difference — local PPR mass versus global SimRank similarity — is what
+the paper's Fig. 1 highlights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.models.base import NodeClassifier
+from repro.nn.mlp import MLP
+from repro.ppr.matrix import ppr_operator
+from repro.propagation.sparse_ops import SparsePropagation
+from repro.utils.rng import RngLike
+
+
+class PPRGo(NodeClassifier):
+    """``Z = Π_ppr · MLP(X)`` with a top-k sparse PPR matrix ``Π_ppr``."""
+
+    def __init__(self, graph: Graph, *, hidden: int = 64, num_layers: int = 2,
+                 dropout: float = 0.5, alpha: float = 0.15, top_k: int = 32,
+                 ppr_epsilon: float = 1e-4, rng: RngLike = None) -> None:
+        super().__init__(graph, hidden=hidden)
+        with self.timing.measure("precompute"):
+            operator = ppr_operator(graph, alpha=alpha, epsilon=ppr_epsilon, top_k=top_k)
+        self.ppr = operator
+        self.propagation = SparsePropagation(operator.matrix, timing=self.timing)
+        self.mlp = MLP(self.num_features, hidden, self.num_classes,
+                       num_layers=num_layers, dropout=dropout, rng=rng, name="pprgo")
+
+    def forward(self) -> np.ndarray:
+        predictions = self.mlp(self.graph.features)
+        return self.propagation(predictions)
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        grad = self.propagation.backward(grad_logits)
+        self.mlp.backward(grad)
+
+
+__all__ = ["PPRGo"]

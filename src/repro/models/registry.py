@@ -1,0 +1,98 @@
+"""Model registry: build any model in the benchmark by name.
+
+The registry centralises per-model default hyper-parameters so experiments
+(Table V, VII, VIII, XI …) construct every baseline the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ModelError
+from repro.graphs.graph import Graph
+from repro.models.acmgcn import ACMGCN
+from repro.models.appnp import APPNP
+from repro.models.base import NodeClassifier
+from repro.models.gat import GAT
+from repro.models.gcn import GCN
+from repro.models.gcnii import GCNII
+from repro.models.glognn import GloGNN
+from repro.models.gprgnn import GPRGNN
+from repro.models.h2gcn import H2GCN
+from repro.models.linkx import LINKX
+from repro.models.mixhop import MixHop
+from repro.models.mlp import MLPClassifier
+from repro.models.pprgo import PPRGo
+from repro.models.sgc import SGC
+from repro.models.sigma import SIGMA
+from repro.models.sigma_iterative import SIGMAIterative
+from repro.utils.rng import RngLike
+
+ModelFactory = Callable[..., NodeClassifier]
+
+_REGISTRY: Dict[str, ModelFactory] = {
+    "mlp": MLPClassifier,
+    "gcn": GCN,
+    "sgc": SGC,
+    "gat": GAT,
+    "appnp": APPNP,
+    "mixhop": MixHop,
+    "gcnii": GCNII,
+    "gprgnn": GPRGNN,
+    "h2gcn": H2GCN,
+    "acmgcn": ACMGCN,
+    "linkx": LINKX,
+    "glognn": GloGNN,
+    "pprgo": PPRGo,
+    "sigma": SIGMA,
+    "sigma_iterative": SIGMAIterative,
+}
+
+# Default hyper-parameters used by the experiment harness; individual
+# experiments override what they sweep (δ, α, k, ε, layer counts, ...).
+_DEFAULTS: Dict[str, Dict[str, object]] = {
+    "mlp": {"hidden": 64, "num_layers": 2, "dropout": 0.5},
+    "gcn": {"hidden": 64, "num_layers": 2, "dropout": 0.5},
+    "sgc": {"num_steps": 2},
+    "gat": {"hidden": 8, "num_heads": 4, "dropout": 0.5},
+    "appnp": {"hidden": 64, "alpha": 0.1, "num_steps": 10, "dropout": 0.5},
+    "mixhop": {"hidden": 32, "powers": (0, 1, 2), "num_layers": 2, "dropout": 0.5},
+    "gcnii": {"hidden": 64, "num_layers": 8, "alpha": 0.1, "lam": 0.5, "dropout": 0.5},
+    "gprgnn": {"hidden": 64, "alpha": 0.1, "num_steps": 10, "dropout": 0.5},
+    "h2gcn": {"hidden": 64, "num_rounds": 2, "dropout": 0.5},
+    "acmgcn": {"hidden": 64, "num_layers": 2, "dropout": 0.5},
+    "linkx": {"hidden": 64, "num_layers": 2, "dropout": 0.5},
+    "glognn": {"hidden": 64, "num_layers": 2, "k_hops": 3, "norm_layers": 2,
+               "dropout": 0.5},
+    "pprgo": {"hidden": 64, "alpha": 0.15, "top_k": 32, "dropout": 0.5},
+    "sigma": {"hidden": 64, "delta": 0.5, "alpha": 0.5, "top_k": 32,
+              "epsilon": 0.1, "dropout": 0.5, "final_layers": 1},
+    "sigma_iterative": {"hidden": 64, "num_layers": 2, "delta": 0.5,
+                        "top_k": 32, "epsilon": 0.1, "dropout": 0.5},
+}
+
+
+def list_models() -> List[str]:
+    """All registered model names."""
+    return list(_REGISTRY)
+
+
+def default_hyperparameters(name: str) -> Dict[str, object]:
+    """A copy of the registry defaults for ``name``."""
+    if name not in _DEFAULTS:
+        raise ModelError(f"unknown model {name!r}; available: {', '.join(_REGISTRY)}")
+    return dict(_DEFAULTS[name])
+
+
+def create_model(name: str, graph: Graph, *, rng: RngLike = None,
+                 **overrides: object) -> NodeClassifier:
+    """Instantiate model ``name`` on ``graph`` with defaults plus ``overrides``."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ModelError(f"unknown model {name!r}; available: {', '.join(_REGISTRY)}")
+    hyperparameters = default_hyperparameters(key)
+    hyperparameters.update(overrides)
+    return _REGISTRY[key](graph, rng=rng, **hyperparameters)
+
+
+__all__ = ["create_model", "list_models", "default_hyperparameters"]

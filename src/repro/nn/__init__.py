@@ -1,0 +1,44 @@
+"""Minimal neural-network substrate built on numpy.
+
+The paper's models are ordinarily implemented in PyTorch; this package
+provides the pieces they need — linear layers, activations, dropout,
+normalisation, losses and optimisers — with explicit ``forward``/``backward``
+methods so the whole library runs on numpy + scipy only.  Every model in
+:mod:`repro.models` (SIGMA and all baselines) is built from these modules,
+which keeps cross-model accuracy and runtime comparisons apples-to-apples.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.linear import Linear
+from repro.nn.activations import GELU, LeakyReLU, ReLU, Tanh
+from repro.nn.dropout import Dropout
+from repro.nn.normalization import BatchNorm1d, LayerNorm
+from repro.nn.sequential import Sequential
+from repro.nn.mlp import MLP
+from repro.nn.losses import l2_regularization, softmax, softmax_cross_entropy
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.init import glorot_uniform, he_normal, zeros
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "GELU",
+    "Dropout",
+    "LayerNorm",
+    "BatchNorm1d",
+    "Sequential",
+    "MLP",
+    "softmax",
+    "softmax_cross_entropy",
+    "l2_regularization",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "glorot_uniform",
+    "he_normal",
+    "zeros",
+]

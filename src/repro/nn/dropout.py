@@ -1,0 +1,42 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class Dropout(Module):
+    """Randomly zeroes activations with probability ``p`` during training.
+
+    Uses the inverted-dropout convention (surviving activations are scaled
+    by ``1 / (1 - p)``) so evaluation is a no-op.
+    """
+
+    def __init__(self, p: float = 0.5, *, rng: RngLike = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = float(p)
+        self._rng = ensure_rng(rng)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return inputs
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(inputs.shape) < keep) / keep
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+__all__ = ["Dropout"]

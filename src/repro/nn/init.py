@@ -1,0 +1,29 @@
+"""Weight initialisers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def glorot_uniform(fan_in: int, fan_out: int, *, rng: RngLike = None) -> np.ndarray:
+    """Glorot / Xavier uniform initialisation for a ``(fan_in, fan_out)`` matrix."""
+    generator = ensure_rng(rng)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return generator.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_normal(fan_in: int, fan_out: int, *, rng: RngLike = None) -> np.ndarray:
+    """He (Kaiming) normal initialisation, suited to ReLU networks."""
+    generator = ensure_rng(rng)
+    scale = np.sqrt(2.0 / fan_in)
+    return generator.normal(0.0, scale, size=(fan_in, fan_out))
+
+
+def zeros(*shape: int) -> np.ndarray:
+    """All-zeros array, used for biases."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+__all__ = ["glorot_uniform", "he_normal", "zeros"]

@@ -1,0 +1,69 @@
+"""Dense affine layer supporting dense or sparse inputs.
+
+Accepting a ``scipy.sparse`` input matters for the LINKX-style adjacency
+embedding ``MLP_A(A)``: the paper stresses that ``A·W`` is computed with a
+sparse-dense product without densifying ``A``, keeping the cost at ``O(m·f)``.
+When the forward input is sparse no input gradient is produced (the
+adjacency matrix is a constant), mirroring that usage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.nn.init import glorot_uniform, zeros
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import RngLike
+
+ArrayOrSparse = Union[np.ndarray, sp.spmatrix]
+
+
+class Linear(Module):
+    """``y = x @ W + b`` with Glorot-initialised weights."""
+
+    def __init__(self, in_features: int, out_features: int, *, bias: bool = True,
+                 rng: RngLike = None, name: str = "linear") -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(glorot_uniform(in_features, out_features, rng=rng),
+                                name=f"{name}.weight")
+        self.bias: Optional[Parameter] = None
+        if bias:
+            self.bias = Parameter(zeros(out_features), name=f"{name}.bias")
+        self._input: Optional[ArrayOrSparse] = None
+
+    def forward(self, inputs: ArrayOrSparse) -> np.ndarray:
+        if inputs.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input with {self.in_features} features, got {inputs.shape[1]}"
+            )
+        self._input = inputs
+        output = inputs @ self.weight.value
+        if sp.issparse(output):  # defensive: sparse @ dense returns ndarray already
+            output = np.asarray(output.todense())
+        if self.bias is not None:
+            output = output + self.bias.value
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> Optional[np.ndarray]:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        inputs = self._input
+        if sp.issparse(inputs):
+            self.weight.grad += np.asarray(inputs.T @ grad_output)
+            grad_input: Optional[np.ndarray] = None
+        else:
+            self.weight.grad += inputs.T @ grad_output
+            grad_input = grad_output @ self.weight.value.T
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=0)
+        return grad_input
+
+
+__all__ = ["Linear"]

@@ -1,0 +1,85 @@
+"""Loss functions for full-batch node classification."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray,
+                          mask: Optional[np.ndarray] = None
+                          ) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy over (optionally masked) nodes and its gradient.
+
+    Parameters
+    ----------
+    logits:
+        ``(n, num_classes)`` raw scores.
+    labels:
+        ``(n,)`` integer class labels.
+    mask:
+        Either a boolean mask of length ``n`` or an integer index array
+        selecting the nodes that contribute to the loss (the training set in
+        transductive node classification).  The returned gradient has the
+        full ``(n, num_classes)`` shape with zeros outside the mask.
+
+    Returns
+    -------
+    (loss, grad):
+        The scalar loss and ``d loss / d logits``.
+    """
+    labels = np.asarray(labels, dtype=np.int64).ravel()
+    n, num_classes = logits.shape
+    if labels.shape[0] != n:
+        raise ValueError(f"labels must have length {n}, got {labels.shape[0]}")
+    if (labels < 0).any() or (labels >= num_classes).any():
+        raise ValueError("labels out of range for the given logits")
+
+    if mask is None:
+        indices = np.arange(n)
+    else:
+        mask = np.asarray(mask)
+        indices = np.flatnonzero(mask) if mask.dtype == bool else mask.astype(np.int64)
+    if indices.size == 0:
+        raise ValueError("loss mask selects no nodes")
+
+    probs = softmax(logits[indices], axis=1)
+    picked = probs[np.arange(indices.size), labels[indices]]
+    loss = float(-np.mean(np.log(np.clip(picked, 1e-12, None))))
+
+    grad = np.zeros_like(logits)
+    local = probs.copy()
+    local[np.arange(indices.size), labels[indices]] -= 1.0
+    grad[indices] = local / indices.size
+    return loss, grad
+
+
+def l2_regularization(parameters: Iterable[Parameter], weight_decay: float
+                      ) -> Tuple[float, None]:
+    """Explicit L2 penalty (the optimisers also support decoupled decay).
+
+    Adds ``weight_decay * p`` to every parameter's gradient and returns the
+    penalty value ``0.5 * weight_decay * Σ‖p‖²``.
+    """
+    if weight_decay < 0:
+        raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+    total = 0.0
+    if weight_decay == 0:
+        return 0.0, None
+    for param in parameters:
+        total += 0.5 * weight_decay * float(np.sum(param.value**2))
+        param.grad += weight_decay * param.value
+    return total, None
+
+
+__all__ = ["softmax", "softmax_cross_entropy", "l2_regularization"]

@@ -1,0 +1,83 @@
+"""Multi-layer perceptron convenience module.
+
+Used as the building block of LINKX-style models: ``MLP_A`` embeds the
+adjacency matrix, ``MLP_X`` embeds the features and ``MLP_H`` joins them
+(paper Eq. (4)).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.nn.activations import ReLU
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.nn.sequential import Sequential
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class MLP(Module):
+    """A stack of ``Linear → ReLU → Dropout`` blocks with a linear head.
+
+    Parameters
+    ----------
+    in_features, hidden_features, out_features:
+        Layer widths.  ``num_layers = 1`` produces a single linear layer
+        mapping ``in_features → out_features``.
+    num_layers:
+        Total number of linear layers.
+    dropout:
+        Dropout probability applied after every hidden activation.
+    input_dropout:
+        Optional dropout applied to the input itself (common for feature
+        matrices); skipped automatically when the input is sparse.
+    """
+
+    def __init__(self, in_features: int, hidden_features: int, out_features: int,
+                 *, num_layers: int = 2, dropout: float = 0.5,
+                 input_dropout: float = 0.0, rng: RngLike = None,
+                 name: str = "mlp") -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+        generator = ensure_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.input_dropout = Dropout(input_dropout, rng=generator) if input_dropout > 0 else None
+        blocks = []
+        if num_layers == 1:
+            blocks.append(Linear(in_features, out_features, rng=generator, name=f"{name}.0"))
+        else:
+            blocks.append(Linear(in_features, hidden_features, rng=generator, name=f"{name}.0"))
+            blocks.append(ReLU())
+            blocks.append(Dropout(dropout, rng=generator))
+            for layer in range(1, num_layers - 1):
+                blocks.append(Linear(hidden_features, hidden_features, rng=generator,
+                                     name=f"{name}.{layer}"))
+                blocks.append(ReLU())
+                blocks.append(Dropout(dropout, rng=generator))
+            blocks.append(Linear(hidden_features, out_features, rng=generator,
+                                 name=f"{name}.{num_layers - 1}"))
+        self.body = Sequential(*blocks)
+        self._input_was_sparse = False
+
+    def forward(self, inputs: Union[np.ndarray, sp.spmatrix]) -> np.ndarray:
+        self._input_was_sparse = sp.issparse(inputs)
+        if self.input_dropout is not None and not self._input_was_sparse:
+            inputs = self.input_dropout(inputs)
+        return self.body(inputs)
+
+    def backward(self, grad_output: np.ndarray) -> Optional[np.ndarray]:
+        grad = self.body.backward(grad_output)
+        if grad is None:
+            return None
+        if self.input_dropout is not None and not self._input_was_sparse:
+            grad = self.input_dropout.backward(grad)
+        return grad
+
+
+__all__ = ["MLP"]

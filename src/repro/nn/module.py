@@ -1,0 +1,131 @@
+"""Parameter and Module base classes.
+
+The design mirrors a tiny subset of ``torch.nn``: a :class:`Module` owns
+:class:`Parameter` objects (and child modules), caches whatever its
+``forward`` needs for ``backward``, and accumulates gradients into
+``Parameter.grad``.  There is no autograd tape — every module implements its
+own backward pass, which keeps the numerics transparent and testable with
+finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient."""
+
+    __slots__ = ("value", "grad", "name")
+
+    def __init__(self, value: np.ndarray, name: str = "param") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter(name={self.name!r}, shape={self.value.shape})"
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses implement ``forward`` (caching anything ``backward`` needs on
+    ``self``) and ``backward`` (returning the gradient with respect to the
+    forward input and accumulating parameter gradients).
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # Parameter management
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> List[Parameter]:
+        """All parameters of this module and its children, depth first."""
+        found: List[Parameter] = []
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            self._collect(value, found, seen)
+        return found
+
+    def _collect(self, value: object, found: List[Parameter], seen: set[int]) -> None:
+        if isinstance(value, Parameter):
+            if id(value) not in seen:
+                seen.add(id(value))
+                found.append(value)
+        elif isinstance(value, Module):
+            for param in value.parameters():
+                if id(param) not in seen:
+                    seen.add(id(param))
+                    found.append(param)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                self._collect(item, found, seen)
+        elif isinstance(value, dict):
+            for item in value.values():
+                self._collect(item, found, seen)
+
+    def named_parameters(self) -> Dict[str, Parameter]:
+        return {param.name: param for param in self.parameters()}
+
+    def num_parameters(self) -> int:
+        return sum(param.size for param in self.parameters())
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # Train / eval switching
+    # ------------------------------------------------------------------ #
+    def children(self) -> Iterator["Module"]:
+        for value in self.__dict__.values():
+            yield from self._child_modules(value)
+
+    def _child_modules(self, value: object) -> Iterator["Module"]:
+        if isinstance(value, Module):
+            yield value
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                yield from self._child_modules(item)
+        elif isinstance(value, dict):
+            for item in value.values():
+                yield from self._child_modules(item)
+
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for child in self.children():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # ------------------------------------------------------------------ #
+    # Forward / backward interface
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad_output):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+__all__ = ["Parameter", "Module"]

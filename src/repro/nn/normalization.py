@@ -1,0 +1,97 @@
+"""Normalisation layers (LayerNorm, BatchNorm1d).
+
+LINKX and GloGNN apply normalisation between their MLP blocks; the SIGMA
+architecture keeps the option available through these layers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class LayerNorm(Module):
+    """Normalises each row to zero mean / unit variance with learnable affine."""
+
+    def __init__(self, num_features: int, *, eps: float = 1e-5, name: str = "layernorm") -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = float(eps)
+        self.gamma = Parameter(np.ones(num_features), name=f"{name}.gamma")
+        self.beta = Parameter(np.zeros(num_features), name=f"{name}.beta")
+        self._cache: Optional[tuple] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        mean = inputs.mean(axis=1, keepdims=True)
+        var = inputs.var(axis=1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        normalized = (inputs - mean) * inv_std
+        self._cache = (normalized, inv_std)
+        return normalized * self.gamma.value + self.beta.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        normalized, inv_std = self._cache
+        self.gamma.grad += (grad_output * normalized).sum(axis=0)
+        self.beta.grad += grad_output.sum(axis=0)
+        grad_norm = grad_output * self.gamma.value
+        d = normalized.shape[1]
+        # Standard layer-norm backward over the feature axis.
+        grad_input = (
+            grad_norm
+            - grad_norm.mean(axis=1, keepdims=True)
+            - normalized * (grad_norm * normalized).mean(axis=1, keepdims=True)
+        ) * inv_std
+        return grad_input
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over the node axis (full-batch training)."""
+
+    def __init__(self, num_features: int, *, eps: float = 1e-5, momentum: float = 0.1,
+                 name: str = "batchnorm") -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self.gamma = Parameter(np.ones(num_features), name=f"{name}.gamma")
+        self.beta = Parameter(np.zeros(num_features), name=f"{name}.beta")
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: Optional[tuple] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if self.training:
+            mean = inputs.mean(axis=0)
+            var = inputs.var(axis=0)
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        normalized = (inputs - mean) * inv_std
+        self._cache = (normalized, inv_std, inputs.shape[0])
+        return normalized * self.gamma.value + self.beta.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        normalized, inv_std, batch = self._cache
+        self.gamma.grad += (grad_output * normalized).sum(axis=0)
+        self.beta.grad += grad_output.sum(axis=0)
+        grad_norm = grad_output * self.gamma.value
+        if not self.training:
+            return grad_norm * inv_std
+        grad_input = (
+            grad_norm
+            - grad_norm.mean(axis=0)
+            - normalized * (grad_norm * normalized).mean(axis=0)
+        ) * inv_std
+        return grad_input
+
+
+__all__ = ["LayerNorm", "BatchNorm1d"]

@@ -1,0 +1,49 @@
+"""Sequential container."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Runs child modules in order; backward runs them in reverse."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.modules: List[Module] = list(modules)
+
+    def append(self, module: Module) -> "Sequential":
+        self.modules.append(module)
+        return self
+
+    def forward(self, inputs) -> np.ndarray:
+        output = inputs
+        for module in self.modules:
+            output = module(output)
+        return output
+
+    def backward(self, grad_output):
+        grad = grad_output
+        for module in reversed(self.modules):
+            grad = module.backward(grad)
+            if grad is None:
+                # A module with constant input (e.g. Linear over a sparse
+                # adjacency) terminates the chain.
+                break
+        return grad
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def __iter__(self) -> Iterable[Module]:
+        return iter(self.modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.modules[index]
+
+
+__all__ = ["Sequential"]

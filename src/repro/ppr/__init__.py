@@ -1,0 +1,18 @@
+"""Personalized PageRank substrate.
+
+PPR serves two roles in the reproduction: it is the aggregation operator of
+the PPRGo baseline, and it is the "local" aggregation contrasted against
+SimRank in the paper's Fig. 1(b)/(c).
+"""
+
+from repro.ppr.power import ppr_matrix_power, ppr_vector_power
+from repro.ppr.push import forward_push_ppr
+from repro.ppr.matrix import ppr_operator, topk_ppr_matrix
+
+__all__ = [
+    "ppr_vector_power",
+    "ppr_matrix_power",
+    "forward_push_ppr",
+    "topk_ppr_matrix",
+    "ppr_operator",
+]

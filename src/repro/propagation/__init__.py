@@ -1,0 +1,20 @@
+"""Sparse propagation layers shared by the GNN models.
+
+These modules wrap fixed sparse operators (normalised adjacencies, SimRank
+or PPR matrices) with forward/backward passes so models can mix them with
+the dense layers from :mod:`repro.nn`.
+"""
+
+from repro.propagation.sparse_ops import SparsePropagation
+from repro.propagation.propagators import (
+    GPRPropagation,
+    PersonalizedPropagation,
+    PowerPropagation,
+)
+
+__all__ = [
+    "SparsePropagation",
+    "PersonalizedPropagation",
+    "PowerPropagation",
+    "GPRPropagation",
+]

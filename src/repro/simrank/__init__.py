@@ -1,0 +1,42 @@
+"""SimRank substrate: exact, linearized and LocalPush-approximate SimRank.
+
+Three computations are provided:
+
+* :func:`exact_simrank` — the classic Jeh–Widom fixed point of Eq. (2) in the
+  paper, computed by power iteration with a diagonal reset.  This is the
+  ground truth for small graphs (Table II, Fig. 2).
+* :func:`linearized_simrank` — the series
+  ``S' = Σ_ℓ c^ℓ (W^ℓ)ᵀ W^ℓ`` of pairwise-random-walk meeting
+  probabilities, exactly the quantity of Theorem III.2.  This is the fixed
+  point that LocalPush approximates and the operator SIGMA aggregates with.
+* :func:`localpush_simrank` — Algorithm 1 (LocalPush) of the paper: a
+  residual-push approximation with max-norm guarantee ``ε`` and
+  ``O(d²/ε)``-style cost, returning a sparse matrix.
+
+:func:`simrank_operator` combines approximation and top-k pruning into the
+sparse aggregation operator used by the SIGMA model.
+"""
+
+from repro.simrank.exact import exact_simrank, linearized_simrank
+from repro.simrank.localpush import LocalPushResult, localpush_simrank
+from repro.simrank.topk import simrank_operator, topk_simrank
+from repro.simrank.pairwise_walk import (
+    homophily_probability,
+    pairwise_meeting_probability,
+    pairwise_walk_series,
+)
+from repro.simrank.analysis import SimRankClassStats, simrank_class_statistics
+
+__all__ = [
+    "exact_simrank",
+    "linearized_simrank",
+    "localpush_simrank",
+    "LocalPushResult",
+    "topk_simrank",
+    "simrank_operator",
+    "pairwise_meeting_probability",
+    "pairwise_walk_series",
+    "homophily_probability",
+    "SimRankClassStats",
+    "simrank_class_statistics",
+]

@@ -1,0 +1,113 @@
+"""Intra- vs inter-class SimRank statistics (paper Table II and Fig. 2).
+
+The paper's empirical argument for using SimRank under heterophily is that
+intra-class node pairs receive systematically higher SimRank scores than
+inter-class pairs.  :func:`simrank_class_statistics` reproduces the mean and
+standard deviation rows of Table II and the score histograms of Fig. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import SimRankError
+from repro.graphs.graph import Graph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class SimRankClassStats:
+    """Summary statistics of SimRank scores split by label agreement."""
+
+    dataset: str
+    intra_mean: float
+    intra_std: float
+    inter_mean: float
+    inter_std: float
+    num_intra_pairs: int
+    num_inter_pairs: int
+    intra_scores: np.ndarray
+    inter_scores: np.ndarray
+
+    @property
+    def separation(self) -> float:
+        """Difference of means; positive when intra-class pairs score higher."""
+        return self.intra_mean - self.inter_mean
+
+    def histogram(self, bins: int = 40) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        """Density histograms for both pair populations (Fig. 2 series)."""
+        low = float(min(self.intra_scores.min(initial=0.0), self.inter_scores.min(initial=0.0)))
+        high = float(max(self.intra_scores.max(initial=1.0), self.inter_scores.max(initial=1.0)))
+        edges = np.linspace(low, high, bins + 1)
+        intra_density, _ = np.histogram(self.intra_scores, bins=edges, density=True)
+        inter_density, _ = np.histogram(self.inter_scores, bins=edges, density=True)
+        return {"edges": (edges, edges), "intra": (edges[:-1], intra_density),
+                "inter": (edges[:-1], inter_density)}
+
+
+def _pair_scores(scores: np.ndarray | sp.spmatrix, pairs: np.ndarray) -> np.ndarray:
+    if sp.issparse(scores):
+        values = np.asarray(scores[pairs[:, 0], pairs[:, 1]]).ravel()
+    else:
+        values = np.asarray(scores)[pairs[:, 0], pairs[:, 1]]
+    return values.astype(np.float64)
+
+
+def simrank_class_statistics(graph: Graph, scores: np.ndarray | sp.spmatrix,
+                             *, num_pairs: int = 20000, exclude_zero: bool = False,
+                             seed: RngLike = 0) -> SimRankClassStats:
+    """Sample node pairs and summarise scores by label agreement.
+
+    Parameters
+    ----------
+    graph:
+        Labelled graph whose labels define intra- vs inter-class pairs.
+    scores:
+        A dense or sparse ``(n, n)`` SimRank (or any similarity) matrix.
+    num_pairs:
+        Number of distinct node pairs sampled uniformly at random (without
+        the diagonal).  Small graphs with fewer possible pairs use them all.
+    exclude_zero:
+        Drop sampled pairs whose score is exactly zero (useful when scoring
+        with a heavily pruned sparse matrix).
+    """
+    if graph.labels is None:
+        raise SimRankError("class statistics require node labels")
+    n = graph.num_nodes
+    rng = ensure_rng(seed)
+    total_pairs = n * (n - 1) // 2
+    if total_pairs <= num_pairs:
+        upper = np.triu_indices(n, k=1)
+        pairs = np.stack(upper, axis=1)
+    else:
+        left = rng.integers(0, n, size=num_pairs * 2)
+        right = rng.integers(0, n, size=num_pairs * 2)
+        keep = left != right
+        pairs = np.stack([left[keep], right[keep]], axis=1)[:num_pairs]
+
+    values = _pair_scores(scores, pairs)
+    if exclude_zero:
+        nonzero = values != 0.0
+        pairs, values = pairs[nonzero], values[nonzero]
+
+    labels = graph.labels
+    same = labels[pairs[:, 0]] == labels[pairs[:, 1]]
+    intra, inter = values[same], values[~same]
+    return SimRankClassStats(
+        dataset=graph.name,
+        intra_mean=float(intra.mean()) if intra.size else 0.0,
+        intra_std=float(intra.std()) if intra.size else 0.0,
+        inter_mean=float(inter.mean()) if inter.size else 0.0,
+        inter_std=float(inter.std()) if inter.size else 0.0,
+        num_intra_pairs=int(intra.size),
+        num_inter_pairs=int(inter.size),
+        intra_scores=intra,
+        inter_scores=inter,
+    )
+
+
+__all__ = ["SimRankClassStats", "simrank_class_statistics"]

@@ -1,0 +1,21 @@
+"""Training harness: full-batch training loop, metrics and repeated runs."""
+
+from repro.training.config import TrainConfig
+from repro.training.early_stopping import EarlyStopping
+from repro.training.metrics import accuracy_score, confusion_matrix, macro_f1_score
+from repro.training.trainer import EpochRecord, Trainer, TrainResult
+from repro.training.evaluation import EvaluationSummary, evaluate_model, repeated_evaluation
+
+__all__ = [
+    "TrainConfig",
+    "EarlyStopping",
+    "Trainer",
+    "TrainResult",
+    "EpochRecord",
+    "accuracy_score",
+    "macro_f1_score",
+    "confusion_matrix",
+    "evaluate_model",
+    "repeated_evaluation",
+    "EvaluationSummary",
+]

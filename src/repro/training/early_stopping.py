@@ -1,0 +1,37 @@
+"""Early stopping on validation accuracy."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class EarlyStopping:
+    """Stops training when validation accuracy has not improved for ``patience`` epochs."""
+
+    def __init__(self, patience: int = 50, *, minimum_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        if minimum_delta < 0:
+            raise ValueError(f"minimum_delta must be non-negative, got {minimum_delta}")
+        self.patience = patience
+        self.minimum_delta = minimum_delta
+        self.best_score: Optional[float] = None
+        self.best_epoch: int = -1
+        self.counter: int = 0
+
+    def update(self, score: float, epoch: int) -> bool:
+        """Record ``score`` for ``epoch``; return True when the score improved."""
+        if self.best_score is None or score > self.best_score + self.minimum_delta:
+            self.best_score = score
+            self.best_epoch = epoch
+            self.counter = 0
+            return True
+        self.counter += 1
+        return False
+
+    @property
+    def should_stop(self) -> bool:
+        return self.counter >= self.patience
+
+
+__all__ = ["EarlyStopping"]

@@ -1,0 +1,96 @@
+"""Repeated evaluation of a model over a dataset's splits.
+
+The paper reports the mean and standard deviation of test accuracy over 5
+(small datasets) or 10 (large datasets) repetitions; this module provides
+that protocol as a single call used by the experiment scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+from repro.models.registry import create_model
+from repro.training.config import TrainConfig
+from repro.training.trainer import Trainer, TrainResult
+from repro.utils.rng import spawn_rngs
+from repro.utils.timer import TimingBreakdown
+
+
+@dataclass
+class EvaluationSummary:
+    """Aggregated results of repeated training runs."""
+
+    model: str
+    dataset: str
+    accuracies: List[float]
+    results: List[TrainResult] = field(default_factory=list)
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean(self.accuracies))
+
+    @property
+    def std_accuracy(self) -> float:
+        return float(np.std(self.accuracies))
+
+    @property
+    def mean_learning_time(self) -> float:
+        return float(np.mean([result.learning_time for result in self.results]))
+
+    @property
+    def mean_precompute_time(self) -> float:
+        return float(np.mean([result.timing.precompute for result in self.results]))
+
+    @property
+    def mean_aggregation_time(self) -> float:
+        return float(np.mean([result.timing.aggregation for result in self.results]))
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "dataset": self.dataset,
+            "accuracy_mean": round(100 * self.mean_accuracy, 2),
+            "accuracy_std": round(100 * self.std_accuracy, 2),
+            "learning_time": round(self.mean_learning_time, 3),
+            "precompute_time": round(self.mean_precompute_time, 3),
+            "aggregation_time": round(self.mean_aggregation_time, 3),
+        }
+
+
+def evaluate_model(model_name: str, dataset: Dataset, *, split_index: int = 0,
+                   config: Optional[TrainConfig] = None, seed: int = 0,
+                   **model_overrides: object) -> TrainResult:
+    """Train ``model_name`` on one split of ``dataset`` and return the result."""
+    config = config or TrainConfig()
+    rng = np.random.default_rng(seed)
+    model = create_model(model_name, dataset.graph, rng=rng, **model_overrides)
+    trainer = Trainer(model, config)
+    return trainer.fit(dataset.split(split_index))
+
+
+def repeated_evaluation(model_name: str, dataset: Dataset, *,
+                        num_repeats: Optional[int] = None,
+                        config: Optional[TrainConfig] = None, seed: int = 0,
+                        **model_overrides: object) -> EvaluationSummary:
+    """Train on every split (paper protocol) and aggregate accuracies."""
+    config = config or TrainConfig()
+    repeats = num_repeats if num_repeats is not None else dataset.num_splits
+    repeats = min(repeats, dataset.num_splits)
+    rngs = spawn_rngs(seed, repeats)
+    accuracies: List[float] = []
+    results: List[TrainResult] = []
+    for index in range(repeats):
+        model = create_model(model_name, dataset.graph, rng=rngs[index], **model_overrides)
+        trainer = Trainer(model, config)
+        result = trainer.fit(dataset.split(index))
+        accuracies.append(result.test_accuracy)
+        results.append(result)
+    return EvaluationSummary(model=model_name, dataset=dataset.name,
+                             accuracies=accuracies, results=results)
+
+
+__all__ = ["evaluate_model", "repeated_evaluation", "EvaluationSummary"]

@@ -1,0 +1,61 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy_score(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    labels = np.asarray(labels).ravel()
+    predictions = np.asarray(predictions).ravel()
+    if labels.shape != predictions.shape:
+        raise ValueError(
+            f"labels and predictions must have the same shape, got {labels.shape} "
+            f"and {predictions.shape}"
+        )
+    if labels.size == 0:
+        raise ValueError("cannot compute accuracy of zero samples")
+    return float(np.mean(labels == predictions))
+
+
+def confusion_matrix(labels: np.ndarray, predictions: np.ndarray,
+                     num_classes: int | None = None) -> np.ndarray:
+    """``(num_classes, num_classes)`` matrix with true classes as rows."""
+    labels = np.asarray(labels, dtype=np.int64).ravel()
+    predictions = np.asarray(predictions, dtype=np.int64).ravel()
+    if labels.shape != predictions.shape:
+        raise ValueError("labels and predictions must have the same shape")
+    if num_classes is None:
+        num_classes = int(max(labels.max(initial=0), predictions.max(initial=0))) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def macro_f1_score(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """Unweighted mean of per-class F1 scores.
+
+    Classes absent from both labels and predictions are skipped, matching
+    scikit-learn's behaviour with zero-division handling set to zero.
+    """
+    matrix = confusion_matrix(labels, predictions)
+    f1_scores = []
+    for klass in range(matrix.shape[0]):
+        true_positive = matrix[klass, klass]
+        false_positive = matrix[:, klass].sum() - true_positive
+        false_negative = matrix[klass, :].sum() - true_positive
+        if true_positive == 0 and false_positive == 0 and false_negative == 0:
+            continue
+        precision = true_positive / (true_positive + false_positive) if (true_positive + false_positive) else 0.0
+        recall = true_positive / (true_positive + false_negative) if (true_positive + false_negative) else 0.0
+        if precision + recall == 0:
+            f1_scores.append(0.0)
+        else:
+            f1_scores.append(2 * precision * recall / (precision + recall))
+    if not f1_scores:
+        return 0.0
+    return float(np.mean(f1_scores))
+
+
+__all__ = ["accuracy_score", "confusion_matrix", "macro_f1_score"]

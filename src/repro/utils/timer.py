@@ -1,0 +1,110 @@
+"""Wall-clock timing helpers used by the training and experiment harnesses.
+
+The paper reports a *learning time* split into precomputation, aggregation
+and total training (Table VII).  :class:`TimingBreakdown` mirrors that split
+so experiments can report the same rows.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+class Timer:
+    """A restartable wall-clock timer.
+
+    Examples
+    --------
+    >>> timer = Timer()
+    >>> with timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: float | None = None
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("Timer already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer was not started")
+        delta = time.perf_counter() - self._start
+        self.elapsed += delta
+        self._start = None
+        return delta
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+@dataclass
+class TimingBreakdown:
+    """Accumulates named timing buckets (seconds).
+
+    The canonical buckets used throughout the library are ``precompute``
+    (SimRank / PPR matrix construction), ``aggregation`` (the global
+    aggregation performed during forward/backward passes) and ``training``
+    (everything inside the epoch loop, aggregation included).
+    """
+
+    buckets: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.buckets[name] = self.buckets.get(name, 0.0) + float(seconds)
+
+    def get(self, name: str) -> float:
+        return self.buckets.get(name, 0.0)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    @property
+    def precompute(self) -> float:
+        return self.get("precompute")
+
+    @property
+    def aggregation(self) -> float:
+        return self.get("aggregation")
+
+    @property
+    def training(self) -> float:
+        return self.get("training")
+
+    @property
+    def learning(self) -> float:
+        """Total learning time as reported by the paper: precompute + training."""
+        return self.precompute + self.training
+
+    def merged_with(self, other: "TimingBreakdown") -> "TimingBreakdown":
+        merged = TimingBreakdown(dict(self.buckets))
+        for name, seconds in other.buckets.items():
+            merged.add(name, seconds)
+        return merged
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.buckets)
+
+
+__all__ = ["Timer", "TimingBreakdown"]

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import Dataset
+from repro.datasets.splits import stratified_splits
+from repro.datasets.synthetic import SyntheticGraphConfig, generate_synthetic_graph
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> Graph:
+    """A hand-built 6-node graph with features and labels.
+
+    Topology (two triangle-ish communities joined by one edge)::
+
+        0 - 1    3 - 4
+        |   |    |   |
+        +-2-+    +-5-+
+            \\____/
+    """
+    edges = [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3)]
+    features = np.array([
+        [1.0, 0.0], [0.9, 0.1], [1.1, -0.1],
+        [0.0, 1.0], [0.1, 0.9], [-0.1, 1.1],
+    ])
+    labels = np.array([0, 0, 0, 1, 1, 1])
+    return Graph.from_edges(6, edges, features=features, labels=labels, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def small_heterophilous_graph() -> Graph:
+    """A ~160-node heterophilous synthetic graph for model tests."""
+    config = SyntheticGraphConfig(
+        num_nodes=160, num_classes=3, num_features=12, average_degree=5.0,
+        homophily=0.2, feature_signal=1.5, name="small-hetero")
+    return generate_synthetic_graph(config, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_homophilous_graph() -> Graph:
+    """A ~160-node homophilous synthetic graph."""
+    config = SyntheticGraphConfig(
+        num_nodes=160, num_classes=3, num_features=12, average_degree=5.0,
+        homophily=0.8, feature_signal=1.5, name="small-homo")
+    return generate_synthetic_graph(config, seed=4)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_heterophilous_graph) -> Dataset:
+    """The heterophilous graph wrapped with three stratified splits."""
+    splits = stratified_splits(small_heterophilous_graph.labels, num_splits=3, seed=1)
+    return Dataset(graph=small_heterophilous_graph, splits=splits, name="small-hetero")
+
+
+@pytest.fixture(scope="session")
+def path_graph() -> Graph:
+    """A 5-node path graph (useful for exact hand-computed values)."""
+    edges = [(0, 1), (1, 2), (2, 3), (3, 4)]
+    features = np.eye(5)
+    labels = np.array([0, 1, 0, 1, 0])
+    return Graph.from_edges(5, edges, features=features, labels=labels, name="path5")

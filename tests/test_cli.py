@@ -1,0 +1,43 @@
+"""Tests for the training CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.model == "sigma"
+        assert args.dataset == "texas"
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--model", "transformer"])
+
+    def test_overrides_parsed(self):
+        args = build_parser().parse_args(
+            ["--model", "glognn", "--delta", "0.3", "--top-k", "16"])
+        assert args.model == "glognn"
+        assert args.delta == 0.3
+        assert args.top_k == 16
+
+
+class TestMain:
+    def test_runs_end_to_end(self, capsys):
+        exit_code = main(["--model", "mlp", "--dataset", "texas", "--repeats", "1",
+                          "--epochs", "15", "--patience", "10", "--hidden", "16"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "accuracy" in output
+
+    def test_json_output(self, capsys):
+        exit_code = main(["--model", "sigma", "--dataset", "texas", "--repeats", "1",
+                          "--epochs", "10", "--patience", "5", "--hidden", "16",
+                          "--top-k", "8", "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == "sigma"
+        assert 0.0 <= payload["accuracy_mean"] <= 100.0

@@ -1,0 +1,96 @@
+"""Tests for dataset splits and the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import Dataset, Split
+from repro.datasets.splits import random_splits, stratified_splits
+from repro.errors import DatasetError
+
+
+class TestSplit:
+    def test_disjointness_enforced(self):
+        with pytest.raises(DatasetError):
+            Split(train=np.array([0, 1]), val=np.array([1, 2]), test=np.array([3]))
+
+    def test_sizes(self):
+        split = Split(train=np.array([0, 1]), val=np.array([2]), test=np.array([3, 4]))
+        assert split.sizes == {"train": 2, "val": 1, "test": 2}
+
+    def test_mask(self):
+        split = Split(train=np.array([0, 2]), val=np.array([1]), test=np.array([3]))
+        mask = split.mask("train", 5)
+        np.testing.assert_array_equal(mask, [True, False, True, False, False])
+
+    def test_mask_unknown_subset(self):
+        split = Split(train=np.array([0]), val=np.array([1]), test=np.array([2]))
+        with pytest.raises(DatasetError):
+            split.mask("holdout", 3)
+
+
+class TestRandomSplits:
+    def test_partition_covers_all_nodes(self):
+        splits = random_splits(100, num_splits=3, seed=0)
+        assert len(splits) == 3
+        for split in splits:
+            union = np.concatenate([split.train, split.val, split.test])
+            assert np.array_equal(np.sort(union), np.arange(100))
+
+    def test_fractions_respected(self):
+        split = random_splits(200, train_frac=0.5, val_frac=0.25, num_splits=1, seed=0)[0]
+        assert split.train.size == 100
+        assert split.val.size == 50
+        assert split.test.size == 50
+
+    def test_invalid_fractions(self):
+        with pytest.raises(DatasetError):
+            random_splits(10, train_frac=0.8, val_frac=0.3)
+
+    def test_deterministic(self):
+        a = random_splits(50, num_splits=2, seed=3)
+        b = random_splits(50, num_splits=2, seed=3)
+        np.testing.assert_array_equal(a[0].train, b[0].train)
+        np.testing.assert_array_equal(a[1].test, b[1].test)
+
+
+class TestStratifiedSplits:
+    def test_every_class_in_every_subset(self):
+        labels = np.repeat(np.arange(4), 25)
+        splits = stratified_splits(labels, num_splits=3, seed=0)
+        for split in splits:
+            for subset in (split.train, split.val, split.test):
+                assert set(labels[subset]) == {0, 1, 2, 3}
+
+    def test_covers_all_nodes(self):
+        labels = np.repeat(np.arange(3), 30)
+        split = stratified_splits(labels, num_splits=1, seed=0)[0]
+        union = np.concatenate([split.train, split.val, split.test])
+        assert np.array_equal(np.sort(union), np.arange(90))
+
+
+class TestDataset:
+    def test_requires_labels_and_features(self, small_heterophilous_graph):
+        graph = small_heterophilous_graph
+        splits = stratified_splits(graph.labels, num_splits=1, seed=0)
+        unlabeled = graph.with_labels(None) if False else None
+        with pytest.raises(DatasetError):
+            Dataset(graph=graph.__class__(graph.adjacency, features=graph.features),
+                    splits=splits, name="bad")
+
+    def test_requires_at_least_one_split(self, small_heterophilous_graph):
+        with pytest.raises(DatasetError):
+            Dataset(graph=small_heterophilous_graph, splits=[], name="bad")
+
+    def test_split_index_out_of_range(self, small_dataset):
+        with pytest.raises(DatasetError):
+            small_dataset.split(10)
+
+    def test_summary_contains_statistics(self, small_dataset):
+        summary = small_dataset.summary()
+        assert summary["nodes"] == small_dataset.num_nodes
+        assert summary["classes"] == small_dataset.num_classes
+
+    def test_out_of_range_split_indices_rejected(self, small_heterophilous_graph):
+        bad_split = Split(train=np.array([10_000]), val=np.array([1]), test=np.array([2]))
+        with pytest.raises(DatasetError):
+            Dataset(graph=small_heterophilous_graph, splits=[bad_split], name="bad")

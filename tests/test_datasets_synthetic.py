@@ -1,0 +1,108 @@
+"""Tests for the feature-conditioned SBM generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import SyntheticGraphConfig, generate_synthetic_graph
+from repro.errors import DatasetError
+from repro.graphs.homophily import edge_homophily, node_homophily
+
+
+def _config(**overrides) -> SyntheticGraphConfig:
+    base = dict(num_nodes=400, num_classes=4, num_features=16,
+                average_degree=6.0, homophily=0.3, name="test")
+    base.update(overrides)
+    return SyntheticGraphConfig(**base)
+
+
+class TestConfigValidation:
+    def test_rejects_too_few_nodes(self):
+        with pytest.raises(DatasetError):
+            _config(num_nodes=1)
+
+    def test_rejects_single_class(self):
+        with pytest.raises(DatasetError):
+            _config(num_classes=1)
+
+    def test_rejects_more_classes_than_nodes(self):
+        with pytest.raises(DatasetError):
+            _config(num_nodes=3, num_classes=4)
+
+    def test_rejects_bad_homophily(self):
+        with pytest.raises(DatasetError):
+            _config(homophily=1.5)
+
+    def test_rejects_negative_degree(self):
+        with pytest.raises(DatasetError):
+            _config(average_degree=-1.0)
+
+    def test_rejects_bad_structure_signal(self):
+        with pytest.raises(DatasetError):
+            _config(structure_signal=2.0)
+
+    def test_scaled_preserves_everything_but_size(self):
+        config = _config()
+        scaled = config.scaled(0.5)
+        assert scaled.num_nodes == 200
+        assert scaled.num_classes == config.num_classes
+        assert scaled.homophily == config.homophily
+
+    def test_scaled_rejects_nonpositive_factor(self):
+        with pytest.raises(DatasetError):
+            _config().scaled(0.0)
+
+
+class TestGeneratedGraph:
+    def test_shapes(self):
+        graph = generate_synthetic_graph(_config(), seed=0)
+        assert graph.num_nodes == 400
+        assert graph.features.shape == (400, 16)
+        assert graph.labels.shape == (400,)
+        assert graph.num_classes == 4
+
+    def test_deterministic_given_seed(self):
+        a = generate_synthetic_graph(_config(), seed=5)
+        b = generate_synthetic_graph(_config(), seed=5)
+        assert (a.adjacency != b.adjacency).nnz == 0
+        np.testing.assert_allclose(a.features, b.features)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = generate_synthetic_graph(_config(), seed=1)
+        b = generate_synthetic_graph(_config(), seed=2)
+        assert (a.adjacency != b.adjacency).nnz > 0
+
+    def test_no_isolated_nodes(self):
+        graph = generate_synthetic_graph(_config(average_degree=2.0), seed=0)
+        assert graph.degrees.min() >= 1
+
+    def test_every_class_has_two_members(self):
+        graph = generate_synthetic_graph(_config(class_imbalance=0.7), seed=0)
+        counts = np.bincount(graph.labels, minlength=4)
+        assert counts.min() >= 2
+
+    def test_homophily_matches_target_low(self):
+        graph = generate_synthetic_graph(_config(homophily=0.1), seed=0)
+        assert edge_homophily(graph) == pytest.approx(0.1, abs=0.08)
+
+    def test_homophily_matches_target_high(self):
+        graph = generate_synthetic_graph(_config(homophily=0.8), seed=0)
+        assert edge_homophily(graph) == pytest.approx(0.8, abs=0.08)
+
+    def test_average_degree_close_to_target(self):
+        graph = generate_synthetic_graph(_config(average_degree=8.0, num_nodes=600), seed=0)
+        assert graph.average_degree == pytest.approx(8.0, rel=0.3)
+
+    def test_feature_signal_zero_gives_uninformative_features(self):
+        graph = generate_synthetic_graph(_config(feature_signal=0.0), seed=0)
+        # Class-mean feature vectors should be statistically indistinguishable.
+        means = np.stack([graph.features[graph.labels == c].mean(axis=0)
+                          for c in range(4)])
+        assert np.abs(means).max() < 0.5
+
+    def test_feature_signal_separates_classes(self):
+        graph = generate_synthetic_graph(_config(feature_signal=3.0), seed=0)
+        means = np.stack([graph.features[graph.labels == c].mean(axis=0)
+                          for c in range(4)])
+        distances = np.linalg.norm(means[0] - means[1])
+        assert distances > 1.0

@@ -1,0 +1,135 @@
+"""Smoke tests for the experiment harness (reduced scale).
+
+Each experiment module is exercised end-to-end with tiny datasets / short
+training so the full paper-scale runs (via ``repro-experiment``) are known
+to be wired correctly.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import common
+from repro.experiments import (
+    fig1_aggregation_maps,
+    fig2_score_densities,
+    fig5_scalability,
+    fig8_grouping,
+    table2_simrank_stats,
+    table3_complexity,
+    table5_accuracy,
+    table7_learning_time,
+    table9_delta,
+    table10_alpha,
+    table11_iterative,
+)
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.training.config import TrainConfig
+
+SMOKE_CONFIG = TrainConfig(max_epochs=15, patience=10, min_epochs=2,
+                           track_test_history=False)
+
+
+class TestCommonUtilities:
+    def test_format_table_renders_columns(self):
+        text = common.format_table([{"a": 1, "b": 2.5}, {"a": 3, "b": 4.0}])
+        assert "a" in text and "b" in text
+        assert "2.50" in text
+
+    def test_format_table_empty(self):
+        assert common.format_table([]) == "(no rows)"
+
+    def test_mean_and_std(self):
+        mean, std = common.mean_and_std([1.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(1.0)
+
+    def test_tune_hyperparameters_returns_grid_entry(self, small_dataset):
+        chosen = common.tune_hyperparameters(
+            "sigma", small_dataset, grid=[{"delta": 0.3}, {"delta": 0.7}],
+            config=SMOKE_CONFIG, base_overrides={"top_k": 8, "hidden": 16})
+        assert chosen["delta"] in (0.3, 0.7)
+        assert chosen["top_k"] == 8
+
+    def test_tune_single_candidate_short_circuits(self, small_dataset):
+        chosen = common.tune_hyperparameters("linkx", small_dataset)
+        assert chosen == {}
+
+
+class TestAnalyticalExperiments:
+    def test_table2(self):
+        result = table2_simrank_stats.run(datasets=("texas",), num_pairs=2000)
+        assert "texas" in result.stats
+        assert result.stats["texas"].num_intra_pairs > 0
+
+    def test_fig2(self):
+        result = fig2_score_densities.run(datasets=("texas",), bins=10)
+        assert "texas" in result.histograms
+
+    def test_fig1(self):
+        result = fig1_aggregation_maps.run("texas", num_centers=5)
+        assert result.mean_same_label_mass("simrank") > 0.0
+        assert len(result.rows()) > 0
+
+    def test_table3(self):
+        # Use a large-regime graph: SIGMA's O(k n f) only wins once k·n ≪ m.
+        result = table3_complexity.run("pokec", scale_factor=0.25)
+        assert result.cheapest_model() == "SIGMA"
+        assert len(result.entries) == 6
+
+
+class TestTrainingExperiments:
+    def test_table5_reduced(self):
+        result = table5_accuracy.run(
+            datasets=("texas",), models=("mlp", "sigma"), num_repeats=1,
+            config=SMOKE_CONFIG, tune=False)
+        ranks = result.ranks()
+        assert set(ranks) == {"mlp", "sigma"}
+        assert len(result.rows()) == 2
+
+    def test_table7_reduced(self):
+        result = table7_learning_time.run(
+            datasets=("genius",), models=("linkx", "sigma"), num_repeats=1,
+            scale_factor=0.2, config=SMOKE_CONFIG)
+        assert len(result.rows()) == 2
+        assert result.average_speedup_over("linkx") > 0.0
+
+    def test_table9_reduced(self):
+        result = table9_delta.run(datasets=("penn94",), deltas=(0.3, 0.7),
+                                  num_repeats=1, scale_factor=0.2, config=SMOKE_CONFIG)
+        assert result.best_delta("penn94") in (0.3, 0.7)
+
+    def test_table10_reduced(self):
+        result = table10_alpha.run(datasets=("genius",), num_repeats=1,
+                                   scale_factor=0.2, config=SMOKE_CONFIG)
+        assert 0.0 < result.alphas["genius"] < 1.0
+
+    def test_table11_reduced(self):
+        result = table11_iterative.run(datasets=("genius",), layers=(1,),
+                                       num_repeats=1, scale_factor=0.2,
+                                       config=SMOKE_CONFIG)
+        assert "sigma-1" in result.accuracies and "gcn-1" in result.accuracies
+
+    def test_fig5_reduced(self):
+        result = fig5_scalability.run(num_sizes=2, base_scale=0.1,
+                                      config=SMOKE_CONFIG)
+        assert len(result.points) == 4
+
+    def test_fig8_reduced(self):
+        result = fig8_grouping.run(datasets=("texas",), config=SMOKE_CONFIG,
+                                   num_pairs=2000)
+        assert len(result.stats) == 1
+
+
+class TestRunner:
+    def test_all_fourteen_plus_experiments_registered(self):
+        assert len(EXPERIMENTS) == 15
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("table99", print_result=False)
+
+    def test_runner_dispatch(self, capsys):
+        result = run_experiment("table3", print_result=True)
+        assert result.cheapest_model() == "SIGMA"
+        captured = capsys.readouterr()
+        assert "table3" in captured.out

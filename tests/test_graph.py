@@ -1,0 +1,132 @@
+"""Tests for the Graph container."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self, tiny_graph):
+        assert tiny_graph.num_nodes == 6
+        assert tiny_graph.num_edges == 7
+        assert tiny_graph.num_directed_edges == 14
+
+    def test_adjacency_is_symmetric(self, tiny_graph):
+        adjacency = tiny_graph.adjacency
+        assert (adjacency != adjacency.T).nnz == 0
+
+    def test_duplicate_edges_collapse(self):
+        graph = Graph.from_edges(3, [(0, 1), (1, 0), (0, 1)])
+        assert graph.num_edges == 1
+        assert graph.adjacency.max() == 1.0
+
+    def test_self_loops_removed(self):
+        graph = Graph.from_edges(3, [(0, 0), (0, 1)])
+        assert graph.num_edges == 1
+
+    def test_empty_edge_list(self):
+        graph = Graph.from_edges(4, [])
+        assert graph.num_edges == 0
+        assert graph.num_nodes == 4
+
+    def test_out_of_range_edge_raises(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(3, [(0, 5)])
+
+    def test_bad_edge_shape_raises(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(3, np.array([[0, 1, 2]]))
+
+    def test_rectangular_adjacency_raises(self):
+        with pytest.raises(GraphError):
+            Graph(sp.csr_matrix(np.zeros((2, 3))))
+
+    def test_asymmetric_adjacency_raises(self):
+        matrix = np.zeros((3, 3))
+        matrix[0, 1] = 1.0
+        with pytest.raises(GraphError):
+            Graph(sp.csr_matrix(matrix))
+
+    def test_negative_weight_raises(self):
+        matrix = np.zeros((2, 2))
+        matrix[0, 1] = matrix[1, 0] = -1.0
+        with pytest.raises(GraphError):
+            Graph(sp.csr_matrix(matrix))
+
+    def test_feature_shape_mismatch_raises(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(3, [(0, 1)], features=np.zeros((2, 4)))
+
+    def test_label_length_mismatch_raises(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(3, [(0, 1)], labels=np.array([0, 1]))
+
+    def test_from_networkx(self):
+        import networkx as nx
+
+        nx_graph = nx.path_graph(4)
+        graph = Graph.from_networkx(nx_graph)
+        assert graph.num_nodes == 4
+        assert graph.num_edges == 3
+
+
+class TestProperties:
+    def test_degrees(self, tiny_graph):
+        expected = np.array([2, 2, 3, 3, 2, 2], dtype=float)
+        np.testing.assert_allclose(tiny_graph.degrees, expected)
+
+    def test_average_degree(self, tiny_graph):
+        assert tiny_graph.average_degree == pytest.approx(14 / 6)
+
+    def test_num_classes(self, tiny_graph):
+        assert tiny_graph.num_classes == 2
+
+    def test_num_features(self, tiny_graph):
+        assert tiny_graph.num_features == 2
+
+    def test_num_classes_without_labels_raises(self):
+        graph = Graph.from_edges(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            _ = graph.num_classes
+
+    def test_neighbors(self, tiny_graph):
+        assert set(tiny_graph.neighbors(2)) == {0, 1, 3}
+
+    def test_neighbors_out_of_range(self, tiny_graph):
+        with pytest.raises(GraphError):
+            tiny_graph.neighbors(10)
+
+    def test_has_edge(self, tiny_graph):
+        assert tiny_graph.has_edge(0, 1)
+        assert not tiny_graph.has_edge(0, 5)
+
+    def test_edge_list_is_upper_triangular(self, tiny_graph):
+        edges = tiny_graph.edge_list()
+        assert edges.shape == (7, 2)
+        assert (edges[:, 0] < edges[:, 1]).all()
+
+
+class TestDerivedViews:
+    def test_subgraph(self, tiny_graph):
+        sub = tiny_graph.subgraph([0, 1, 2])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 3
+        np.testing.assert_array_equal(sub.labels, [0, 0, 0])
+
+    def test_with_features(self, tiny_graph):
+        new_features = np.ones((6, 4))
+        updated = tiny_graph.with_features(new_features)
+        assert updated.num_features == 4
+        assert tiny_graph.num_features == 2
+
+    def test_with_labels(self, tiny_graph):
+        updated = tiny_graph.with_labels(np.zeros(6, dtype=int))
+        assert updated.num_classes == 1
+
+    def test_copy_is_independent(self, tiny_graph):
+        copy = tiny_graph.copy()
+        copy.features[0, 0] = 99.0
+        assert tiny_graph.features[0, 0] != 99.0

@@ -1,0 +1,79 @@
+"""Tests for homophily measures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.homophily import (
+    class_insensitive_edge_homophily,
+    edge_homophily,
+    heterophily_extent,
+    node_homophily,
+)
+
+
+def _two_block_graph(cross_only: bool) -> Graph:
+    """4-node graph: labels [0,0,1,1]; either all-cross or all-within edges."""
+    if cross_only:
+        edges = [(0, 2), (0, 3), (1, 2), (1, 3)]
+    else:
+        edges = [(0, 1), (2, 3)]
+    return Graph.from_edges(4, edges, labels=np.array([0, 0, 1, 1]),
+                            features=np.eye(4))
+
+
+class TestNodeHomophily:
+    def test_perfect_heterophily(self):
+        assert node_homophily(_two_block_graph(cross_only=True)) == pytest.approx(0.0)
+
+    def test_perfect_homophily(self):
+        assert node_homophily(_two_block_graph(cross_only=False)) == pytest.approx(1.0)
+
+    def test_requires_labels(self):
+        graph = Graph.from_edges(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            node_homophily(graph)
+
+    def test_mixed_graph(self, tiny_graph):
+        # Only the bridge edge (2, 3) crosses classes.
+        value = node_homophily(tiny_graph)
+        assert 0.5 < value < 1.0
+
+    def test_matches_paper_equation(self, small_heterophilous_graph):
+        graph = small_heterophilous_graph
+        labels = graph.labels
+        manual = []
+        for node in range(graph.num_nodes):
+            neighbors = graph.neighbors(node)
+            if neighbors.size == 0:
+                continue
+            manual.append(np.mean(labels[neighbors] == labels[node]))
+        assert node_homophily(graph) == pytest.approx(float(np.mean(manual)))
+
+
+class TestEdgeHomophily:
+    def test_perfect_heterophily(self):
+        assert edge_homophily(_two_block_graph(cross_only=True)) == pytest.approx(0.0)
+
+    def test_perfect_homophily(self):
+        assert edge_homophily(_two_block_graph(cross_only=False)) == pytest.approx(1.0)
+
+    def test_tiny_graph_value(self, tiny_graph):
+        assert edge_homophily(tiny_graph) == pytest.approx(6 / 7)
+
+
+class TestClassInsensitiveHomophily:
+    def test_in_unit_interval(self, small_heterophilous_graph):
+        value = class_insensitive_edge_homophily(small_heterophilous_graph)
+        assert 0.0 <= value <= 1.0
+
+    def test_heterophilous_lower_than_homophilous(self, small_heterophilous_graph,
+                                                  small_homophilous_graph):
+        hetero = class_insensitive_edge_homophily(small_heterophilous_graph)
+        homo = class_insensitive_edge_homophily(small_homophilous_graph)
+        assert hetero < homo
+
+
+def test_heterophily_extent_complements_node_homophily(tiny_graph):
+    assert heterophily_extent(tiny_graph) == pytest.approx(1.0 - node_homophily(tiny_graph))

@@ -1,0 +1,73 @@
+"""Tests for adjacency normalisation operators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import GraphError
+from repro.graphs.normalize import (
+    add_self_loops,
+    column_normalize,
+    normalized_adjacency_power,
+    row_normalize,
+    symmetric_normalize,
+)
+
+
+class TestRowNormalize:
+    def test_rows_sum_to_one(self, tiny_graph):
+        normalized = row_normalize(tiny_graph.adjacency)
+        sums = np.asarray(normalized.sum(axis=1)).ravel()
+        np.testing.assert_allclose(sums, 1.0)
+
+    def test_isolated_node_row_is_zero(self):
+        adjacency = sp.csr_matrix(np.array([[0, 1, 0], [1, 0, 0], [0, 0, 0]], dtype=float))
+        normalized = row_normalize(adjacency)
+        assert normalized[2].nnz == 0
+
+
+class TestColumnNormalize:
+    def test_columns_sum_to_one(self, tiny_graph):
+        normalized = column_normalize(tiny_graph.adjacency)
+        sums = np.asarray(normalized.sum(axis=0)).ravel()
+        np.testing.assert_allclose(sums, 1.0)
+
+    def test_matches_row_normalize_transpose(self, tiny_graph):
+        # For symmetric A, (D^-1 A)^T == A D^-1.
+        left = row_normalize(tiny_graph.adjacency).T.toarray()
+        right = column_normalize(tiny_graph.adjacency).toarray()
+        np.testing.assert_allclose(left, right)
+
+
+class TestSymmetricNormalize:
+    def test_is_symmetric(self, tiny_graph):
+        normalized = symmetric_normalize(tiny_graph.adjacency)
+        np.testing.assert_allclose(normalized.toarray(), normalized.T.toarray())
+
+    def test_spectrum_bounded_by_one(self, tiny_graph):
+        normalized = symmetric_normalize(tiny_graph.adjacency).toarray()
+        eigenvalues = np.linalg.eigvalsh(normalized)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_without_self_loops(self, tiny_graph):
+        normalized = symmetric_normalize(tiny_graph.adjacency, self_loops=False)
+        assert normalized.diagonal().sum() == pytest.approx(0.0)
+
+
+class TestSelfLoopsAndPowers:
+    def test_add_self_loops(self, tiny_graph):
+        with_loops = add_self_loops(tiny_graph.adjacency)
+        np.testing.assert_allclose(with_loops.diagonal(), 1.0)
+
+    def test_power_zero_is_identity(self, tiny_graph):
+        power = normalized_adjacency_power(tiny_graph.adjacency, 0)
+        np.testing.assert_allclose(power.toarray(), np.eye(6))
+
+    def test_power_two_matches_square(self, tiny_graph):
+        one = normalized_adjacency_power(tiny_graph.adjacency, 1).toarray()
+        two = normalized_adjacency_power(tiny_graph.adjacency, 2).toarray()
+        np.testing.assert_allclose(two, one @ one)
+
+    def test_negative_power_raises(self, tiny_graph):
+        with pytest.raises(GraphError):
+            normalized_adjacency_power(tiny_graph.adjacency, -1)

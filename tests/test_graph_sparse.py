@@ -1,0 +1,71 @@
+"""Tests for sparse-matrix helpers (top-k pruning, row normalisation)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs.sparse import (
+    dense_to_sparse_threshold,
+    sparse_row_normalize,
+    top_k_per_row,
+)
+
+
+class TestTopKPerRow:
+    def test_keeps_k_largest(self):
+        matrix = sp.csr_matrix(np.array([[0.1, 0.5, 0.3, 0.2],
+                                         [0.9, 0.0, 0.8, 0.7]]))
+        pruned = top_k_per_row(matrix, 2)
+        dense = pruned.toarray()
+        np.testing.assert_allclose(dense[0], [0.0, 0.5, 0.3, 0.0])
+        np.testing.assert_allclose(dense[1], [0.9, 0.0, 0.8, 0.0])
+
+    def test_rows_with_fewer_entries_untouched(self):
+        matrix = sp.csr_matrix(np.array([[0.1, 0.0, 0.0], [0.0, 0.0, 0.0],
+                                         [0.3, 0.2, 0.1]]))
+        pruned = top_k_per_row(matrix, 2)
+        assert pruned[0].nnz == 1
+        assert pruned[1].nnz == 0
+        assert pruned[2].nnz == 2
+
+    def test_keep_diagonal(self):
+        matrix = sp.csr_matrix(np.array([[0.01, 0.5, 0.4, 0.3]] ).repeat(4, axis=0))
+        square = sp.lil_matrix((4, 4))
+        square[0] = [0.01, 0.5, 0.4, 0.3]
+        square[1] = [0.6, 0.02, 0.5, 0.4]
+        square[2] = [0.6, 0.5, 0.03, 0.4]
+        square[3] = [0.6, 0.5, 0.4, 0.04]
+        pruned = top_k_per_row(square.tocsr(), 2, keep_diagonal=True)
+        for row in range(4):
+            assert pruned[row, row] != 0.0
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            top_k_per_row(sp.identity(3), 0)
+
+    def test_preserves_shape_and_sparsity_bound(self):
+        rng = np.random.default_rng(0)
+        dense = rng.random((20, 20))
+        pruned = top_k_per_row(sp.csr_matrix(dense), 5)
+        assert pruned.shape == (20, 20)
+        assert pruned.nnz <= 20 * 5
+
+
+class TestSparseRowNormalize:
+    def test_rows_sum_to_one(self):
+        matrix = sp.csr_matrix(np.array([[1.0, 3.0], [2.0, 2.0]]))
+        normalized = sparse_row_normalize(matrix)
+        np.testing.assert_allclose(np.asarray(normalized.sum(axis=1)).ravel(), 1.0)
+
+    def test_zero_rows_stay_zero(self):
+        matrix = sp.csr_matrix((3, 3))
+        normalized = sparse_row_normalize(matrix)
+        assert normalized.nnz == 0
+
+
+class TestDenseToSparseThreshold:
+    def test_drops_small_entries(self):
+        dense = np.array([[0.5, 1e-6], [0.0, 0.2]])
+        sparse = dense_to_sparse_threshold(dense, 1e-3)
+        assert sparse.nnz == 2
+        assert sparse[0, 1] == 0.0

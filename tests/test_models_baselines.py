@@ -1,0 +1,137 @@
+"""Model-specific tests for the baseline implementations."""
+
+import numpy as np
+import pytest
+
+from repro.models.appnp import APPNP
+from repro.models.gcn import GCN
+from repro.models.gat import GAT, GATLayer
+from repro.models.glognn import GloGNN
+from repro.models.h2gcn import H2GCN, _two_hop_adjacency
+from repro.models.linkx import LINKX
+from repro.models.pprgo import PPRGo
+from repro.models.sgc import SGC
+
+
+class TestGCN:
+    def test_layer_count_controls_parameters(self, small_heterophilous_graph):
+        shallow = GCN(small_heterophilous_graph, hidden=16, num_layers=1, rng=0)
+        deep = GCN(small_heterophilous_graph, hidden=16, num_layers=3, rng=0)
+        assert deep.num_parameters() > shallow.num_parameters()
+
+    def test_invalid_layers(self, small_heterophilous_graph):
+        with pytest.raises(ValueError):
+            GCN(small_heterophilous_graph, num_layers=0)
+
+    def test_aggregation_time_recorded(self, small_heterophilous_graph):
+        model = GCN(small_heterophilous_graph, hidden=16, rng=0)
+        model.forward()
+        assert model.timing.aggregation >= 0.0
+        assert "aggregation" in model.timing.buckets
+
+
+class TestSGC:
+    def test_propagation_precomputed_once(self, small_heterophilous_graph):
+        model = SGC(small_heterophilous_graph, num_steps=2, rng=0)
+        cached = model._propagated
+        model.forward()
+        assert model._propagated is cached  # forward does not re-propagate
+
+    def test_zero_steps_equals_linear_on_features(self, small_heterophilous_graph):
+        graph = small_heterophilous_graph
+        model = SGC(graph, num_steps=0, rng=0)
+        model.eval()
+        logits = model.forward()
+        expected = graph.features @ model.linear.weight.value + model.linear.bias.value
+        np.testing.assert_allclose(logits, expected)
+
+
+class TestGATLayer:
+    def test_attention_weights_sum_to_one_per_target(self, tiny_graph):
+        layer = GATLayer(2, 3, tiny_graph.edge_list(), tiny_graph.num_nodes, rng=0)
+        layer(tiny_graph.features)
+        attention = layer._cache["attention"]
+        sums = np.zeros(tiny_graph.num_nodes)
+        np.add.at(sums, layer.targets, attention)
+        np.testing.assert_allclose(sums, 1.0)
+
+    def test_output_shape(self, tiny_graph):
+        layer = GATLayer(2, 5, tiny_graph.edge_list(), tiny_graph.num_nodes, rng=0)
+        assert layer(tiny_graph.features).shape == (6, 5)
+
+    def test_multi_head_concatenation_width(self, small_heterophilous_graph):
+        model = GAT(small_heterophilous_graph, hidden=4, num_heads=3, rng=0)
+        logits = model.forward()
+        assert logits.shape == (small_heterophilous_graph.num_nodes,
+                                small_heterophilous_graph.num_classes)
+
+
+class TestAPPNPAndPPRGo:
+    def test_appnp_alpha_one_matches_mlp_predictions(self, small_heterophilous_graph):
+        graph = small_heterophilous_graph
+        model = APPNP(graph, hidden=16, alpha=1.0, num_steps=4, dropout=0.0, rng=0)
+        model.eval()
+        logits = model.forward()
+        np.testing.assert_allclose(logits, model.mlp(graph.features))
+
+    def test_pprgo_operator_is_sparse_topk(self, small_heterophilous_graph):
+        model = PPRGo(small_heterophilous_graph, hidden=16, top_k=8, rng=0)
+        row_counts = np.diff(model.propagation.operator.indptr)
+        assert (row_counts <= 9).all()
+        assert model.timing.precompute > 0.0
+
+
+class TestLINKX:
+    def test_no_aggregation_time(self, small_heterophilous_graph):
+        model = LINKX(small_heterophilous_graph, hidden=16, rng=0)
+        model.forward()
+        assert model.timing.aggregation == 0.0
+
+    def test_backward_before_forward_raises(self, small_heterophilous_graph):
+        model = LINKX(small_heterophilous_graph, hidden=16, rng=0)
+        with pytest.raises(RuntimeError):
+            model.backward(np.zeros((small_heterophilous_graph.num_nodes,
+                                     small_heterophilous_graph.num_classes)))
+
+
+class TestGloGNN:
+    def test_invalid_hyperparameters(self, small_heterophilous_graph):
+        with pytest.raises(ValueError):
+            GloGNN(small_heterophilous_graph, delta=2.0)
+        with pytest.raises(ValueError):
+            GloGNN(small_heterophilous_graph, k_hops=0)
+
+    def test_ablation_switches(self, small_heterophilous_graph):
+        graph = small_heterophilous_graph
+        without_features = GloGNN(graph, hidden=16, use_features=False, rng=0)
+        without_adjacency = GloGNN(graph, hidden=16, use_adjacency=False, rng=0)
+        without_features.eval()
+        without_adjacency.eval()
+        assert not np.allclose(without_features.forward(), without_adjacency.forward())
+
+    def test_aggregation_cost_scales_with_norm_layers(self, small_heterophilous_graph):
+        graph = small_heterophilous_graph
+        cheap = GloGNN(graph, hidden=16, norm_layers=1, rng=0)
+        expensive = GloGNN(graph, hidden=16, norm_layers=3, rng=0)
+        cheap.forward()
+        expensive.forward()
+        assert expensive.timing.aggregation >= cheap.timing.aggregation
+
+
+class TestH2GCN:
+    def test_two_hop_excludes_direct_neighbours_and_self(self, tiny_graph):
+        two_hop = _two_hop_adjacency(tiny_graph.adjacency)
+        dense = two_hop.toarray()
+        assert np.allclose(np.diag(dense), 0.0)
+        overlap = dense * tiny_graph.adjacency.toarray()
+        assert np.allclose(overlap, 0.0)
+
+    def test_two_hop_reaches_distance_two(self, path_graph):
+        two_hop = _two_hop_adjacency(path_graph.adjacency).toarray()
+        assert two_hop[0, 2] > 0
+        assert two_hop[0, 1] == 0
+
+    def test_head_width_matches_round_count(self, small_heterophilous_graph):
+        one_round = H2GCN(small_heterophilous_graph, hidden=8, num_rounds=1, rng=0)
+        two_rounds = H2GCN(small_heterophilous_graph, hidden=8, num_rounds=2, rng=0)
+        assert two_rounds.head.in_features > one_round.head.in_features

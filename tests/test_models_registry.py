@@ -1,0 +1,43 @@
+"""Tests for the model registry."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models import SIGMA, GCN
+from repro.models.registry import create_model, default_hyperparameters, list_models
+
+
+class TestRegistry:
+    def test_fifteen_models_registered(self):
+        assert len(list_models()) == 15
+        assert "sigma" in list_models()
+        assert "glognn" in list_models()
+
+    def test_create_model_returns_correct_class(self, small_heterophilous_graph):
+        model = create_model("sigma", small_heterophilous_graph, rng=0, top_k=8)
+        assert isinstance(model, SIGMA)
+        model = create_model("GCN", small_heterophilous_graph, rng=0)
+        assert isinstance(model, GCN)
+
+    def test_unknown_model_raises(self, small_heterophilous_graph):
+        with pytest.raises(ModelError):
+            create_model("transformer", small_heterophilous_graph)
+
+    def test_unknown_defaults_raise(self):
+        with pytest.raises(ModelError):
+            default_hyperparameters("transformer")
+
+    def test_defaults_are_copies(self):
+        first = default_hyperparameters("sigma")
+        first["hidden"] = 9999
+        second = default_hyperparameters("sigma")
+        assert second["hidden"] != 9999
+
+    def test_overrides_replace_defaults(self, small_heterophilous_graph):
+        model = create_model("sigma", small_heterophilous_graph, rng=0,
+                             hidden=24, top_k=8)
+        assert model.hidden == 24
+
+    def test_every_registered_model_has_defaults(self):
+        for name in list_models():
+            assert isinstance(default_hyperparameters(name), dict)

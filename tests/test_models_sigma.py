@@ -1,0 +1,147 @@
+"""Tests specific to the SIGMA model (the paper's contribution)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.models.sigma import SIGMA
+from repro.models.sigma_iterative import SIGMAIterative
+from repro.nn.losses import softmax_cross_entropy
+from repro.nn.optim import Adam
+
+
+@pytest.fixture()
+def graph(small_heterophilous_graph):
+    return small_heterophilous_graph
+
+
+class TestSIGMAConstruction:
+    def test_precompute_time_recorded(self, graph):
+        model = SIGMA(graph, hidden=16, top_k=8, rng=0)
+        assert model.timing.precompute > 0.0
+        assert model.simrank is not None
+        assert model.simrank.top_k == 8
+
+    def test_equation_six_update(self, graph):
+        """The forward pass implements Z = (1-α)·S·H + α·H before the head."""
+        model = SIGMA(graph, hidden=16, top_k=8, rng=0, learn_alpha=False, alpha=0.3,
+                      dropout=0.0)
+        model.eval()
+        logits = model.forward()
+        cache = model._cache
+        manual = (1 - 0.3) * (model.propagation.operator @ cache["hidden"]) \
+            + 0.3 * cache["hidden"]
+        np.testing.assert_allclose(logits, model.head(manual))
+
+    def test_alpha_fixed_when_not_learnable(self, graph):
+        model = SIGMA(graph, hidden=16, top_k=8, rng=0, learn_alpha=False, alpha=0.25)
+        assert model.alpha == pytest.approx(0.25)
+        assert all(p is not model._alpha_param for p in model.parameters())
+
+    def test_alpha_learnable_changes_with_training(self, graph):
+        model = SIGMA(graph, hidden=16, top_k=8, rng=0, learn_alpha=True, dropout=0.0)
+        initial_alpha = model.alpha
+        optimizer = Adam(model.parameters(), lr=0.05)
+        for _ in range(30):
+            optimizer.zero_grad()
+            _, grad = model.loss_and_grad()
+            model.backward(grad)
+            optimizer.step()
+        assert model.alpha != pytest.approx(initial_alpha, abs=1e-6)
+        assert 0.0 < model.alpha < 1.0
+
+    def test_invalid_delta(self, graph):
+        with pytest.raises(ModelError):
+            SIGMA(graph, delta=1.5)
+
+    def test_invalid_operator_mode(self, graph):
+        with pytest.raises(ModelError):
+            SIGMA(graph, operator_mode="laplacian")
+
+    def test_requires_some_input(self, graph):
+        with pytest.raises(ModelError):
+            SIGMA(graph, use_features=False, use_adjacency=False)
+
+
+class TestSIGMAAblations:
+    def test_without_simrank_skips_precompute(self, graph):
+        model = SIGMA(graph, hidden=16, use_simrank=False, rng=0)
+        assert model.simrank is None
+        assert model.alpha == 1.0
+        logits = model.forward()
+        assert logits.shape == (graph.num_nodes, graph.num_classes)
+
+    def test_without_features_uses_delta_zero(self, graph):
+        model = SIGMA(graph, hidden=16, top_k=8, use_features=False, rng=0)
+        assert model.effective_delta == 0.0
+        assert model.mlp_features is None
+
+    def test_without_adjacency_uses_delta_one(self, graph):
+        model = SIGMA(graph, hidden=16, top_k=8, use_adjacency=False, rng=0)
+        assert model.effective_delta == 1.0
+        assert model.mlp_adjacency is None
+
+    def test_simrank_adj_operator_differs_and_is_normalized(self, graph):
+        """The S·A ablation produces a different, row-normalised operator."""
+        local = SIGMA(graph, hidden=16, top_k=None, operator_mode="simrank_adj", rng=0)
+        global_ = SIGMA(graph, hidden=16, top_k=None, operator_mode="simrank", rng=0)
+        local_op = local.propagation.operator
+        sums = np.asarray(local_op.sum(axis=1)).ravel()
+        np.testing.assert_allclose(sums[sums > 0], 1.0)
+        assert (local_op != global_.propagation.operator).nnz > 0
+
+    def test_ablations_give_different_predictions(self, graph):
+        full = SIGMA(graph, hidden=16, top_k=8, rng=0, dropout=0.0)
+        no_simrank = SIGMA(graph, hidden=16, top_k=8, rng=0, use_simrank=False,
+                           dropout=0.0)
+        full.eval()
+        no_simrank.eval()
+        assert not np.allclose(full.forward(), no_simrank.forward())
+
+
+class TestSIGMAEmbeddings:
+    def test_embeddings_shape(self, graph):
+        model = SIGMA(graph, hidden=16, top_k=8, rng=0)
+        embeddings = model.embeddings()
+        assert embeddings.shape == (graph.num_nodes, 16)
+
+    def test_grouping_tendency_after_training(self, graph):
+        """After training, same-class embeddings are more similar on average."""
+        model = SIGMA(graph, hidden=16, top_k=8, rng=0, dropout=0.0)
+        optimizer = Adam(model.parameters(), lr=0.02)
+        for _ in range(60):
+            optimizer.zero_grad()
+            _, grad = model.loss_and_grad()
+            model.backward(grad)
+            optimizer.step()
+        embeddings = model.embeddings()
+        normalized = embeddings / np.maximum(
+            np.linalg.norm(embeddings, axis=1, keepdims=True), 1e-12)
+        labels = graph.labels
+        same, diff = [], []
+        rng = np.random.default_rng(0)
+        for _ in range(3000):
+            u, v = rng.integers(0, graph.num_nodes, size=2)
+            if u == v:
+                continue
+            sim = float(normalized[u] @ normalized[v])
+            (same if labels[u] == labels[v] else diff).append(sim)
+        assert np.mean(same) > np.mean(diff)
+
+
+class TestSIGMAIterative:
+    def test_forward_shape(self, graph):
+        model = SIGMAIterative(graph, hidden=16, num_layers=2, top_k=8, rng=0)
+        assert model.forward().shape == (graph.num_nodes, graph.num_classes)
+
+    def test_layer_count_validated(self, graph):
+        with pytest.raises(ModelError):
+            SIGMAIterative(graph, num_layers=0)
+
+    def test_backward_populates_gradients(self, graph):
+        model = SIGMAIterative(graph, hidden=16, num_layers=2, top_k=8, rng=0)
+        model.zero_grad()
+        logits = model.forward()
+        _, grad = softmax_cross_entropy(logits, graph.labels)
+        model.backward(grad)
+        assert sum(np.abs(p.grad).sum() for p in model.parameters()) > 0.0

@@ -1,0 +1,148 @@
+"""Finite-difference gradient checks for the neural-network substrate.
+
+Because the library implements backpropagation by hand, every layer's
+backward pass is verified against numerical gradients of a scalar loss
+(the sum of squared outputs).
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    GELU,
+    MLP,
+    Adam,
+    BatchNorm1d,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sequential,
+    Tanh,
+    softmax_cross_entropy,
+)
+from repro.nn.module import Module
+
+
+def _loss_and_grad(output: np.ndarray) -> tuple[float, np.ndarray]:
+    """Scalar test loss 0.5 * Σ output² and its gradient."""
+    return 0.5 * float(np.sum(output**2)), output.copy()
+
+
+def check_parameter_gradients(module: Module, inputs: np.ndarray, *,
+                              epsilon: float = 1e-6, tolerance: float = 1e-5) -> None:
+    """Compare analytic parameter gradients with central differences."""
+    module.zero_grad()
+    output = module(inputs)
+    _, grad_output = _loss_and_grad(output)
+    module.backward(grad_output)
+    for param in module.parameters():
+        analytic = param.grad.copy()
+        flat = param.value.ravel()
+        numeric = np.zeros_like(flat)
+        for index in range(flat.size):
+            original = flat[index]
+            flat[index] = original + epsilon
+            plus, _ = _loss_and_grad(module(inputs))
+            flat[index] = original - epsilon
+            minus, _ = _loss_and_grad(module(inputs))
+            flat[index] = original
+            numeric[index] = (plus - minus) / (2 * epsilon)
+        np.testing.assert_allclose(analytic.ravel(), numeric, atol=tolerance, rtol=1e-4,
+                                   err_msg=f"gradient mismatch for {param.name}")
+
+
+def check_input_gradients(module: Module, inputs: np.ndarray, *,
+                          epsilon: float = 1e-6, tolerance: float = 1e-5) -> None:
+    """Compare analytic input gradients with central differences."""
+    module.zero_grad()
+    output = module(inputs)
+    _, grad_output = _loss_and_grad(output)
+    analytic = module.backward(grad_output)
+    numeric = np.zeros_like(inputs)
+    flat_inputs = inputs.ravel()
+    flat_numeric = numeric.ravel()
+    for index in range(flat_inputs.size):
+        original = flat_inputs[index]
+        flat_inputs[index] = original + epsilon
+        plus, _ = _loss_and_grad(module(inputs))
+        flat_inputs[index] = original - epsilon
+        minus, _ = _loss_and_grad(module(inputs))
+        flat_inputs[index] = original
+        flat_numeric[index] = (plus - minus) / (2 * epsilon)
+    np.testing.assert_allclose(analytic, numeric, atol=tolerance, rtol=1e-4)
+
+
+@pytest.fixture()
+def inputs() -> np.ndarray:
+    return np.random.default_rng(0).normal(size=(5, 4))
+
+
+class TestLayerGradients:
+    def test_linear(self, inputs):
+        check_parameter_gradients(Linear(4, 3, rng=0), inputs)
+        check_input_gradients(Linear(4, 3, rng=0), inputs)
+
+    def test_relu(self, inputs):
+        check_input_gradients(ReLU(), inputs + 0.1)
+
+    def test_leaky_relu(self, inputs):
+        check_input_gradients(LeakyReLU(0.2), inputs + 0.1)
+
+    def test_tanh(self, inputs):
+        check_input_gradients(Tanh(), inputs)
+
+    def test_gelu(self, inputs):
+        check_input_gradients(GELU(), inputs)
+
+    def test_layernorm(self, inputs):
+        check_parameter_gradients(LayerNorm(4), inputs, tolerance=1e-4)
+        check_input_gradients(LayerNorm(4), inputs, tolerance=1e-4)
+
+    def test_batchnorm(self, inputs):
+        check_parameter_gradients(BatchNorm1d(4, momentum=0.0), inputs, tolerance=1e-4)
+
+    def test_sequential_stack(self, inputs):
+        model = Sequential(Linear(4, 6, rng=0), Tanh(), Linear(6, 2, rng=1))
+        check_parameter_gradients(model, inputs)
+        check_input_gradients(model, inputs)
+
+    def test_mlp_without_dropout(self, inputs):
+        model = MLP(4, 6, 3, num_layers=2, dropout=0.0, rng=0)
+        check_parameter_gradients(model, inputs)
+
+
+class TestLossGradients:
+    def test_cross_entropy_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(6, 3))
+        labels = rng.integers(0, 3, size=6)
+        mask = np.array([0, 2, 3, 5])
+        _, analytic = softmax_cross_entropy(logits, labels, mask)
+        numeric = np.zeros_like(logits)
+        epsilon = 1e-6
+        for i in range(logits.shape[0]):
+            for j in range(logits.shape[1]):
+                logits[i, j] += epsilon
+                plus, _ = softmax_cross_entropy(logits, labels, mask)
+                logits[i, j] -= 2 * epsilon
+                minus, _ = softmax_cross_entropy(logits, labels, mask)
+                logits[i, j] += epsilon
+                numeric[i, j] = (plus - minus) / (2 * epsilon)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_cross_entropy_loss_value(self):
+        logits = np.log(np.array([[0.7, 0.2, 0.1], [0.1, 0.8, 0.1]]))
+        labels = np.array([0, 1])
+        loss, _ = softmax_cross_entropy(logits, labels)
+        expected = -0.5 * (np.log(0.7) + np.log(0.8))
+        assert loss == pytest.approx(expected, abs=1e-9)
+
+    def test_empty_mask_raises(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((3, 2)), np.zeros(3, dtype=int),
+                                  np.zeros(3, dtype=bool))
+
+    def test_out_of_range_labels_raise(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((3, 2)), np.array([0, 1, 5]))

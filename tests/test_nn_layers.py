@@ -1,0 +1,162 @@
+"""Tests for the numpy neural-network layers (forward behaviour)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.nn import (
+    GELU,
+    MLP,
+    BatchNorm1d,
+    Dropout,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sequential,
+    Tanh,
+)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 3, rng=0)
+        output = layer(np.ones((5, 4)))
+        assert output.shape == (5, 3)
+
+    def test_bias_disabled(self):
+        layer = Linear(4, 3, bias=False, rng=0)
+        assert layer.bias is None
+        output = layer(np.zeros((2, 4)))
+        np.testing.assert_allclose(output, 0.0)
+
+    def test_sparse_input(self):
+        layer = Linear(4, 2, rng=0)
+        sparse = sp.csr_matrix(np.eye(4))
+        dense = np.eye(4)
+        np.testing.assert_allclose(layer(sparse), layer(dense))
+
+    def test_sparse_input_backward_returns_none(self):
+        layer = Linear(4, 2, rng=0)
+        layer(sp.csr_matrix(np.eye(4)))
+        assert layer.backward(np.ones((4, 2))) is None
+
+    def test_wrong_input_dim_raises(self):
+        layer = Linear(4, 2, rng=0)
+        with pytest.raises(ValueError):
+            layer(np.ones((3, 5)))
+
+    def test_backward_before_forward_raises(self):
+        layer = Linear(4, 2, rng=0)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((3, 2)))
+
+    def test_parameter_count(self):
+        layer = Linear(4, 3, rng=0)
+        assert layer.num_parameters() == 4 * 3 + 3
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        layer = ReLU()
+        np.testing.assert_allclose(layer(np.array([[-1.0, 2.0]])), [[0.0, 2.0]])
+
+    def test_leaky_relu_forward(self):
+        layer = LeakyReLU(0.1)
+        np.testing.assert_allclose(layer(np.array([[-1.0, 2.0]])), [[-0.1, 2.0]])
+
+    def test_tanh_range(self):
+        layer = Tanh()
+        output = layer(np.linspace(-5, 5, 11).reshape(1, -1))
+        assert (np.abs(output) < 1.0).all()
+
+    def test_gelu_positive_inputs_nearly_identity(self):
+        layer = GELU()
+        values = np.array([[5.0, 10.0]])
+        np.testing.assert_allclose(layer(values), values, rtol=1e-3)
+
+    def test_backward_before_forward_raises(self):
+        for layer in (ReLU(), LeakyReLU(), Tanh(), GELU()):
+            with pytest.raises(RuntimeError):
+                layer.backward(np.ones((1, 1)))
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5, rng=0)
+        layer.eval()
+        values = np.random.default_rng(0).random((10, 10))
+        np.testing.assert_allclose(layer(values), values)
+
+    def test_train_mode_zeroes_entries(self):
+        layer = Dropout(0.5, rng=0)
+        output = layer(np.ones((100, 100)))
+        zero_fraction = np.mean(output == 0.0)
+        assert 0.4 < zero_fraction < 0.6
+
+    def test_scaling_preserves_expectation(self):
+        layer = Dropout(0.3, rng=1)
+        output = layer(np.ones((200, 200)))
+        assert output.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_zero_probability_is_identity(self):
+        layer = Dropout(0.0)
+        values = np.ones((3, 3))
+        np.testing.assert_allclose(layer(values), values)
+
+
+class TestNormalization:
+    def test_layernorm_zero_mean_unit_variance(self):
+        layer = LayerNorm(8)
+        values = np.random.default_rng(0).random((5, 8)) * 10
+        output = layer(values)
+        np.testing.assert_allclose(output.mean(axis=1), 0.0, atol=1e-7)
+        np.testing.assert_allclose(output.std(axis=1), 1.0, atol=1e-3)
+
+    def test_batchnorm_training_statistics(self):
+        layer = BatchNorm1d(4)
+        values = np.random.default_rng(0).random((50, 4)) * 3 + 2
+        output = layer(values)
+        np.testing.assert_allclose(output.mean(axis=0), 0.0, atol=1e-7)
+
+    def test_batchnorm_eval_uses_running_statistics(self):
+        layer = BatchNorm1d(4, momentum=1.0)
+        train_values = np.random.default_rng(0).random((50, 4))
+        layer(train_values)
+        layer.eval()
+        eval_output = layer(train_values)
+        np.testing.assert_allclose(eval_output.mean(axis=0), 0.0, atol=1e-6)
+
+
+class TestSequentialAndMLP:
+    def test_sequential_runs_in_order(self):
+        model = Sequential(Linear(4, 8, rng=0), ReLU(), Linear(8, 2, rng=1))
+        output = model(np.ones((3, 4)))
+        assert output.shape == (3, 2)
+
+    def test_sequential_indexing(self):
+        model = Sequential(Linear(4, 8, rng=0), ReLU())
+        assert len(model) == 2
+        assert isinstance(model[1], ReLU)
+
+    def test_mlp_single_layer_is_linear(self):
+        mlp = MLP(4, 16, 2, num_layers=1, rng=0)
+        assert mlp.num_parameters() == 4 * 2 + 2
+
+    def test_mlp_depth(self):
+        mlp = MLP(4, 16, 2, num_layers=3, rng=0)
+        linear_count = sum(1 for module in mlp.body if isinstance(module, Linear))
+        assert linear_count == 3
+
+    def test_mlp_invalid_layers(self):
+        with pytest.raises(ValueError):
+            MLP(4, 8, 2, num_layers=0)
+
+    def test_mlp_train_eval_propagates(self):
+        mlp = MLP(4, 8, 2, num_layers=2, dropout=0.5, rng=0)
+        mlp.eval()
+        assert all(not module.training for module in mlp.body)

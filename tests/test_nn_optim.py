@@ -1,0 +1,85 @@
+"""Tests for the optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam
+
+
+def _quadratic_grad(param: Parameter, target: np.ndarray) -> None:
+    """Gradient of 0.5‖p − target‖²."""
+    param.grad[...] = param.value - target
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.array([5.0, -3.0]))
+        target = np.array([1.0, 2.0])
+        optimizer = SGD([param], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            _quadratic_grad(param, target)
+            optimizer.step()
+        np.testing.assert_allclose(param.value, target, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        def run(momentum: float) -> float:
+            param = Parameter(np.array([10.0]))
+            optimizer = SGD([param], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                optimizer.zero_grad()
+                _quadratic_grad(param, np.array([0.0]))
+                optimizer.step()
+            return abs(float(param.value[0]))
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks_parameters(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        optimizer.zero_grad()  # gradient stays zero; only decay acts
+        optimizer.step()
+        assert abs(float(param.value[0])) < 1.0
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.5)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.array([5.0, -3.0, 0.5]))
+        target = np.array([1.0, 2.0, -1.0])
+        optimizer = Adam([param], lr=0.05)
+        for _ in range(500):
+            optimizer.zero_grad()
+            _quadratic_grad(param, target)
+            optimizer.step()
+        np.testing.assert_allclose(param.value, target, atol=1e-3)
+
+    def test_decoupled_weight_decay(self):
+        param = Parameter(np.array([2.0]))
+        optimizer = Adam([param], lr=0.0001, weight_decay=0.1)
+        optimizer.zero_grad()
+        optimizer.step()
+        assert float(param.value[0]) < 2.0
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.1, betas=(1.2, 0.9))
+
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_zero_grad_clears_gradients(self):
+        param = Parameter(np.ones(3))
+        param.grad[...] = 5.0
+        optimizer = Adam([param], lr=0.1)
+        optimizer.zero_grad()
+        np.testing.assert_allclose(param.grad, 0.0)

@@ -1,0 +1,81 @@
+"""Tests for the personalized PageRank substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.ppr.matrix import ppr_operator, topk_ppr_matrix
+from repro.ppr.power import ppr_matrix_power, ppr_vector_power
+from repro.ppr.push import forward_push_ppr
+
+
+class TestPowerIteration:
+    def test_vector_sums_to_one(self, tiny_graph):
+        scores = ppr_vector_power(tiny_graph, 0, alpha=0.15)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-6)
+        assert scores.min() >= 0.0
+
+    def test_source_has_largest_score_for_high_alpha(self, tiny_graph):
+        scores = ppr_vector_power(tiny_graph, 3, alpha=0.5)
+        assert scores.argmax() == 3
+
+    def test_matrix_rows_match_vectors(self, tiny_graph):
+        matrix = ppr_matrix_power(tiny_graph, alpha=0.2)
+        for source in (0, 3, 5):
+            vector = ppr_vector_power(tiny_graph, source, alpha=0.2)
+            np.testing.assert_allclose(matrix[source], vector, atol=1e-6)
+
+    def test_locality(self, path_graph):
+        """PPR mass decays with distance from the source (it is local)."""
+        scores = ppr_vector_power(path_graph, 0, alpha=0.15)
+        assert scores[1] > scores[3]
+        assert scores[0] > scores[4]
+
+    def test_invalid_alpha(self, tiny_graph):
+        with pytest.raises(GraphError):
+            ppr_vector_power(tiny_graph, 0, alpha=0.0)
+
+    def test_invalid_source(self, tiny_graph):
+        with pytest.raises(GraphError):
+            ppr_vector_power(tiny_graph, 99)
+
+
+class TestForwardPush:
+    def test_approximates_power_iteration(self, tiny_graph):
+        exact = ppr_vector_power(tiny_graph, 0, alpha=0.15)
+        approx = forward_push_ppr(tiny_graph, 0, alpha=0.15, epsilon=1e-6)
+        dense = np.zeros(tiny_graph.num_nodes)
+        for node, value in approx.items():
+            dense[node] = value
+        # Forward push under-estimates by at most the un-pushed residual mass.
+        assert np.abs(dense - exact).max() < 1e-3
+
+    def test_sparser_with_larger_epsilon(self, small_heterophilous_graph):
+        fine = forward_push_ppr(small_heterophilous_graph, 0, epsilon=1e-6)
+        coarse = forward_push_ppr(small_heterophilous_graph, 0, epsilon=1e-2)
+        assert len(coarse) <= len(fine)
+
+    def test_invalid_epsilon(self, tiny_graph):
+        with pytest.raises(GraphError):
+            forward_push_ppr(tiny_graph, 0, epsilon=0.0)
+
+
+class TestPPRMatrix:
+    def test_topk_limits_row_entries(self, small_heterophilous_graph):
+        matrix = topk_ppr_matrix(small_heterophilous_graph, top_k=8, epsilon=1e-3)
+        row_counts = np.diff(matrix.indptr)
+        assert (row_counts <= 9).all()
+
+    def test_operator_dense_path(self, tiny_graph):
+        operator = ppr_operator(tiny_graph, top_k=4)
+        assert operator.epsilon is None
+        assert operator.matrix.shape == (6, 6)
+
+    def test_operator_push_path(self, small_heterophilous_graph):
+        operator = ppr_operator(small_heterophilous_graph, top_k=8, dense_size_limit=10)
+        assert operator.epsilon is not None
+        assert operator.matrix.shape[0] == small_heterophilous_graph.num_nodes
+
+    def test_operator_records_time(self, tiny_graph):
+        operator = ppr_operator(tiny_graph)
+        assert operator.precompute_seconds >= 0.0

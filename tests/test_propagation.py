@@ -1,0 +1,143 @@
+"""Tests for the sparse propagation layers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs.normalize import symmetric_normalize
+from repro.propagation import (
+    GPRPropagation,
+    PersonalizedPropagation,
+    PowerPropagation,
+    SparsePropagation,
+)
+from repro.utils.timer import TimingBreakdown
+
+
+@pytest.fixture()
+def operator(tiny_graph) -> sp.csr_matrix:
+    return symmetric_normalize(tiny_graph.adjacency)
+
+
+@pytest.fixture()
+def features(tiny_graph) -> np.ndarray:
+    return np.random.default_rng(0).normal(size=(tiny_graph.num_nodes, 3))
+
+
+class TestSparsePropagation:
+    def test_forward_matches_matmul(self, operator, features):
+        layer = SparsePropagation(operator)
+        np.testing.assert_allclose(layer(features), operator @ features)
+
+    def test_backward_uses_transpose(self, operator, features):
+        layer = SparsePropagation(operator)
+        layer(features)
+        grad = np.ones_like(features)
+        np.testing.assert_allclose(layer.backward(grad), operator.T @ grad)
+
+    def test_timing_bucket_recorded(self, operator, features):
+        timing = TimingBreakdown()
+        layer = SparsePropagation(operator, timing=timing)
+        layer(features)
+        layer.backward(features)
+        assert timing.aggregation >= 0.0
+        assert "aggregation" in timing.buckets
+
+    def test_linearity(self, operator, features):
+        layer = SparsePropagation(operator)
+        scaled = layer(2.0 * features)
+        np.testing.assert_allclose(scaled, 2.0 * layer(features))
+
+
+class TestPowerPropagation:
+    def test_zero_steps_is_identity(self, operator, features):
+        layer = PowerPropagation(operator, 0)
+        np.testing.assert_allclose(layer(features), features)
+
+    def test_two_steps_matches_square(self, operator, features):
+        layer = PowerPropagation(operator, 2)
+        np.testing.assert_allclose(layer(features), operator @ (operator @ features))
+
+    def test_backward_is_transpose_power(self, operator, features):
+        layer = PowerPropagation(operator, 3)
+        layer(features)
+        grad = np.random.default_rng(1).normal(size=features.shape)
+        expected = operator.T @ (operator.T @ (operator.T @ grad))
+        np.testing.assert_allclose(layer.backward(grad), expected)
+
+    def test_negative_steps_raises(self, operator):
+        with pytest.raises(ValueError):
+            PowerPropagation(operator, -1)
+
+
+class TestPersonalizedPropagation:
+    def test_alpha_one_keeps_input(self, operator, features):
+        layer = PersonalizedPropagation(operator, alpha=1.0, num_steps=5)
+        np.testing.assert_allclose(layer(features), features)
+
+    def test_converges_towards_ppr_limit(self, operator, features):
+        few = PersonalizedPropagation(operator, alpha=0.2, num_steps=5)(features)
+        many = PersonalizedPropagation(operator, alpha=0.2, num_steps=50)(features)
+        more = PersonalizedPropagation(operator, alpha=0.2, num_steps=60)(features)
+        assert np.abs(many - more).max() < np.abs(few - more).max()
+
+    def test_backward_matches_finite_differences(self, operator):
+        layer = PersonalizedPropagation(operator, alpha=0.3, num_steps=4)
+        inputs = np.random.default_rng(0).normal(size=(6, 2))
+        output = layer(inputs)
+        grad_output = output.copy()  # loss = 0.5 * sum(output^2)
+        analytic = layer.backward(grad_output)
+        numeric = np.zeros_like(inputs)
+        epsilon = 1e-6
+        for i in range(inputs.shape[0]):
+            for j in range(inputs.shape[1]):
+                inputs[i, j] += epsilon
+                plus = 0.5 * np.sum(layer(inputs)**2)
+                inputs[i, j] -= 2 * epsilon
+                minus = 0.5 * np.sum(layer(inputs)**2)
+                inputs[i, j] += epsilon
+                numeric[i, j] = (plus - minus) / (2 * epsilon)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_invalid_parameters(self, operator):
+        with pytest.raises(ValueError):
+            PersonalizedPropagation(operator, alpha=1.5)
+        with pytest.raises(ValueError):
+            PersonalizedPropagation(operator, num_steps=0)
+
+
+class TestGPRPropagation:
+    def test_initial_weights_sum_to_one(self, operator):
+        layer = GPRPropagation(operator, num_steps=6, alpha=0.1)
+        assert layer.gammas.value.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_forward_is_weighted_hop_sum(self, operator, features):
+        layer = GPRPropagation(operator, num_steps=2, alpha=0.2)
+        output = layer(features)
+        gammas = layer.gammas.value
+        hop1 = operator @ features
+        hop2 = operator @ hop1
+        expected = gammas[0] * features + gammas[1] * hop1 + gammas[2] * hop2
+        np.testing.assert_allclose(output, expected)
+
+    def test_gamma_gradients_match_finite_differences(self, operator, features):
+        layer = GPRPropagation(operator, num_steps=3, alpha=0.1)
+        output = layer(features)
+        layer.backward(output.copy())
+        analytic = layer.gammas.grad.copy()
+        numeric = np.zeros_like(analytic)
+        epsilon = 1e-6
+        for index in range(layer.gammas.value.size):
+            layer.gammas.value[index] += epsilon
+            plus = 0.5 * np.sum(layer(features)**2)
+            layer.gammas.value[index] -= 2 * epsilon
+            minus = 0.5 * np.sum(layer(features)**2)
+            layer.gammas.value[index] += epsilon
+            numeric[index] = (plus - minus) / (2 * epsilon)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_backward_before_forward_raises(self, operator):
+        layer = GPRPropagation(operator, num_steps=2)
+        layer._hop_embeddings = []
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((6, 3)))

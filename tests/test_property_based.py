@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.datasets.splits import stratified_splits
+from repro.graphs.graph import Graph
+from repro.graphs.homophily import edge_homophily, node_homophily
+from repro.graphs.normalize import row_normalize, symmetric_normalize
+from repro.graphs.sparse import top_k_per_row
+from repro.nn.losses import softmax, softmax_cross_entropy
+from repro.simrank.exact import linearized_simrank
+from repro.simrank.localpush import localpush_simrank
+from repro.simrank.pairwise_walk import homophily_probability
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+@st.composite
+def random_graphs(draw, min_nodes=3, max_nodes=20):
+    """Random connected-ish undirected graphs with labels."""
+    num_nodes = draw(st.integers(min_nodes, max_nodes))
+    # A random spanning chain keeps every node non-isolated, plus extra edges.
+    chain = [(i, i + 1) for i in range(num_nodes - 1)]
+    extra_count = draw(st.integers(0, num_nodes * 2))
+    extra = [
+        (draw(st.integers(0, num_nodes - 1)), draw(st.integers(0, num_nodes - 1)))
+        for _ in range(extra_count)
+    ]
+    edges = [edge for edge in chain + extra if edge[0] != edge[1]]
+    labels = np.array([draw(st.integers(0, 2)) for _ in range(num_nodes)])
+    # Guarantee at least two classes so homophily is well defined but not trivial.
+    labels[0] = 0
+    if num_nodes > 1:
+        labels[1] = 1
+    features = np.eye(num_nodes)
+    return Graph.from_edges(num_nodes, edges, labels=labels, features=features)
+
+
+# --------------------------------------------------------------------------- #
+# Graph invariants
+# --------------------------------------------------------------------------- #
+class TestGraphProperties:
+    @SETTINGS
+    @given(random_graphs())
+    def test_adjacency_symmetric_and_degrees_match(self, graph):
+        assert (graph.adjacency != graph.adjacency.T).nnz == 0
+        assert graph.degrees.sum() == graph.num_directed_edges
+
+    @SETTINGS
+    @given(random_graphs())
+    def test_homophily_measures_in_unit_interval(self, graph):
+        assert 0.0 <= node_homophily(graph) <= 1.0
+        assert 0.0 <= edge_homophily(graph) <= 1.0
+
+    @SETTINGS
+    @given(random_graphs())
+    def test_uniform_labels_give_perfect_homophily(self, graph):
+        uniform = graph.with_labels(np.zeros(graph.num_nodes, dtype=int))
+        assert node_homophily(uniform) == 1.0
+        assert edge_homophily(uniform) == 1.0
+
+    @SETTINGS
+    @given(random_graphs())
+    def test_row_normalize_rows_are_stochastic(self, graph):
+        normalized = row_normalize(graph.adjacency)
+        sums = np.asarray(normalized.sum(axis=1)).ravel()
+        degrees = graph.degrees
+        np.testing.assert_allclose(sums[degrees > 0], 1.0)
+
+    @SETTINGS
+    @given(random_graphs())
+    def test_symmetric_normalize_spectral_radius(self, graph):
+        normalized = symmetric_normalize(graph.adjacency).toarray()
+        eigenvalues = np.linalg.eigvalsh(normalized)
+        assert eigenvalues.max() <= 1.0 + 1e-8
+
+
+# --------------------------------------------------------------------------- #
+# SimRank invariants
+# --------------------------------------------------------------------------- #
+class TestSimRankProperties:
+    @SETTINGS
+    @given(random_graphs(max_nodes=14), st.floats(0.2, 0.8))
+    def test_linearized_simrank_symmetric_nonnegative(self, graph, decay):
+        scores = linearized_simrank(graph, decay=decay, num_iterations=8)
+        np.testing.assert_allclose(scores, scores.T, atol=1e-10)
+        assert scores.min() >= -1e-12
+
+    @SETTINGS
+    @given(random_graphs(max_nodes=12), st.sampled_from([0.3, 0.15, 0.05]))
+    def test_localpush_error_bound_property(self, graph, epsilon):
+        """Lemma III.5 holds on arbitrary random graphs."""
+        reference = linearized_simrank(graph, num_iterations=40)
+        approx = localpush_simrank(graph, epsilon=epsilon, prune=False).matrix.toarray()
+        assert np.abs(approx - reference).max() < epsilon
+
+    @SETTINGS
+    @given(st.floats(0.0, 1.0), st.integers(0, 10))
+    def test_homophily_probability_in_unit_interval(self, p, length):
+        value = homophily_probability(p, length)
+        assert 0.0 <= value <= 1.0
+
+    @SETTINGS
+    @given(st.floats(0.5, 1.0), st.integers(1, 8))
+    def test_homophily_probability_monotone_in_p_above_half(self, p, length):
+        """Corollary III.3: for p > 0.5 the probability grows with p."""
+        higher = min(1.0, p + 0.05)
+        assert homophily_probability(higher, length) >= homophily_probability(p, length) - 1e-12
+
+
+# --------------------------------------------------------------------------- #
+# Sparse helpers
+# --------------------------------------------------------------------------- #
+class TestTopKProperties:
+    @SETTINGS
+    @given(
+        hnp.arrays(np.float64, (8, 8), elements=st.floats(0.0, 1.0)),
+        st.integers(1, 8),
+    )
+    def test_topk_keeps_subset_of_entries(self, dense, k):
+        matrix = sp.csr_matrix(dense)
+        pruned = top_k_per_row(matrix, k)
+        assert pruned.nnz <= matrix.nnz
+        assert (np.diff(pruned.indptr) <= k).all()
+        difference = (matrix - pruned).toarray()
+        assert difference.min() >= -1e-12  # pruning never adds or increases entries
+
+    @SETTINGS
+    @given(
+        hnp.arrays(np.float64, (6, 6), elements=st.floats(0.0, 1.0)),
+        st.integers(1, 6),
+    )
+    def test_topk_keeps_row_maximum(self, dense, k):
+        matrix = sp.csr_matrix(dense)
+        pruned = top_k_per_row(matrix, k).toarray()
+        for row in range(dense.shape[0]):
+            if matrix[row].nnz == 0:
+                continue
+            assert pruned[row].max() == dense[row].max()
+
+
+# --------------------------------------------------------------------------- #
+# Loss and split invariants
+# --------------------------------------------------------------------------- #
+class TestLossProperties:
+    @SETTINGS
+    @given(hnp.arrays(np.float64, (5, 4), elements=st.floats(-10, 10)))
+    def test_softmax_rows_are_distributions(self, logits):
+        probabilities = softmax(logits, axis=1)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, atol=1e-9)
+        assert probabilities.min() >= 0.0
+
+    @SETTINGS
+    @given(hnp.arrays(np.float64, (6, 3), elements=st.floats(-5, 5)),
+           st.lists(st.integers(0, 2), min_size=6, max_size=6))
+    def test_cross_entropy_nonnegative(self, logits, labels):
+        loss, grad = softmax_cross_entropy(logits, np.array(labels))
+        assert loss >= 0.0
+        # Gradient rows sum to zero (softmax minus one-hot).
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-9)
+
+
+class TestSplitProperties:
+    @SETTINGS
+    @given(st.integers(2, 5), st.integers(10, 40), st.integers(0, 1000))
+    def test_stratified_splits_partition_nodes(self, num_classes, per_class, seed):
+        labels = np.repeat(np.arange(num_classes), per_class)
+        split = stratified_splits(labels, num_splits=1, seed=seed)[0]
+        union = np.concatenate([split.train, split.val, split.test])
+        assert np.array_equal(np.sort(union), np.arange(labels.size))
+        assert set(labels[split.train]) == set(range(num_classes))

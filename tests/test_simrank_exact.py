@@ -1,0 +1,96 @@
+"""Tests for exact and linearized SimRank."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimRankError
+from repro.graphs.graph import Graph
+from repro.simrank.exact import exact_simrank, linearized_simrank
+
+
+class TestExactSimRank:
+    def test_diagonal_is_one(self, tiny_graph):
+        scores = exact_simrank(tiny_graph)
+        np.testing.assert_allclose(np.diag(scores), 1.0)
+
+    def test_symmetric(self, tiny_graph):
+        scores = exact_simrank(tiny_graph)
+        np.testing.assert_allclose(scores, scores.T)
+
+    def test_values_in_unit_interval(self, tiny_graph):
+        scores = exact_simrank(tiny_graph)
+        assert scores.min() >= 0.0
+        assert scores.max() <= 1.0 + 1e-12
+
+    def test_satisfies_recursive_definition(self, tiny_graph):
+        """Off-diagonal entries satisfy Eq. (2) of the paper at the fixed point."""
+        decay = 0.6
+        scores = exact_simrank(tiny_graph, decay=decay, num_iterations=60)
+        adjacency = tiny_graph.adjacency
+        n = tiny_graph.num_nodes
+        for u in range(n):
+            for v in range(n):
+                if u == v:
+                    continue
+                nu = adjacency.indices[adjacency.indptr[u]:adjacency.indptr[u + 1]]
+                nv = adjacency.indices[adjacency.indptr[v]:adjacency.indptr[v + 1]]
+                expected = decay * scores[np.ix_(nu, nv)].sum() / (len(nu) * len(nv))
+                assert scores[u, v] == pytest.approx(expected, abs=1e-6)
+
+    def test_two_node_path(self):
+        # For a single edge the only neighbour pair of (0, 1) is (1, 0),
+        # which is itself off-diagonal: S(0,1) = c·S(1,0) has the unique
+        # fixed point S(0,1) = 0 under the Jeh-Widom definition.
+        graph = Graph.from_edges(2, [(0, 1)])
+        scores = exact_simrank(graph, decay=0.6, num_iterations=100)
+        assert scores[0, 1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_star_graph_leaves_are_similar(self):
+        # Leaves of a star share the centre as their only neighbour, so their
+        # SimRank is exactly the decay factor c.
+        graph = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        scores = exact_simrank(graph, decay=0.6)
+        assert scores[1, 2] == pytest.approx(0.6, abs=1e-9)
+        assert scores[1, 3] == pytest.approx(0.6, abs=1e-9)
+
+    def test_invalid_decay_raises(self, tiny_graph):
+        with pytest.raises(SimRankError):
+            exact_simrank(tiny_graph, decay=1.5)
+
+    def test_invalid_iterations_raises(self, tiny_graph):
+        with pytest.raises(SimRankError):
+            exact_simrank(tiny_graph, num_iterations=0)
+
+
+class TestLinearizedSimRank:
+    def test_symmetric_and_nonnegative(self, tiny_graph):
+        scores = linearized_simrank(tiny_graph)
+        np.testing.assert_allclose(scores, scores.T)
+        assert scores.min() >= 0.0
+
+    def test_include_self_controls_identity_term(self, tiny_graph):
+        with_self = linearized_simrank(tiny_graph, include_self=True)
+        without_self = linearized_simrank(tiny_graph, include_self=False)
+        np.testing.assert_allclose(with_self - without_self, np.eye(tiny_graph.num_nodes))
+
+    def test_more_iterations_monotonically_increase(self, tiny_graph):
+        few = linearized_simrank(tiny_graph, num_iterations=2)
+        many = linearized_simrank(tiny_graph, num_iterations=8)
+        assert (many - few).min() >= -1e-12
+
+    def test_truncation_error_bound(self, tiny_graph):
+        """Choosing iterations from the tolerance keeps the truncation below it."""
+        tolerance = 1e-4
+        auto = linearized_simrank(tiny_graph, tolerance=tolerance)
+        longer = linearized_simrank(tiny_graph, num_iterations=60)
+        assert np.abs(auto - longer).max() < tolerance
+
+    def test_star_graph_leaf_and_centre_pairs(self):
+        # Star leaves meet at the centre after one step (probability one), so
+        # their score is at least c.  Leaf/centre walks can never coincide
+        # (opposite parity), so that score is exactly zero.
+        graph = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        scores = linearized_simrank(graph, decay=0.6, num_iterations=80,
+                                    include_self=False)
+        assert scores[1, 2] >= 0.6
+        assert scores[1, 0] == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,86 @@
+"""Tests for the LocalPush approximation (Algorithm 1, Lemma III.5)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimRankError
+from repro.simrank.exact import linearized_simrank
+from repro.simrank.localpush import localpush_simrank
+
+
+class TestLocalPushGuarantee:
+    @pytest.mark.parametrize("epsilon", [0.2, 0.1, 0.05])
+    def test_max_norm_error_bound(self, tiny_graph, epsilon):
+        """Lemma III.5: stopping at (1-c)·ε residuals gives ‖Ŝ − S‖_max < ε."""
+        reference = linearized_simrank(tiny_graph, num_iterations=60)
+        result = localpush_simrank(tiny_graph, epsilon=epsilon, prune=False)
+        approx = result.matrix.toarray()
+        assert np.abs(approx - reference).max() < epsilon
+
+    def test_absorbing_residual_improves_accuracy(self, small_heterophilous_graph):
+        graph = small_heterophilous_graph
+        reference = linearized_simrank(graph, num_iterations=40)
+        plain = localpush_simrank(graph, epsilon=0.1, prune=False).matrix.toarray()
+        absorbed = localpush_simrank(graph, epsilon=0.1, prune=False,
+                                     absorb_residual=True).matrix.toarray()
+        assert np.abs(absorbed - reference).max() <= np.abs(plain - reference).max() + 1e-12
+
+    def test_smaller_epsilon_is_more_accurate(self, tiny_graph):
+        reference = linearized_simrank(tiny_graph, num_iterations=60)
+        loose = localpush_simrank(tiny_graph, epsilon=0.3, prune=False).matrix.toarray()
+        tight = localpush_simrank(tiny_graph, epsilon=0.02, prune=False).matrix.toarray()
+        assert (np.abs(tight - reference).max()
+                <= np.abs(loose - reference).max() + 1e-12)
+
+    def test_smaller_epsilon_needs_more_pushes(self, small_heterophilous_graph):
+        loose = localpush_simrank(small_heterophilous_graph, epsilon=0.3)
+        tight = localpush_simrank(small_heterophilous_graph, epsilon=0.05)
+        assert tight.num_pushes >= loose.num_pushes
+
+
+class TestLocalPushOutput:
+    def test_matrix_is_sparse_and_symmetric_shape(self, small_heterophilous_graph):
+        result = localpush_simrank(small_heterophilous_graph, epsilon=0.1)
+        n = small_heterophilous_graph.num_nodes
+        assert result.matrix.shape == (n, n)
+        assert result.matrix.nnz < n * n
+
+    def test_diagonal_present(self, tiny_graph):
+        result = localpush_simrank(tiny_graph, epsilon=0.1)
+        diag = result.matrix.diagonal()
+        assert (diag > 0).all()
+
+    def test_pruning_removes_small_offdiagonal_entries(self, small_heterophilous_graph):
+        pruned = localpush_simrank(small_heterophilous_graph, epsilon=0.1, prune=True)
+        unpruned = localpush_simrank(small_heterophilous_graph, epsilon=0.1, prune=False)
+        assert pruned.matrix.nnz <= unpruned.matrix.nnz
+        offdiag = pruned.matrix.copy().tolil()
+        offdiag.setdiag(0)
+        values = offdiag.tocsr().data
+        if values.size:
+            assert values.min() >= 0.1 / 10.0
+
+    def test_nonnegative_scores(self, small_heterophilous_graph):
+        result = localpush_simrank(small_heterophilous_graph, epsilon=0.1)
+        assert result.matrix.data.min() >= 0.0
+
+    def test_metadata_fields(self, tiny_graph):
+        result = localpush_simrank(tiny_graph, epsilon=0.1)
+        assert result.num_pushes > 0
+        assert result.elapsed_seconds >= 0.0
+        assert result.epsilon == 0.1
+        assert result.decay == 0.6
+
+
+class TestLocalPushValidation:
+    def test_invalid_epsilon(self, tiny_graph):
+        with pytest.raises(SimRankError):
+            localpush_simrank(tiny_graph, epsilon=0.0)
+
+    def test_invalid_decay(self, tiny_graph):
+        with pytest.raises(SimRankError):
+            localpush_simrank(tiny_graph, decay=0.0)
+
+    def test_max_pushes_cap(self, small_heterophilous_graph):
+        with pytest.raises(SimRankError):
+            localpush_simrank(small_heterophilous_graph, epsilon=0.01, max_pushes=5)

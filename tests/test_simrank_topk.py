@@ -1,0 +1,79 @@
+"""Tests for top-k pruning and the SimRank aggregation operator."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import SimRankError
+from repro.simrank.exact import linearized_simrank
+from repro.simrank.topk import simrank_operator, topk_simrank
+
+
+class TestTopkSimrank:
+    def test_keeps_at_most_k_plus_diagonal(self, small_heterophilous_graph):
+        scores = linearized_simrank(small_heterophilous_graph, num_iterations=6)
+        pruned = topk_simrank(scores, 8)
+        n = small_heterophilous_graph.num_nodes
+        row_counts = np.diff(pruned.indptr)
+        assert (row_counts <= 9).all()  # k entries plus possibly the diagonal
+
+    def test_diagonal_survives(self, small_heterophilous_graph):
+        scores = linearized_simrank(small_heterophilous_graph, num_iterations=6)
+        pruned = topk_simrank(scores, 4)
+        assert (pruned.diagonal() > 0).all()
+
+    def test_accepts_dense_and_sparse(self, tiny_graph):
+        dense = linearized_simrank(tiny_graph)
+        from_dense = topk_simrank(dense, 3).toarray()
+        from_sparse = topk_simrank(sp.csr_matrix(dense), 3).toarray()
+        np.testing.assert_allclose(from_dense, from_sparse)
+
+
+class TestSimRankOperator:
+    def test_auto_uses_series_for_small_graphs(self, small_heterophilous_graph):
+        operator = simrank_operator(small_heterophilous_graph, method="auto", top_k=16)
+        assert operator.method == "series"
+
+    def test_auto_uses_localpush_for_large_graphs(self, small_heterophilous_graph):
+        operator = simrank_operator(small_heterophilous_graph, method="auto",
+                                    top_k=16, exact_size_limit=10)
+        assert operator.method == "localpush"
+
+    def test_top_k_limits_entries(self, small_heterophilous_graph):
+        operator = simrank_operator(small_heterophilous_graph, top_k=8)
+        assert operator.average_entries_per_node <= 9.0
+
+    def test_no_topk_keeps_more_entries(self, small_heterophilous_graph):
+        pruned = simrank_operator(small_heterophilous_graph, top_k=4)
+        full = simrank_operator(small_heterophilous_graph, top_k=None)
+        assert full.nnz >= pruned.nnz
+
+    def test_row_normalize_option(self, small_heterophilous_graph):
+        operator = simrank_operator(small_heterophilous_graph, top_k=8, row_normalize=True)
+        sums = np.asarray(operator.matrix.sum(axis=1)).ravel()
+        np.testing.assert_allclose(sums[sums > 0], 1.0)
+
+    def test_methods_agree_roughly(self, small_heterophilous_graph):
+        """Series and LocalPush approximate the same matrix (Theorem III.2)."""
+        series = simrank_operator(small_heterophilous_graph, method="series",
+                                  epsilon=0.05).matrix.toarray()
+        push = simrank_operator(small_heterophilous_graph, method="localpush",
+                                epsilon=0.05).matrix.toarray()
+        assert np.abs(series - push).max() < 0.1
+
+    def test_exact_method(self, tiny_graph):
+        operator = simrank_operator(tiny_graph, method="exact")
+        assert operator.method == "exact"
+        np.testing.assert_allclose(operator.matrix.diagonal(), 1.0)
+
+    def test_records_precompute_time(self, tiny_graph):
+        operator = simrank_operator(tiny_graph, top_k=4)
+        assert operator.precompute_seconds >= 0.0
+
+    def test_invalid_method(self, tiny_graph):
+        with pytest.raises(SimRankError):
+            simrank_operator(tiny_graph, method="magic")
+
+    def test_invalid_top_k(self, tiny_graph):
+        with pytest.raises(SimRankError):
+            simrank_operator(tiny_graph, top_k=0)

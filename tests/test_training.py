@@ -1,0 +1,152 @@
+"""Tests for the training harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.models.registry import create_model
+from repro.training.config import FAST_CONFIG, TrainConfig
+from repro.training.early_stopping import EarlyStopping
+from repro.training.evaluation import evaluate_model, repeated_evaluation
+from repro.training.metrics import accuracy_score, confusion_matrix, macro_f1_score
+from repro.training.trainer import Trainer
+
+
+class TestTrainConfig:
+    def test_defaults_valid(self):
+        config = TrainConfig()
+        assert config.optimizer == "adam"
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(TrainingError):
+            TrainConfig(learning_rate=0.0)
+
+    def test_invalid_optimizer(self):
+        with pytest.raises(TrainingError):
+            TrainConfig(optimizer="rmsprop")
+
+    def test_invalid_min_epochs(self):
+        with pytest.raises(TrainingError):
+            TrainConfig(min_epochs=500, max_epochs=100)
+
+    def test_with_overrides(self):
+        config = TrainConfig().with_overrides(max_epochs=10)
+        assert config.max_epochs == 10
+        assert TrainConfig().max_epochs != 10
+
+
+class TestEarlyStopping:
+    def test_improvement_resets_counter(self):
+        stopper = EarlyStopping(patience=2)
+        assert stopper.update(0.5, 0)
+        assert not stopper.update(0.4, 1)
+        assert stopper.update(0.6, 2)
+        assert stopper.counter == 0
+
+    def test_should_stop_after_patience(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(0.5, 0)
+        stopper.update(0.4, 1)
+        stopper.update(0.3, 2)
+        assert stopper.should_stop
+
+    def test_tracks_best_epoch(self):
+        stopper = EarlyStopping(patience=5)
+        stopper.update(0.2, 0)
+        stopper.update(0.9, 1)
+        stopper.update(0.5, 2)
+        assert stopper.best_epoch == 1
+        assert stopper.best_score == pytest.approx(0.9)
+
+    def test_invalid_patience(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([0, 1, 1], [0, 1, 0]) == pytest.approx(2 / 3)
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([0, 1], [0])
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 2]])
+
+    def test_macro_f1_perfect(self):
+        assert macro_f1_score([0, 1, 2], [0, 1, 2]) == pytest.approx(1.0)
+
+    def test_macro_f1_handles_missing_class(self):
+        value = macro_f1_score([0, 0, 1], [0, 0, 0])
+        assert 0.0 <= value < 1.0
+
+
+class TestTrainer:
+    def test_fit_returns_result(self, small_dataset):
+        model = create_model("mlp", small_dataset.graph, rng=0, hidden=16)
+        result = Trainer(model, FAST_CONFIG).fit(small_dataset.split(0))
+        assert 0.0 <= result.test_accuracy <= 1.0
+        assert result.num_epochs >= FAST_CONFIG.min_epochs
+        assert result.best_epoch >= 0
+        assert len(result.history) == result.num_epochs
+
+    def test_training_improves_over_untrained(self, small_dataset):
+        graph = small_dataset.graph
+        split = small_dataset.split(0)
+        untrained = create_model("mlp", graph, rng=0, hidden=16)
+        untrained_acc = untrained.accuracy(split.test)
+        model = create_model("mlp", graph, rng=0, hidden=16)
+        result = Trainer(model, FAST_CONFIG).fit(split)
+        assert result.test_accuracy >= untrained_acc
+
+    def test_early_stopping_limits_epochs(self, small_dataset):
+        config = TrainConfig(max_epochs=200, patience=5, min_epochs=1,
+                             track_test_history=False)
+        model = create_model("mlp", small_dataset.graph, rng=0, hidden=16)
+        result = Trainer(model, config).fit(small_dataset.split(0))
+        assert result.num_epochs < 200
+
+    def test_timing_breakdown_present(self, small_dataset):
+        model = create_model("sigma", small_dataset.graph, rng=0, hidden=16, top_k=8)
+        result = Trainer(model, FAST_CONFIG).fit(small_dataset.split(0))
+        assert result.timing.precompute > 0.0
+        assert result.timing.training > 0.0
+        assert result.learning_time == pytest.approx(
+            result.timing.precompute + result.timing.training)
+
+    def test_convergence_curve_monotone_time(self, small_dataset):
+        model = create_model("mlp", small_dataset.graph, rng=0, hidden=16)
+        config = FAST_CONFIG.with_overrides(track_test_history=True)
+        result = Trainer(model, config).fit(small_dataset.split(0))
+        curve = result.convergence_curve()
+        times = [point[0] for point in curve]
+        assert times == sorted(times)
+
+    def test_sgd_optimizer_option(self, small_dataset):
+        config = FAST_CONFIG.with_overrides(optimizer="sgd", learning_rate=0.05)
+        model = create_model("mlp", small_dataset.graph, rng=0, hidden=16)
+        result = Trainer(model, config).fit(small_dataset.split(0))
+        assert 0.0 <= result.test_accuracy <= 1.0
+
+
+class TestEvaluation:
+    def test_evaluate_model(self, small_dataset):
+        result = evaluate_model("mlp", small_dataset, config=FAST_CONFIG, hidden=16)
+        assert 0.0 <= result.test_accuracy <= 1.0
+
+    def test_repeated_evaluation_summary(self, small_dataset):
+        summary = repeated_evaluation("mlp", small_dataset, num_repeats=2,
+                                      config=FAST_CONFIG, hidden=16)
+        assert len(summary.accuracies) == 2
+        assert 0.0 <= summary.mean_accuracy <= 1.0
+        assert summary.std_accuracy >= 0.0
+        row = summary.as_row()
+        assert row["model"] == "mlp"
+        assert row["dataset"] == small_dataset.name
+
+    def test_repeats_capped_by_available_splits(self, small_dataset):
+        summary = repeated_evaluation("mlp", small_dataset, num_repeats=50,
+                                      config=FAST_CONFIG, hidden=16)
+        assert len(summary.accuracies) == small_dataset.num_splits

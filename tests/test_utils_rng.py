@@ -1,0 +1,58 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, seed_from, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(5)
+        b = ensure_rng(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_deterministic_streams(self):
+        first = [rng.random() for rng in spawn_rngs(7, 3)]
+        second = [rng.random() for rng in spawn_rngs(7, 3)]
+        np.testing.assert_allclose(first, second)
+
+    def test_streams_are_independent(self):
+        streams = [rng.random(4) for rng in spawn_rngs(0, 3)]
+        assert not np.allclose(streams[0], streams[1])
+        assert not np.allclose(streams[1], streams[2])
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_from_generator(self):
+        rngs = spawn_rngs(np.random.default_rng(0), 2)
+        assert len(rngs) == 2
+
+
+def test_seed_from_returns_int():
+    value = seed_from(np.random.default_rng(0))
+    assert isinstance(value, int)
+    assert 0 <= value < 2**31

@@ -1,0 +1,77 @@
+"""Tests for repro.utils.timer."""
+
+import pytest
+
+from repro.utils.timer import Timer, TimingBreakdown
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        timer = Timer()
+        with timer:
+            pass
+        assert timer.elapsed >= 0.0
+
+    def test_start_twice_raises(self):
+        timer = Timer()
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+
+    def test_multiple_measurements_accumulate(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            pass
+        assert timer.elapsed >= first
+
+
+class TestTimingBreakdown:
+    def test_add_and_get(self):
+        breakdown = TimingBreakdown()
+        breakdown.add("precompute", 1.5)
+        breakdown.add("precompute", 0.5)
+        assert breakdown.get("precompute") == pytest.approx(2.0)
+
+    def test_missing_bucket_is_zero(self):
+        assert TimingBreakdown().get("unknown") == 0.0
+
+    def test_measure_context(self):
+        breakdown = TimingBreakdown()
+        with breakdown.measure("training"):
+            pass
+        assert breakdown.training >= 0.0
+
+    def test_learning_is_precompute_plus_training(self):
+        breakdown = TimingBreakdown()
+        breakdown.add("precompute", 1.0)
+        breakdown.add("training", 2.0)
+        assert breakdown.learning == pytest.approx(3.0)
+
+    def test_merged_with(self):
+        a = TimingBreakdown({"precompute": 1.0})
+        b = TimingBreakdown({"precompute": 2.0, "aggregation": 0.5})
+        merged = a.merged_with(b)
+        assert merged.precompute == pytest.approx(3.0)
+        assert merged.aggregation == pytest.approx(0.5)
+        # Originals are untouched.
+        assert a.precompute == pytest.approx(1.0)
+
+    def test_as_dict_returns_copy(self):
+        breakdown = TimingBreakdown({"training": 1.0})
+        copy = breakdown.as_dict()
+        copy["training"] = 99.0
+        assert breakdown.training == pytest.approx(1.0)

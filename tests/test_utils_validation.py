@@ -1,0 +1,60 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability_matrix,
+    check_square,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, strict=False)
+
+
+class TestCheckFraction:
+    def test_accepts_bounds_inclusive(self):
+        assert check_fraction("f", 0.0) == 0.0
+        assert check_fraction("f", 1.0) == 1.0
+
+    def test_rejects_bounds_exclusive(self):
+        with pytest.raises(ValueError):
+            check_fraction("f", 0.0, inclusive=False)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_fraction("f", 1.2)
+
+
+class TestCheckSquare:
+    def test_accepts_square_sparse(self):
+        check_square("m", sp.identity(3))
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            check_square("m", np.zeros((2, 3)))
+
+
+class TestCheckProbabilityMatrix:
+    def test_accepts_row_stochastic(self):
+        check_probability_matrix("p", np.array([[0.5, 0.5], [0.2, 0.8]]))
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(ValueError):
+            check_probability_matrix("p", np.array([[0.5, 0.6], [0.2, 0.8]]))
