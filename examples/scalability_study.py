@@ -8,6 +8,21 @@ paper's pokec generator) and measures, for SIGMA and GloGNN,
 * the speed-up of SIGMA over GloGNN as the graph grows —
 
 reproducing the trend of the paper's Fig. 5 at laptop scale.
+
+LocalPush backend selection
+---------------------------
+SIGMA's precompute column is dominated by LocalPush (Algorithm 1), which
+ships with two engines selected by ``simrank_backend``:
+
+* ``"dict"`` — the per-pair reference loop (correctness oracle);
+* ``"vectorized"`` — the frontier-batched array engine: each round absorbs
+  the whole above-threshold frontier and pushes its mass in one sparse
+  ``R ← R + c·Wᵀ F W`` step — 10–25× faster at these sizes (see
+  ``BENCH_localpush.json``, produced by ``benchmarks/bench_localpush.py``);
+* ``"auto"`` (default) — vectorized from 256 nodes upward.
+
+Both engines share the ``(1 − c)·ε`` stopping rule and the
+``‖Ŝ − S‖_max < ε`` guarantee, so accuracy is unaffected by the choice.
 """
 
 from __future__ import annotations
@@ -18,7 +33,7 @@ from repro.experiments.common import format_table
 
 def main() -> None:
     result = run_fig5(base_dataset="pokec", num_sizes=4, shrink=2.0,
-                      base_scale=0.5, seed=0)
+                      base_scale=0.5, seed=0, simrank_backend="auto")
     print("learning time across graph sizes")
     print(format_table(result.rows()))
     print("\nSIGMA speed-up over GloGNN by graph size:")

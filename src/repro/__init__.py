@@ -34,6 +34,7 @@ from repro.simrank import (
     exact_simrank,
     linearized_simrank,
     localpush_simrank,
+    localpush_simrank_vectorized,
     simrank_operator,
 )
 from repro.models import SIGMA, create_model, list_models
@@ -57,6 +58,7 @@ __all__ = [
     "exact_simrank",
     "linearized_simrank",
     "localpush_simrank",
+    "localpush_simrank_vectorized",
     "simrank_operator",
     "SIGMA",
     "create_model",

@@ -40,6 +40,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="top-k pruning of the SimRank/PPR operator")
     parser.add_argument("--epsilon", type=float, default=None,
                         help="LocalPush error threshold ε")
+    parser.add_argument("--simrank-backend", default=None,
+                        choices=("dict", "vectorized", "auto"),
+                        help="LocalPush engine for SIGMA's precompute "
+                             "(SIGMA models only; default: auto — "
+                             "vectorized on large graphs)")
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
     parser.add_argument("--json", action="store_true", help="print the summary as JSON")
     return parser
@@ -53,7 +58,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     dataset = load_dataset(args.dataset, seed=args.seed, scale_factor=args.scale_factor)
 
     overrides = {}
-    for name in ("hidden", "delta", "top_k", "epsilon"):
+    for name in ("hidden", "delta", "top_k", "epsilon", "simrank_backend"):
         value = getattr(args, name)
         if value is not None:
             overrides[name] = value

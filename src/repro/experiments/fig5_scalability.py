@@ -64,12 +64,16 @@ class Fig5Result:
 def run(*, base_dataset: str = "pokec", num_sizes: int = 4, shrink: float = 2.0,
         models: Sequence[str] = ("sigma", "glognn"),
         config: Optional[TrainConfig] = None, seed: int = 0,
-        base_scale: float = 1.0) -> Fig5Result:
+        base_scale: float = 1.0, simrank_backend: str = "auto") -> Fig5Result:
     """Measure learning time across a geometric grid of graph sizes.
 
     The largest size is the base dataset at ``base_scale``; each subsequent
     size divides the node count by ``shrink`` (edges shrink roughly
     proportionally, matching the paper's geometric grid of edge counts).
+    ``simrank_backend`` selects the LocalPush engine used for the SIGMA
+    variants' precomputation (``"dict"``/``"vectorized"``/``"auto"``) — the
+    precompute column of this figure is exactly what the vectorized engine
+    accelerates.
     """
     config = config or QUICK_EXPERIMENT_CONFIG
     spec = get_spec(base_dataset)
@@ -81,7 +85,9 @@ def run(*, base_dataset: str = "pokec", num_sizes: int = 4, shrink: float = 2.0,
         splits = stratified_splits(graph.labels, num_splits=1, seed=seed + 1)
         dataset = Dataset(graph=graph, splits=splits, name=f"{base_dataset}@{scale:.3f}")
         for model_name in models:
-            model = create_model(model_name, graph, rng=seed)
+            overrides = ({"simrank_backend": simrank_backend}
+                         if model_name in ("sigma", "sigma_iterative") else {})
+            model = create_model(model_name, graph, rng=seed, **overrides)
             trained = Trainer(model, config).fit(dataset.split(0))
             result.points.append(ScalabilityPoint(
                 model=model_name,

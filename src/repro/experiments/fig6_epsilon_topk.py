@@ -47,8 +47,13 @@ class Fig6Result:
 def run(dataset_name: str = "pokec", *, epsilons: Sequence[float] = DEFAULT_EPSILONS,
         top_ks: Sequence[int] = DEFAULT_TOP_KS, num_repeats: int = 1,
         scale_factor: float = 1.0, config: Optional[TrainConfig] = None,
-        seed: int = 0, final_layers: int = 2) -> Fig6Result:
-    """Sweep (ε, k) for SIGMA on ``dataset_name``."""
+        seed: int = 0, final_layers: int = 2,
+        simrank_backend: str = "auto") -> Fig6Result:
+    """Sweep (ε, k) for SIGMA on ``dataset_name``.
+
+    ``simrank_backend`` selects the LocalPush engine
+    (``"dict"``/``"vectorized"``/``"auto"``) used for every cell.
+    """
     config = config or DEFAULT_EXPERIMENT_CONFIG
     dataset = load_dataset(dataset_name, seed=seed, scale_factor=scale_factor)
     result = Fig6Result(dataset=dataset_name)
@@ -57,7 +62,7 @@ def run(dataset_name: str = "pokec", *, epsilons: Sequence[float] = DEFAULT_EPSI
             summary = repeated_evaluation(
                 "sigma", dataset, num_repeats=num_repeats, config=config, seed=seed,
                 epsilon=epsilon, top_k=top_k, final_layers=final_layers,
-                simrank_method="localpush")
+                simrank_method="localpush", simrank_backend=simrank_backend)
             result.cells.append({
                 "epsilon": epsilon,
                 "top_k": top_k,

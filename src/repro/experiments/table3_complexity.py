@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 from repro.datasets.registry import load_dataset
 from repro.experiments.common import format_table
 from repro.graphs.graph import Graph
+from repro.simrank.topk import simrank_operator
 
 
 @dataclass(frozen=True)
@@ -35,6 +36,9 @@ class ComplexityEntry:
 class Table3Result:
     dataset: str
     entries: List[ComplexityEntry] = field(default_factory=list)
+    #: Measured SIGMA precompute (LocalPush + top-k) in seconds, when
+    #: requested via ``measure_precompute``; keyed by backend name.
+    measured_precompute: Dict[str, float] = field(default_factory=dict)
 
     def rows(self) -> List[Dict[str, object]]:
         return [{
@@ -100,11 +104,25 @@ def complexity_table(graph: Graph, *, hidden: int = 64, num_layers: int = 2,
 
 
 def run(dataset_name: str = "pokec", *, scale_factor: float = 1.0, hidden: int = 64,
-        top_k: int = 32, seed: int = 0) -> Table3Result:
-    """Build the complexity table for the requested benchmark graph."""
+        top_k: int = 32, seed: int = 0, measure_precompute: bool = False,
+        epsilon: float = 0.1, simrank_backend: str = "auto") -> Table3Result:
+    """Build the complexity table for the requested benchmark graph.
+
+    With ``measure_precompute=True`` the table is complemented by the
+    *measured* SIGMA precompute time (LocalPush with ``simrank_backend``
+    plus top-k pruning), grounding the analytic ``O(k·n·f)`` row in a real
+    timing on the same graph.
+    """
     dataset = load_dataset(dataset_name, seed=seed, scale_factor=scale_factor)
     entries = complexity_table(dataset.graph, hidden=hidden, top_k=top_k)
-    return Table3Result(dataset=dataset_name, entries=entries)
+    result = Table3Result(dataset=dataset_name, entries=entries)
+    if measure_precompute:
+        operator = simrank_operator(dataset.graph, method="localpush",
+                                    epsilon=epsilon, top_k=top_k,
+                                    backend=simrank_backend)
+        result.measured_precompute[operator.backend or simrank_backend] = (
+            operator.precompute_seconds)
+    return result
 
 
 def main() -> None:  # pragma: no cover - CLI entry point

@@ -18,10 +18,22 @@ def top_k_per_row(matrix: sp.spmatrix, k: int, *, keep_diagonal: bool = False) -
         Sparse matrix whose rows are pruned independently.
     k:
         Number of entries to keep per row.  Rows with fewer than ``k``
-        non-zeros are left untouched.
+        non-zeros are left untouched.  Every returned row has at most
+        ``k`` stored entries, with or without ``keep_diagonal``.
     keep_diagonal:
         When true the diagonal entry is always retained (useful when the
-        matrix encodes self-similarity that must survive pruning).
+        matrix encodes self-similarity that must survive pruning).  If the
+        diagonal entry is not among the ``k`` largest, it *replaces* the
+        smallest selected entry so the ``≤ k`` per-row bound — and with it
+        the paper's ``O(k·n)`` storage guarantee — still holds.
+
+    Notes
+    -----
+    Entries are ranked by value descending; ties are broken toward the
+    smaller column index (so the kept set is deterministic).  When the
+    diagonal evicts an entry, it evicts the lowest-ranked selected one,
+    i.e. the smallest kept value, among equal values the one with the
+    largest column index.
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
@@ -36,12 +48,17 @@ def top_k_per_row(matrix: sp.spmatrix, k: int, *, keep_diagonal: bool = False) -
         row_data = data[start:end]
         row_indices = indices[start:end]
         if row_data.size > k:
-            order = np.argpartition(row_data, row_data.size - k)[-k:]
-            keep_mask = np.zeros(row_data.size, dtype=bool)
-            keep_mask[order] = True
+            # Rank by value descending, ties toward the smaller column.
+            order = np.lexsort((row_indices, -row_data))
+            keep = order[:k]
             if keep_diagonal:
                 diag_pos = np.flatnonzero(row_indices == row)
-                keep_mask[diag_pos] = True
+                if diag_pos.size and diag_pos[0] not in keep:
+                    # Evict the lowest-ranked kept (non-diagonal) entry.
+                    keep = keep.copy()
+                    keep[-1] = diag_pos[0]
+            keep_mask = np.zeros(row_data.size, dtype=bool)
+            keep_mask[keep] = True
             row_data = row_data[keep_mask]
             row_indices = row_indices[keep_mask]
         new_data.append(row_data)

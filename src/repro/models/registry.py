@@ -66,9 +66,11 @@ _DEFAULTS: Dict[str, Dict[str, object]] = {
                "dropout": 0.5},
     "pprgo": {"hidden": 64, "alpha": 0.15, "top_k": 32, "dropout": 0.5},
     "sigma": {"hidden": 64, "delta": 0.5, "alpha": 0.5, "top_k": 32,
-              "epsilon": 0.1, "dropout": 0.5, "final_layers": 1},
+              "epsilon": 0.1, "dropout": 0.5, "final_layers": 1,
+              "simrank_backend": "auto"},
     "sigma_iterative": {"hidden": 64, "num_layers": 2, "delta": 0.5,
-                        "top_k": 32, "epsilon": 0.1, "dropout": 0.5},
+                        "top_k": 32, "epsilon": 0.1, "dropout": 0.5,
+                        "simrank_backend": "auto"},
 }
 
 

@@ -45,7 +45,13 @@ OperatorMode = Literal["simrank", "simrank_adj"]
 
 
 def _sigmoid(value: float) -> float:
-    return float(1.0 / (1.0 + np.exp(-value)))
+    # Two-branch form so np.exp only ever sees a non-positive argument:
+    # the naive 1/(1+exp(-x)) overflows once the learnable α logit drifts
+    # far negative during training.
+    if value >= 0.0:
+        return float(1.0 / (1.0 + np.exp(-value)))
+    z = np.exp(value)
+    return float(z / (1.0 + z))
 
 
 class SIGMA(NodeClassifier):
@@ -62,10 +68,11 @@ class SIGMA(NodeClassifier):
     alpha:
         Initial value of the local/global balance α; learnable unless
         ``learn_alpha=False``.
-    simrank_method / epsilon / top_k / decay:
+    simrank_method / epsilon / top_k / decay / simrank_backend:
         Passed to :func:`repro.simrank.topk.simrank_operator`; the paper uses
         exact scores on small graphs and LocalPush with ``ε = 0.1`` and
-        ``k ∈ {16, 32}`` on large ones.
+        ``k ∈ {16, 32}`` on large ones.  ``simrank_backend`` selects the
+        LocalPush engine (``"dict"``, ``"vectorized"`` or ``"auto"``).
     final_layers:
         Number of layers in ``MLP_H`` (1 for small datasets, 2 for large, as
         in the paper's parameter settings).
@@ -76,6 +83,7 @@ class SIGMA(NodeClassifier):
                  dropout: float = 0.5, final_layers: int = 1,
                  simrank_method: str = "auto", epsilon: float = 0.1,
                  top_k: Optional[int] = 32, decay: float = 0.6,
+                 simrank_backend: str = "auto",
                  use_simrank: bool = True, use_features: bool = True,
                  use_adjacency: bool = True,
                  operator_mode: OperatorMode = "simrank",
@@ -104,7 +112,8 @@ class SIGMA(NodeClassifier):
         if use_simrank:
             with self.timing.measure("precompute"):
                 operator = simrank_operator(graph, method=simrank_method, decay=decay,
-                                            epsilon=epsilon, top_k=top_k)
+                                            epsilon=epsilon, top_k=top_k,
+                                            backend=simrank_backend)
                 matrix = operator.matrix
                 if operator_mode == "simrank_adj":
                     # Localised ablation: restrict aggregation weights to the

@@ -34,6 +34,7 @@ class SIGMAIterative(NodeClassifier):
                  delta: float = 0.5, dropout: float = 0.5,
                  simrank_method: str = "auto", epsilon: float = 0.1,
                  top_k: Optional[int] = 32, decay: float = 0.6,
+                 simrank_backend: str = "auto",
                  rng: RngLike = None) -> None:
         super().__init__(graph, hidden=hidden)
         if num_layers < 1:
@@ -45,7 +46,8 @@ class SIGMAIterative(NodeClassifier):
         self.num_layers = num_layers
         with self.timing.measure("precompute"):
             operator = simrank_operator(graph, method=simrank_method, decay=decay,
-                                        epsilon=epsilon, top_k=top_k)
+                                        epsilon=epsilon, top_k=top_k,
+                                        backend=simrank_backend)
         self.simrank = operator
         self.propagation = SparsePropagation(operator.matrix, timing=self.timing)
         self._adjacency = graph.adjacency.tocsr()

@@ -11,7 +11,10 @@ Three computations are provided:
   point that LocalPush approximates and the operator SIGMA aggregates with.
 * :func:`localpush_simrank` — Algorithm 1 (LocalPush) of the paper: a
   residual-push approximation with max-norm guarantee ``ε`` and
-  ``O(d²/ε)``-style cost, returning a sparse matrix.
+  ``O(d²/ε)``-style cost, returning a sparse matrix.  Two engines are
+  available (``backend="dict"|"vectorized"|"auto"``): the per-pair
+  reference loop and the frontier-batched array engine of
+  :func:`localpush_simrank_vectorized`.
 
 :func:`simrank_operator` combines approximation and top-k pruning into the
 sparse aggregation operator used by the SIGMA model.
@@ -19,6 +22,7 @@ sparse aggregation operator used by the SIGMA model.
 
 from repro.simrank.exact import exact_simrank, linearized_simrank
 from repro.simrank.localpush import LocalPushResult, localpush_simrank
+from repro.simrank.localpush_vec import localpush_simrank_vectorized
 from repro.simrank.topk import simrank_operator, topk_simrank
 from repro.simrank.pairwise_walk import (
     homophily_probability,
@@ -31,6 +35,7 @@ __all__ = [
     "exact_simrank",
     "linearized_simrank",
     "localpush_simrank",
+    "localpush_simrank_vectorized",
     "LocalPushResult",
     "topk_simrank",
     "simrank_operator",

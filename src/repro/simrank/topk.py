@@ -20,7 +20,7 @@ from repro.errors import SimRankError
 from repro.graphs.graph import Graph
 from repro.graphs.sparse import sparse_row_normalize, top_k_per_row
 from repro.simrank.exact import DEFAULT_DECAY, exact_simrank, linearized_simrank
-from repro.simrank.localpush import localpush_simrank
+from repro.simrank.localpush import Backend, localpush_simrank
 from repro.utils.timer import Timer
 
 Method = Literal["exact", "series", "localpush", "auto"]
@@ -52,6 +52,7 @@ class SimRankOperator:
     epsilon: Optional[float]
     top_k: Optional[int]
     precompute_seconds: float
+    backend: Optional[str] = None
 
     @property
     def nnz(self) -> int:
@@ -66,7 +67,8 @@ class SimRankOperator:
 def simrank_operator(graph: Graph, *, method: Method = "auto",
                      decay: float = DEFAULT_DECAY, epsilon: float = 0.1,
                      top_k: Optional[int] = None, row_normalize: bool = False,
-                     exact_size_limit: int = 3000) -> SimRankOperator:
+                     exact_size_limit: int = 3000,
+                     backend: Backend = "auto") -> SimRankOperator:
     """Precompute the SimRank aggregation operator for a graph.
 
     Parameters
@@ -86,6 +88,10 @@ def simrank_operator(graph: Graph, *, method: Method = "auto",
         Optionally normalise the rows of the pruned operator to sum to one.
         The paper aggregates with the raw scores; normalisation is exposed
         for ablation studies.
+    backend:
+        LocalPush engine (``"dict"``, ``"vectorized"`` or ``"auto"``); only
+        consulted when the resolved method is ``"localpush"``.  See
+        :func:`repro.simrank.localpush.localpush_simrank`.
     """
     if top_k is not None and top_k <= 0:
         raise SimRankError(f"top_k must be positive, got {top_k}")
@@ -96,6 +102,7 @@ def simrank_operator(graph: Graph, *, method: Method = "auto",
     if method == "auto":
         resolved = "series" if graph.num_nodes <= exact_size_limit else "localpush"
 
+    localpush_backend: Optional[str] = None
     timer = Timer()
     with timer:
         if resolved == "exact":
@@ -110,8 +117,10 @@ def simrank_operator(graph: Graph, *, method: Method = "auto",
             # (a strict accuracy improvement) and let top-k do the pruning.
             result = localpush_simrank(graph, decay=decay, epsilon=epsilon,
                                        prune=top_k is None,
-                                       absorb_residual=True)
+                                       absorb_residual=True,
+                                       backend=backend)
             matrix = result.matrix
+            localpush_backend = result.backend
 
     if top_k is not None:
         matrix = topk_simrank(matrix, top_k)
@@ -126,6 +135,7 @@ def simrank_operator(graph: Graph, *, method: Method = "auto",
         epsilon=None if resolved == "exact" else epsilon,
         top_k=top_k,
         precompute_seconds=timer.elapsed,
+        backend=localpush_backend,
     )
 
 
