@@ -1,18 +1,23 @@
-"""Benchmark: dict vs vectorized LocalPush backends (Algorithm 1).
+"""Benchmark: dict vs vectorized vs sharded LocalPush backends (Algorithm 1).
 
-Times both engines on a synthetic pokec-style graph, checks they agree
-within ``ε`` (the equivalence criterion of the test suite), and records
-the result to ``BENCH_localpush.json`` at the repo root so future PRs can
-track the precompute-speed trajectory.
+Times all three engines on a synthetic pokec-style graph, checks they agree
+within ``ε`` (the equivalence criterion of the test suite), and appends the
+result to ``BENCH_localpush.json`` at the repo root so future PRs can track
+the precompute-speed trajectory.  The JSON file is an append-only list of
+run records; each record carries per-backend timings plus the sharded
+engine's ``num_workers`` (the sharded result is bit-identical for every
+worker count, so the knob is pure throughput).
 
 Usage
 -----
 ``PYTHONPATH=src python benchmarks/bench_localpush.py``            full run (5k nodes)
 ``PYTHONPATH=src python benchmarks/bench_localpush.py --smoke``    quick smoke (600 nodes)
-``... --nodes 2000 --epsilon 0.05 --output /tmp/bench.json``       custom
+``... --nodes 2000 --epsilon 0.05 --workers 8 --output /tmp/b.json``  custom
 
-The full run reproduces the acceptance bar of the vectorized-engine PR:
-≥ 10× speedup over the dict reference on a 5k-node graph at ε = 0.1.
+Both modes exercise every backend, sharded included.  The full run
+reproduces the acceptance bar of the vectorized-engine PR (≥ 10× speedup
+over the dict reference on a 5k-node graph at ε = 0.1) and records how the
+sharded engine compares at the same size.
 """
 
 from __future__ import annotations
@@ -25,9 +30,12 @@ import numpy as np
 
 from repro.datasets.synthetic import SyntheticGraphConfig, generate_synthetic_graph
 from repro.simrank.localpush import localpush_simrank
+from repro.simrank.sharded import default_num_workers
 from repro.utils.timer import Timer
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_localpush.json"
+
+BACKENDS = ("dict", "vectorized", "sharded")
 
 
 def build_graph(num_nodes: int, *, average_degree: float, seed: int):
@@ -38,40 +46,95 @@ def build_graph(num_nodes: int, *, average_degree: float, seed: int):
     return generate_synthetic_graph(config, seed=seed)
 
 
-def time_backend(graph, backend: str, *, epsilon: float, decay: float) -> dict:
+def time_backend(graph, backend: str, *, epsilon: float, decay: float,
+                 num_workers: int, stream_top_k: int | None = None) -> dict:
     timer = Timer()
     with timer:
         result = localpush_simrank(graph, epsilon=epsilon, decay=decay,
-                                   prune=False, backend=backend)
-    return {
+                                   prune=False, backend=backend,
+                                   num_workers=num_workers,
+                                   stream_top_k=stream_top_k)
+    record = {
         "backend": backend,
         "seconds": timer.elapsed,
         "num_pushes": result.num_pushes,
         "nnz": int(result.matrix.nnz),
         "matrix": result.matrix,
     }
+    if backend == "sharded":
+        record["num_workers"] = result.num_workers
+        record["num_shards"] = result.num_shards
+    if stream_top_k is not None:
+        record["stream_top_k"] = stream_top_k
+    return record
+
+
+def load_history(path: Path) -> list:
+    """Existing benchmark records; a legacy single-record file is wrapped."""
+    if not path.exists():
+        return []
+    existing = json.loads(path.read_text())
+    return existing if isinstance(existing, list) else [existing]
 
 
 def run(*, num_nodes: int, average_degree: float, epsilon: float, decay: float,
-        seed: int, smoke: bool) -> dict:
+        seed: int, smoke: bool, num_workers: int,
+        stream_top_k: int = 32) -> dict:
     graph = build_graph(num_nodes, average_degree=average_degree, seed=seed)
     print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges, "
-          f"epsilon={epsilon}, decay={decay}")
+          f"epsilon={epsilon}, decay={decay}, workers={num_workers}")
 
     records = {}
-    for backend in ("vectorized", "dict"):
-        record = time_backend(graph, backend, epsilon=epsilon, decay=decay)
+    for backend in ("vectorized", "sharded", "dict"):
+        record = time_backend(graph, backend, epsilon=epsilon, decay=decay,
+                              num_workers=num_workers)
         records[backend] = record
+        extra = (f", shards={record['num_shards']}"
+                 if backend == "sharded" else "")
         print(f"  {backend:>10}: {record['seconds']:8.3f}s "
-              f"({record['num_pushes']} pushes, nnz={record['nnz']})")
+              f"({record['num_pushes']} pushes, nnz={record['nnz']}{extra})")
 
-    diff = records["dict"]["matrix"] - records["vectorized"]["matrix"]
-    max_abs_diff = float(np.abs(diff.data).max()) if diff.nnz else 0.0
+    # The operator pipeline always streams top-k through the sharded engine
+    # (simrank_operator passes stream_top_k=top_k), so the tracked record
+    # must include what model precompute actually pays per round.
+    streamed = time_backend(graph, "sharded", epsilon=epsilon, decay=decay,
+                            num_workers=num_workers,
+                            stream_top_k=stream_top_k)
+    print(f"  {'sharded+topk':>12}: {streamed['seconds']:8.3f}s "
+          f"(stream_top_k={stream_top_k}, nnz={streamed['nnz']})")
+
     dict_seconds = records["dict"]["seconds"]
-    vec_seconds = records["vectorized"]["seconds"]
-    speedup = dict_seconds / vec_seconds if vec_seconds > 0 else float("inf")
-    print(f"  speedup: {speedup:.1f}x, max|Ŝ_dict − Ŝ_vec| = {max_abs_diff:.5f} "
-          f"(bound ε = {epsilon})")
+    backends_out = {}
+    within_epsilon = True
+    for backend in BACKENDS:
+        record = records[backend]
+        entry = {
+            "seconds": round(record["seconds"], 4),
+            "num_pushes": record["num_pushes"],
+            "nnz": record["nnz"],
+        }
+        if backend != "dict":
+            diff = records["dict"]["matrix"] - record["matrix"]
+            max_abs_diff = float(np.abs(diff.data).max()) if diff.nnz else 0.0
+            entry["max_abs_diff_vs_dict"] = round(max_abs_diff, 6)
+            entry["speedup_vs_dict"] = (round(dict_seconds / record["seconds"], 2)
+                                        if record["seconds"] > 0 else float("inf"))
+            within_epsilon = within_epsilon and max_abs_diff < epsilon
+            print(f"  {backend:>10}: speedup {entry['speedup_vs_dict']}x, "
+                  f"max|Ŝ_dict − Ŝ| = {max_abs_diff:.5f} (bound ε = {epsilon})")
+        if backend == "sharded":
+            entry["num_workers"] = record["num_workers"]
+            entry["num_shards"] = record["num_shards"]
+        backends_out[backend] = entry
+
+    backends_out["sharded_streamed"] = {
+        "seconds": round(streamed["seconds"], 4),
+        "num_pushes": streamed["num_pushes"],
+        "nnz": streamed["nnz"],
+        "num_workers": streamed["num_workers"],
+        "num_shards": streamed["num_shards"],
+        "stream_top_k": streamed["stream_top_k"],
+    }
 
     return {
         "benchmark": "localpush_backends",
@@ -81,13 +144,9 @@ def run(*, num_nodes: int, average_degree: float, epsilon: float, decay: float,
         "epsilon": epsilon,
         "decay": decay,
         "seed": seed,
-        "dict_seconds": round(dict_seconds, 4),
-        "vectorized_seconds": round(vec_seconds, 4),
-        "speedup": round(speedup, 2),
-        "dict_pushes": records["dict"]["num_pushes"],
-        "vectorized_pushes": records["vectorized"]["num_pushes"],
-        "max_abs_diff": round(max_abs_diff, 6),
-        "within_epsilon": bool(max_abs_diff < epsilon),
+        "num_workers": num_workers,
+        "backends": backends_out,
+        "within_epsilon": bool(within_epsilon),
     }
 
 
@@ -103,17 +162,23 @@ def main(argv=None) -> int:
                         help="LocalPush error threshold ε")
     parser.add_argument("--decay", type=float, default=0.6, help="decay factor c")
     parser.add_argument("--seed", type=int, default=0, help="graph seed")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="sharded-engine worker pool size "
+                             "(default: min(4, cpu count))")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
-                        help="where to write the JSON record "
+                        help="benchmark history JSON to append to "
                              "(default: BENCH_localpush.json at the repo root)")
     args = parser.parse_args(argv)
 
     num_nodes = args.nodes if args.nodes is not None else (600 if args.smoke else 5000)
+    num_workers = args.workers if args.workers is not None else default_num_workers()
     record = run(num_nodes=num_nodes, average_degree=args.degree,
                  epsilon=args.epsilon, decay=args.decay, seed=args.seed,
-                 smoke=args.smoke)
-    args.output.write_text(json.dumps(record, indent=2) + "\n")
-    print(f"wrote {args.output}")
+                 smoke=args.smoke, num_workers=num_workers)
+    history = load_history(args.output)
+    history.append(record)
+    args.output.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"appended record #{len(history)} to {args.output}")
     return 0
 
 

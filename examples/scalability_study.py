@@ -12,17 +12,22 @@ reproducing the trend of the paper's Fig. 5 at laptop scale.
 LocalPush backend selection
 ---------------------------
 SIGMA's precompute column is dominated by LocalPush (Algorithm 1), which
-ships with two engines selected by ``simrank_backend``:
+ships with three engines selected by ``simrank_backend``:
 
 * ``"dict"`` — the per-pair reference loop (correctness oracle);
 * ``"vectorized"`` — the frontier-batched array engine: each round absorbs
   the whole above-threshold frontier and pushes its mass in one sparse
   ``R ← R + c·Wᵀ F W`` step — 10–25× faster at these sizes (see
   ``BENCH_localpush.json``, produced by ``benchmarks/bench_localpush.py``);
-* ``"auto"`` (default) — vectorized from 256 nodes upward.
+* ``"sharded"`` — the vectorized rounds split into row shards executed by a
+  worker pool (``simrank_workers``), with streaming top-k pruning inside
+  the loop; bit-identical across worker counts;
+* ``"auto"`` (default) — vectorized from 256 nodes, sharded from 4096.
 
-Both engines share the ``(1 − c)·ε`` stopping rule and the
+All engines share the ``(1 − c)·ε`` stopping rule and the
 ``‖Ŝ − S‖_max < ε`` guarantee, so accuracy is unaffected by the choice.
+Pass ``simrank_cache_dir`` to persist operators across runs — a warm cache
+skips the precompute column entirely.
 """
 
 from __future__ import annotations

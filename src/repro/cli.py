@@ -41,27 +41,44 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--epsilon", type=float, default=None,
                         help="LocalPush error threshold ε")
     parser.add_argument("--simrank-backend", default=None,
-                        choices=("dict", "vectorized", "auto"),
+                        choices=("dict", "vectorized", "sharded", "auto"),
                         help="LocalPush engine for SIGMA's precompute "
                              "(SIGMA models only; default: auto — "
-                             "vectorized on large graphs)")
+                             "vectorized/sharded on large graphs)")
+    parser.add_argument("--simrank-workers", type=int, default=None,
+                        help="worker-pool size for the sharded LocalPush "
+                             "engine (SIGMA models only; results are "
+                             "identical for every worker count)")
+    parser.add_argument("--simrank-cache-dir", default=None,
+                        help="directory of a persistent SimRank operator "
+                             "cache; repeated runs on the same graph and "
+                             "hyper-parameters skip precompute (SIGMA "
+                             "models only)")
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
     parser.add_argument("--json", action="store_true", help="print the summary as JSON")
     return parser
 
 
 def main(argv: Optional[list[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     config = TrainConfig(learning_rate=args.lr, weight_decay=args.weight_decay,
                          max_epochs=args.epochs, patience=args.patience,
                          track_test_history=False)
     dataset = load_dataset(args.dataset, seed=args.seed, scale_factor=args.scale_factor)
 
     overrides = {}
-    for name in ("hidden", "delta", "top_k", "epsilon", "simrank_backend"):
+    for name in ("hidden", "delta", "top_k", "epsilon", "simrank_backend",
+                 "simrank_workers", "simrank_cache_dir"):
         value = getattr(args, name)
         if value is not None:
             overrides[name] = value
+    if args.model not in ("sigma", "sigma_iterative"):
+        rejected = [name for name in overrides if name.startswith("simrank_")]
+        if rejected:
+            flags = ", ".join("--" + name.replace("_", "-") for name in rejected)
+            parser.error(f"{flags}: only supported by SIGMA models, "
+                         f"not {args.model!r}")
 
     summary = repeated_evaluation(args.model, dataset, num_repeats=args.repeats,
                                   config=config, seed=args.seed, **overrides)

@@ -64,16 +64,22 @@ class Fig5Result:
 def run(*, base_dataset: str = "pokec", num_sizes: int = 4, shrink: float = 2.0,
         models: Sequence[str] = ("sigma", "glognn"),
         config: Optional[TrainConfig] = None, seed: int = 0,
-        base_scale: float = 1.0, simrank_backend: str = "auto") -> Fig5Result:
+        base_scale: float = 1.0, simrank_backend: str = "auto",
+        simrank_workers: Optional[int] = None,
+        simrank_cache_dir: Optional[str] = None) -> Fig5Result:
     """Measure learning time across a geometric grid of graph sizes.
 
     The largest size is the base dataset at ``base_scale``; each subsequent
     size divides the node count by ``shrink`` (edges shrink roughly
     proportionally, matching the paper's geometric grid of edge counts).
     ``simrank_backend`` selects the LocalPush engine used for the SIGMA
-    variants' precomputation (``"dict"``/``"vectorized"``/``"auto"``) — the
-    precompute column of this figure is exactly what the vectorized engine
-    accelerates.
+    variants' precomputation
+    (``"dict"``/``"vectorized"``/``"sharded"``/``"auto"``) — the precompute
+    column of this figure is exactly what the batched engines accelerate —
+    with ``simrank_workers`` sizing the sharded engine's pool.  With
+    ``simrank_cache_dir`` set, a warm cache makes repeated runs skip the
+    LocalPush precompute entirely (the precompute column then measures the
+    cache load).
     """
     config = config or QUICK_EXPERIMENT_CONFIG
     spec = get_spec(base_dataset)
@@ -85,8 +91,13 @@ def run(*, base_dataset: str = "pokec", num_sizes: int = 4, shrink: float = 2.0,
         splits = stratified_splits(graph.labels, num_splits=1, seed=seed + 1)
         dataset = Dataset(graph=graph, splits=splits, name=f"{base_dataset}@{scale:.3f}")
         for model_name in models:
-            overrides = ({"simrank_backend": simrank_backend}
-                         if model_name in ("sigma", "sigma_iterative") else {})
+            overrides = {}
+            if model_name in ("sigma", "sigma_iterative"):
+                overrides["simrank_backend"] = simrank_backend
+                if simrank_workers is not None:
+                    overrides["simrank_workers"] = simrank_workers
+                if simrank_cache_dir is not None:
+                    overrides["simrank_cache_dir"] = simrank_cache_dir
             model = create_model(model_name, graph, rng=seed, **overrides)
             trained = Trainer(model, config).fit(dataset.split(0))
             result.points.append(ScalabilityPoint(

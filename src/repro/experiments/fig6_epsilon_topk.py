@@ -48,21 +48,33 @@ def run(dataset_name: str = "pokec", *, epsilons: Sequence[float] = DEFAULT_EPSI
         top_ks: Sequence[int] = DEFAULT_TOP_KS, num_repeats: int = 1,
         scale_factor: float = 1.0, config: Optional[TrainConfig] = None,
         seed: int = 0, final_layers: int = 2,
-        simrank_backend: str = "auto") -> Fig6Result:
+        simrank_backend: str = "auto",
+        simrank_workers: Optional[int] = None,
+        simrank_cache_dir: Optional[str] = None) -> Fig6Result:
     """Sweep (ε, k) for SIGMA on ``dataset_name``.
 
     ``simrank_backend`` selects the LocalPush engine
-    (``"dict"``/``"vectorized"``/``"auto"``) used for every cell.
+    (``"dict"``/``"vectorized"``/``"sharded"``/``"auto"``) used for every
+    cell, ``simrank_workers`` sizes the sharded engine's pool and
+    ``simrank_cache_dir`` enables the persistent operator cache — every
+    (ε, k) cell is keyed separately, so a warm cache skips the whole
+    precompute sweep on repeated runs.
     """
     config = config or DEFAULT_EXPERIMENT_CONFIG
     dataset = load_dataset(dataset_name, seed=seed, scale_factor=scale_factor)
     result = Fig6Result(dataset=dataset_name)
+    extra = {}
+    if simrank_workers is not None:
+        extra["simrank_workers"] = simrank_workers
+    if simrank_cache_dir is not None:
+        extra["simrank_cache_dir"] = simrank_cache_dir
     for epsilon in epsilons:
         for top_k in top_ks:
             summary = repeated_evaluation(
                 "sigma", dataset, num_repeats=num_repeats, config=config, seed=seed,
                 epsilon=epsilon, top_k=top_k, final_layers=final_layers,
-                simrank_method="localpush", simrank_backend=simrank_backend)
+                simrank_method="localpush", simrank_backend=simrank_backend,
+                **extra)
             result.cells.append({
                 "epsilon": epsilon,
                 "top_k": top_k,

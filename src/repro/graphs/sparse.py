@@ -6,6 +6,12 @@ import numpy as np
 import scipy.sparse as sp
 
 
+def csr_row_indices(matrix: sp.csr_matrix) -> np.ndarray:
+    """Row index of every stored entry of a CSR matrix (COO expansion)."""
+    return np.repeat(np.arange(matrix.shape[0], dtype=np.int64),
+                     np.diff(matrix.indptr))
+
+
 def top_k_per_row(matrix: sp.spmatrix, k: int, *, keep_diagonal: bool = False) -> sp.csr_matrix:
     """Keep only the ``k`` largest entries of each row of ``matrix``.
 
@@ -91,4 +97,5 @@ def dense_to_sparse_threshold(matrix: np.ndarray, threshold: float) -> sp.csr_ma
     return sp.csr_matrix(dense)
 
 
-__all__ = ["top_k_per_row", "sparse_row_normalize", "dense_to_sparse_threshold"]
+__all__ = ["csr_row_indices", "top_k_per_row", "sparse_row_normalize",
+           "dense_to_sparse_threshold"]

@@ -72,7 +72,16 @@ class SIGMA(NodeClassifier):
         Passed to :func:`repro.simrank.topk.simrank_operator`; the paper uses
         exact scores on small graphs and LocalPush with ``ε = 0.1`` and
         ``k ∈ {16, 32}`` on large ones.  ``simrank_backend`` selects the
-        LocalPush engine (``"dict"``, ``"vectorized"`` or ``"auto"``).
+        LocalPush engine (``"dict"``, ``"vectorized"``, ``"sharded"`` or
+        ``"auto"``).
+    simrank_workers:
+        Worker-pool size for the sharded LocalPush engine (ignored by the
+        other backends; results are identical either way).
+    simrank_cache_dir:
+        Directory of a persistent operator cache
+        (:mod:`repro.simrank.cache`).  When set, repeated constructions on
+        the same graph and hyper-parameters skip LocalPush precompute
+        entirely.
     final_layers:
         Number of layers in ``MLP_H`` (1 for small datasets, 2 for large, as
         in the paper's parameter settings).
@@ -84,6 +93,8 @@ class SIGMA(NodeClassifier):
                  simrank_method: str = "auto", epsilon: float = 0.1,
                  top_k: Optional[int] = 32, decay: float = 0.6,
                  simrank_backend: str = "auto",
+                 simrank_workers: Optional[int] = None,
+                 simrank_cache_dir: Optional[str] = None,
                  use_simrank: bool = True, use_features: bool = True,
                  use_adjacency: bool = True,
                  operator_mode: OperatorMode = "simrank",
@@ -113,7 +124,9 @@ class SIGMA(NodeClassifier):
             with self.timing.measure("precompute"):
                 operator = simrank_operator(graph, method=simrank_method, decay=decay,
                                             epsilon=epsilon, top_k=top_k,
-                                            backend=simrank_backend)
+                                            backend=simrank_backend,
+                                            num_workers=simrank_workers,
+                                            cache=simrank_cache_dir)
                 matrix = operator.matrix
                 if operator_mode == "simrank_adj":
                     # Localised ablation: restrict aggregation weights to the

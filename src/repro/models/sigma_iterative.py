@@ -35,6 +35,8 @@ class SIGMAIterative(NodeClassifier):
                  simrank_method: str = "auto", epsilon: float = 0.1,
                  top_k: Optional[int] = 32, decay: float = 0.6,
                  simrank_backend: str = "auto",
+                 simrank_workers: Optional[int] = None,
+                 simrank_cache_dir: Optional[str] = None,
                  rng: RngLike = None) -> None:
         super().__init__(graph, hidden=hidden)
         if num_layers < 1:
@@ -47,7 +49,9 @@ class SIGMAIterative(NodeClassifier):
         with self.timing.measure("precompute"):
             operator = simrank_operator(graph, method=simrank_method, decay=decay,
                                         epsilon=epsilon, top_k=top_k,
-                                        backend=simrank_backend)
+                                        backend=simrank_backend,
+                                        num_workers=simrank_workers,
+                                        cache=simrank_cache_dir)
         self.simrank = operator
         self.propagation = SparsePropagation(operator.matrix, timing=self.timing)
         self._adjacency = graph.adjacency.tocsr()

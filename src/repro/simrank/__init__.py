@@ -11,18 +11,76 @@ Three computations are provided:
   point that LocalPush approximates and the operator SIGMA aggregates with.
 * :func:`localpush_simrank` — Algorithm 1 (LocalPush) of the paper: a
   residual-push approximation with max-norm guarantee ``ε`` and
-  ``O(d²/ε)``-style cost, returning a sparse matrix.  Two engines are
-  available (``backend="dict"|"vectorized"|"auto"``): the per-pair
-  reference loop and the frontier-batched array engine of
-  :func:`localpush_simrank_vectorized`.
+  ``O(d²/ε)``-style cost, returning a sparse matrix.
 
 :func:`simrank_operator` combines approximation and top-k pruning into the
 sparse aggregation operator used by the SIGMA model.
+
+Backend selection
+-----------------
+``localpush_simrank`` dispatches between three engines
+(``backend="dict"|"vectorized"|"sharded"|"auto"``):
+
+========== ===================== =============================================
+backend     auto-selected for     engine
+========== ===================== =============================================
+dict        < 256 nodes           per-pair reference loop (equivalence oracle)
+vectorized  256 – 4095 nodes      frontier-batched sparse rounds
+sharded     ≥ 4096 nodes          vectorized rounds split into row shards
+                                  executed by a worker pool, merged in shard
+                                  order (bit-deterministic across worker
+                                  counts), with optional streaming top-k
+========== ===================== =============================================
+
+The thresholds live in :data:`repro.simrank.localpush.AUTO_BACKEND_MIN_NODES`
+and :data:`repro.simrank.localpush.AUTO_SHARDED_MIN_NODES` and are resolved
+by :func:`repro.simrank.localpush.resolve_backend`; unit tests pin them.
+All engines satisfy the same ``‖Ŝ − S‖_max < ε`` guarantee (Lemma III.5).
+
+Streaming top-k error-bound argument
+------------------------------------
+The sharded engine can prune the estimate to the top ``k`` scores per row
+*inside* the push loop (``stream_top_k``), keeping memory at ``O(k·n)``
+instead of ``O(n·d²/ε)``.  Correctness rests on the residual invariant
+``S = Ŝ + Σ_{ℓ≥0} c^ℓ (Wᵀ)^ℓ R W^ℓ`` and on the columns of ``W = A D⁻¹``
+summing to at most one, which bounds the future growth of *any* estimate
+entry by ``slack = ‖R‖_max / (1 − c)``.  An entry is dropped only when its
+current value plus ``slack`` is strictly below the row's current k-th
+largest score — so it provably cannot enter the final top-k, and the
+streamed result is identical to pruning the fully materialised estimate
+(see :mod:`repro.simrank.sharded` for the full argument).  Because the
+estimate never feeds back into the residual, the ε guarantee on retained
+entries is untouched.
+
+Operator cache layout
+---------------------
+:mod:`repro.simrank.cache` persists computed operators under a cache
+directory as ``simrank-<key>.npz`` files (CSR arrays plus a JSON metadata
+record).  ``<key>`` hashes ``(format version, graph fingerprint, method,
+c, ε, k, row_normalize, resolved backend)``; the worker count is excluded
+because sharded results are bit-identical across pools.  Stale format
+versions, metadata mismatches and corrupted files are evicted and
+recomputed; see the module docstring of :mod:`repro.simrank.cache`.
+Enable it via ``simrank_operator(..., cache=<dir>)``, model kwargs
+``simrank_cache_dir=...``, or the CLI flag ``--simrank-cache-dir``.
 """
 
+from repro.simrank.cache import (
+    CACHE_FORMAT_VERSION,
+    OperatorCache,
+    get_operator_cache,
+    graph_fingerprint,
+)
 from repro.simrank.exact import exact_simrank, linearized_simrank
-from repro.simrank.localpush import LocalPushResult, localpush_simrank
+from repro.simrank.localpush import (
+    AUTO_BACKEND_MIN_NODES,
+    AUTO_SHARDED_MIN_NODES,
+    LocalPushResult,
+    localpush_simrank,
+    resolve_backend,
+)
 from repro.simrank.localpush_vec import localpush_simrank_vectorized
+from repro.simrank.sharded import localpush_simrank_sharded
 from repro.simrank.topk import simrank_operator, topk_simrank
 from repro.simrank.pairwise_walk import (
     homophily_probability,
@@ -36,9 +94,17 @@ __all__ = [
     "linearized_simrank",
     "localpush_simrank",
     "localpush_simrank_vectorized",
+    "localpush_simrank_sharded",
     "LocalPushResult",
+    "resolve_backend",
+    "AUTO_BACKEND_MIN_NODES",
+    "AUTO_SHARDED_MIN_NODES",
     "topk_simrank",
     "simrank_operator",
+    "OperatorCache",
+    "get_operator_cache",
+    "graph_fingerprint",
+    "CACHE_FORMAT_VERSION",
     "pairwise_meeting_probability",
     "pairwise_walk_series",
     "homophily_probability",

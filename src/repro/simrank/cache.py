@@ -1,0 +1,238 @@
+"""Persistent, content-addressed cache for precomputed SimRank operators.
+
+LocalPush precompute dominates end-to-end cost of the scalability
+experiments (Fig. 5, Table III), yet the operator is a pure function of
+``(graph, method, c, ε, k, backend, row_normalize)``.  This module stores
+each computed :class:`repro.simrank.topk.SimRankOperator` on disk under a
+content-addressed key so repeated experiment runs skip precompute
+entirely.
+
+Cache layout
+------------
+A cache directory holds one ``.npz`` file per operator::
+
+    <cache-dir>/
+        simrank-<key>.npz     # CSR arrays (data/indices/indptr/shape)
+                              # + a JSON metadata record
+
+``<key>`` is the SHA-256 (truncated to 32 hex chars) of a canonical JSON
+payload containing the cache format version, the *graph fingerprint* (a
+SHA-256 over the adjacency CSR arrays — content-addressed, so renames and
+re-generations of the same graph hit) and the resolved operator
+parameters.  The worker count is deliberately **excluded** from the key:
+the sharded engine is bit-deterministic across worker counts, so operators
+computed with different pools are interchangeable.
+
+Invalidation and corruption
+---------------------------
+* **Versioned invalidation** — :data:`CACHE_FORMAT_VERSION` participates in
+  the key *and* is checked against the stored metadata on load; bumping it
+  orphans every existing entry, and a stale or mismatched file is evicted
+  (deleted) rather than trusted.
+* **Parameter verification** — the stored metadata must match the request
+  exactly, guarding against key collisions and hand-edited files.
+* **Corruption** — any load failure (truncated zip, missing arrays,
+  malformed JSON) counts as a miss: the broken file is evicted and the
+  operator is recomputed and re-stored.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed run never
+leaves a half-written entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simrank.topk import SimRankOperator
+
+#: Bump to orphan every previously written cache entry (e.g. when the
+#: on-disk layout or the operator semantics change).
+CACHE_FORMAT_VERSION = 1
+
+_FILE_PREFIX = "simrank-"
+
+#: Per-directory singleton registry so every consumer of the same cache
+#: directory shares one instance — and therefore one set of hit/miss
+#: counters, which the experiment tests assert on.
+_CACHE_REGISTRY: Dict[Path, "OperatorCache"] = {}
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Content hash of a graph's adjacency structure (SHA-256 hex digest).
+
+    Hashes the canonical CSR arrays (``Graph`` sorts indices on
+    construction), so two graphs with identical topology and weights share
+    a fingerprint regardless of name, features or labels — none of which
+    influence the SimRank operator.
+    """
+    adjacency = graph.adjacency
+    digest = hashlib.sha256()
+    digest.update(np.int64(adjacency.shape[0]).tobytes())
+    digest.update(adjacency.indptr.astype(np.int64, copy=False).tobytes())
+    digest.update(adjacency.indices.astype(np.int64, copy=False).tobytes())
+    digest.update(adjacency.data.astype(np.float64, copy=False).tobytes())
+    return digest.hexdigest()
+
+
+def get_operator_cache(directory: str | os.PathLike) -> "OperatorCache":
+    """Return the shared :class:`OperatorCache` for ``directory``.
+
+    Memoised per resolved path: repeated calls (e.g. one per experiment
+    grid cell) reuse the same instance and keep accumulating its counters.
+    """
+    path = Path(directory).expanduser().resolve()
+    cache = _CACHE_REGISTRY.get(path)
+    if cache is None:
+        cache = OperatorCache(path)
+        _CACHE_REGISTRY[path] = cache
+    return cache
+
+
+class OperatorCache:
+    """On-disk operator cache with hit/miss/store/eviction counters.
+
+    Prefer :func:`get_operator_cache` over direct construction so counter
+    state is shared per directory.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory).expanduser()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    def key_for(self, graph: Graph, *, method: str, decay: float,
+                epsilon: Optional[float], top_k: Optional[int],
+                row_normalize: bool, backend: Optional[str]) -> str:
+        """Content-addressed key for one operator configuration."""
+        payload = json.dumps({
+            "version": CACHE_FORMAT_VERSION,
+            "graph": graph_fingerprint(graph),
+            "method": method,
+            "decay": decay,
+            "epsilon": epsilon,
+            "top_k": top_k,
+            "row_normalize": row_normalize,
+            "backend": backend,
+        }, sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{_FILE_PREFIX}{key}.npz"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob(f"{_FILE_PREFIX}*.npz"))
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob(f"{_FILE_PREFIX}*.npz"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    # ------------------------------------------------------------------ #
+    def load(self, key: str, *, expect: Optional[dict] = None
+             ) -> Optional["SimRankOperator"]:
+        """Load the operator stored under ``key``, or ``None`` on a miss.
+
+        ``expect`` maps metadata field names to required values (the
+        resolved request parameters); a mismatch — as well as a version
+        mismatch or any deserialisation failure — evicts the file and
+        counts as a miss.
+        """
+        from repro.simrank.topk import SimRankOperator
+
+        path = self.path_for(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                meta = json.loads(str(payload["meta"]))
+                if meta.get("version") != CACHE_FORMAT_VERSION:
+                    raise ValueError(
+                        f"cache format version {meta.get('version')} != "
+                        f"{CACHE_FORMAT_VERSION}")
+                for field, expected in (expect or {}).items():
+                    if meta.get(field) != expected:
+                        raise ValueError(
+                            f"metadata mismatch for {field!r}: "
+                            f"{meta.get(field)!r} != {expected!r}")
+                shape = tuple(int(side) for side in payload["shape"])
+                matrix = sp.csr_matrix(
+                    (payload["data"], payload["indices"], payload["indptr"]),
+                    shape=shape)
+                matrix.check_format(full_check=True)
+        except Exception:
+            # Truncated, corrupted, stale-format or mismatched entry: evict
+            # so the caller recomputes and overwrites with a fresh file.
+            self.evictions += 1
+            self.misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        self.hits += 1
+        return SimRankOperator(
+            matrix=matrix,
+            method=str(meta["method"]),
+            decay=float(meta["decay"]),
+            epsilon=None if meta["epsilon"] is None else float(meta["epsilon"]),
+            top_k=None if meta["top_k"] is None else int(meta["top_k"]),
+            precompute_seconds=0.0,
+            backend=meta.get("backend"),
+            cache_hit=True,
+            row_normalize=bool(meta.get("row_normalize", False)),
+        )
+
+    def store(self, key: str, operator: "SimRankOperator") -> Path:
+        """Atomically persist ``operator`` under ``key``."""
+        matrix = sp.csr_matrix(operator.matrix)
+        meta = json.dumps({
+            "version": CACHE_FORMAT_VERSION,
+            "method": operator.method,
+            "decay": operator.decay,
+            "epsilon": operator.epsilon,
+            "top_k": operator.top_k,
+            "backend": operator.backend,
+            "row_normalize": operator.row_normalize,
+            "precompute_seconds": operator.precompute_seconds,
+        })
+        path = self.path_for(key)
+        temp_path = path.with_name(path.name + f".tmp{os.getpid()}")
+        try:
+            with open(temp_path, "wb") as handle:
+                np.savez_compressed(
+                    handle,
+                    data=matrix.data,
+                    indices=matrix.indices,
+                    indptr=matrix.indptr,
+                    shape=np.asarray(matrix.shape, dtype=np.int64),
+                    meta=np.asarray(meta),
+                )
+            os.replace(temp_path, path)
+        finally:
+            temp_path.unlink(missing_ok=True)
+        self.stores += 1
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"OperatorCache({str(self.directory)!r}, hits={self.hits}, "
+                f"misses={self.misses}, stores={self.stores}, "
+                f"evictions={self.evictions})")
+
+
+__all__ = ["OperatorCache", "get_operator_cache", "graph_fingerprint",
+           "CACHE_FORMAT_VERSION"]

@@ -13,7 +13,7 @@ result stays sparse with roughly ``O(n·d²/ε)`` entries rather than ``O(n²)``
 
 Backend selection
 -----------------
-Two interchangeable engines implement the push loop:
+Three interchangeable engines implement the push loop:
 
 * ``backend="dict"`` — the reference implementation below: a per-pair
   queue over Python dicts, a direct transcription of Algorithm 1.  It is
@@ -25,9 +25,15 @@ Two interchangeable engines implement the push loop:
   one sparse-matrix step ``R ← R + c·Wᵀ F W``.  Same stopping rule, same
   ``‖Ŝ − S‖_max < ε`` guarantee, one to two orders of magnitude faster
   (see ``BENCH_localpush.json``).
-* ``backend="auto"`` — picks ``"vectorized"`` for graphs with at least
-  :data:`AUTO_BACKEND_MIN_NODES` nodes, where the batched engine's setup
-  cost is amortised, and the reference engine below that.
+* ``backend="sharded"`` — the worker-parallel engine in
+  :mod:`repro.simrank.sharded`: each round's frontier is split into row
+  shards pushed by a thread pool and merged deterministically, with
+  optional *streaming* top-k pruning inside the loop so the full estimate
+  never materialises.  Bit-identical across worker counts.
+* ``backend="auto"`` — resolved by :func:`resolve_backend`: ``"dict"``
+  below :data:`AUTO_BACKEND_MIN_NODES` nodes, ``"sharded"`` from
+  :data:`AUTO_SHARDED_MIN_NODES` nodes upward, ``"vectorized"`` in
+  between.
 
 Both backends guarantee a strictly positive diagonal: SimRank defines
 ``S(u, u) = 1``, so even when ``ε`` is so large that the push threshold
@@ -49,12 +55,37 @@ from repro.graphs.graph import Graph
 from repro.simrank.exact import DEFAULT_DECAY
 from repro.utils.timer import Timer
 
-Backend = Literal["dict", "vectorized", "auto"]
+Backend = Literal["dict", "vectorized", "sharded", "auto"]
 
 #: Node count above which ``backend="auto"`` switches to the vectorized
 #: engine; below it the per-round sparse-matrix setup dominates and the
 #: dict loop is just as fast.
 AUTO_BACKEND_MIN_NODES = 256
+
+#: Node count above which ``backend="auto"`` switches from the vectorized
+#: to the sharded engine: push rounds become large enough that splitting
+#: them across a worker pool (and streaming top-k pruning to bound memory)
+#: pays for the shard setup.  Pinned by the backend-selection unit tests.
+AUTO_SHARDED_MIN_NODES = 4096
+
+
+def resolve_backend(backend: Backend, num_nodes: int) -> str:
+    """Resolve ``"auto"`` to a concrete LocalPush engine for ``num_nodes``.
+
+    The policy is a two-threshold ladder: ``"dict"`` below
+    :data:`AUTO_BACKEND_MIN_NODES`, ``"vectorized"`` from there up to
+    :data:`AUTO_SHARDED_MIN_NODES`, and ``"sharded"`` above.  Explicit
+    backend names pass through unchanged.
+    """
+    if backend not in ("dict", "vectorized", "sharded", "auto"):
+        raise SimRankError(f"unknown LocalPush backend {backend!r}")
+    if backend != "auto":
+        return backend
+    if num_nodes >= AUTO_SHARDED_MIN_NODES:
+        return "sharded"
+    if num_nodes >= AUTO_BACKEND_MIN_NODES:
+        return "vectorized"
+    return "dict"
 
 
 @dataclass
@@ -77,10 +108,15 @@ class LocalPushResult:
     decay:
         The decay factor ``c``.
     backend:
-        Which engine produced the result (``"dict"`` or ``"vectorized"``).
+        Which engine produced the result (``"dict"``, ``"vectorized"`` or
+        ``"sharded"``).
     num_rounds:
-        Number of frontier rounds (vectorized backend only; ``None`` for
+        Number of frontier rounds (batched backends only; ``None`` for
         the per-pair reference backend).
+    num_workers:
+        Worker-pool size used (sharded backend only).
+    num_shards:
+        Largest per-round shard count used (sharded backend only).
     """
 
     matrix: sp.csr_matrix
@@ -91,13 +127,17 @@ class LocalPushResult:
     decay: float
     backend: str = "dict"
     num_rounds: Optional[int] = None
+    num_workers: Optional[int] = None
+    num_shards: Optional[int] = None
 
 
 def localpush_simrank(graph: Graph, *, decay: float = DEFAULT_DECAY,
                       epsilon: float = 0.1, prune: bool = True,
                       absorb_residual: bool = False,
                       max_pushes: int | None = None,
-                      backend: Backend = "auto") -> LocalPushResult:
+                      backend: Backend = "auto",
+                      num_workers: int | None = None,
+                      stream_top_k: int | None = None) -> LocalPushResult:
     """Run Algorithm 1 (LocalPush) and return the sparse approximation.
 
     Parameters
@@ -126,24 +166,46 @@ def localpush_simrank(graph: Graph, *, decay: float = DEFAULT_DECAY,
         analogue of a per-pair push.
     backend:
         ``"dict"`` (per-pair reference loop), ``"vectorized"``
-        (frontier-batched array engine) or ``"auto"`` (vectorized from
-        :data:`AUTO_BACKEND_MIN_NODES` nodes upward).  Both satisfy the
-        same ``‖Ŝ − S‖_max < ε`` bound; see the module docstring.
+        (frontier-batched array engine), ``"sharded"`` (worker-parallel
+        row-sharded engine) or ``"auto"`` (resolved by
+        :func:`resolve_backend` on the node count).  All satisfy the same
+        ``‖Ŝ − S‖_max < ε`` bound; see the module docstring.
+    num_workers:
+        Worker-pool size for the sharded engine; ignored by the other
+        backends.  Results are bit-identical across worker counts.
+    stream_top_k:
+        Prune the returned matrix to the ``k`` largest entries per row
+        with ``top_k_per_row(..., keep_diagonal=True)`` semantics.  The
+        sharded engine streams the prune into its push loop (bounded
+        memory); the dict and vectorized engines apply it post hoc — the
+        result is the same either way, so the semantics do not depend on
+        which engine ``"auto"`` resolves to.
     """
     if not 0.0 < decay < 1.0:
         raise SimRankError(f"decay factor c must be in (0, 1), got {decay}")
     if epsilon <= 0.0:
         raise SimRankError(f"epsilon must be positive, got {epsilon}")
-    if backend not in ("dict", "vectorized", "auto"):
-        raise SimRankError(f"unknown LocalPush backend {backend!r}")
-    if backend == "auto":
-        backend = "vectorized" if graph.num_nodes >= AUTO_BACKEND_MIN_NODES else "dict"
+    if stream_top_k is not None and stream_top_k < 1:
+        raise SimRankError(f"stream_top_k must be >= 1, got {stream_top_k}")
+    backend = resolve_backend(backend, graph.num_nodes)
+    if backend == "sharded":
+        from repro.simrank.sharded import localpush_simrank_sharded
+
+        return localpush_simrank_sharded(
+            graph, decay=decay, epsilon=epsilon, prune=prune,
+            absorb_residual=absorb_residual, max_pushes=max_pushes,
+            num_workers=num_workers, stream_top_k=stream_top_k)
     if backend == "vectorized":
+        from repro.graphs.sparse import top_k_per_row
         from repro.simrank.localpush_vec import localpush_simrank_vectorized
 
-        return localpush_simrank_vectorized(
+        result = localpush_simrank_vectorized(
             graph, decay=decay, epsilon=epsilon, prune=prune,
             absorb_residual=absorb_residual, max_pushes=max_pushes)
+        if stream_top_k is not None:
+            result.matrix = top_k_per_row(result.matrix, stream_top_k,
+                                          keep_diagonal=True)
+        return result
 
     n = graph.num_nodes
     adjacency = graph.adjacency
@@ -224,6 +286,10 @@ def localpush_simrank(graph: Graph, *, decay: float = DEFAULT_DECAY,
                     if value >= floor or pair[0] == pair[1]}
 
     matrix = _pairs_to_csr(estimate, n)
+    if stream_top_k is not None:
+        from repro.graphs.sparse import top_k_per_row
+
+        matrix = top_k_per_row(matrix, stream_top_k, keep_diagonal=True)
     leftover = sum(1 for value in residual.values() if value > 0.0)
     return LocalPushResult(
         matrix=matrix,
@@ -233,6 +299,34 @@ def localpush_simrank(graph: Graph, *, decay: float = DEFAULT_DECAY,
         epsilon=epsilon,
         decay=decay,
     )
+
+
+def finalize_estimate(estimate: sp.csr_matrix, residual: sp.csr_matrix, *,
+                      epsilon: float, prune: bool) -> sp.csr_matrix:
+    """Shared post-loop finalisation of the batched engines' estimates.
+
+    Restores any missing diagonal from the untouched residual mass
+    (SimRank defines ``S(u, u) = 1``, so every node keeps a positive
+    diagonal even when the threshold ``(1-c)·ε ≥ 1`` suppressed all
+    pushes) and applies the paper's ``ε / 10`` floor prune, never dropping
+    the diagonal.  Kept in one place so the vectorized and sharded
+    backends cannot drift apart in these semantics.
+    """
+    from repro.graphs.sparse import csr_row_indices
+
+    diagonal = estimate.diagonal()
+    missing = diagonal <= 0.0
+    if missing.any():
+        fill = np.where(missing, residual.diagonal(), 0.0)
+        estimate = (estimate + sp.diags(fill, format="csr")).tocsr()
+    if prune:
+        floor = epsilon / 10.0
+        rows = csr_row_indices(estimate)
+        keep = (estimate.data >= floor) | (rows == estimate.indices)
+        estimate.data[~keep] = 0.0
+        estimate.eliminate_zeros()
+    estimate.sort_indices()
+    return estimate
 
 
 def _pairs_to_csr(entries: Dict[Tuple[int, int], float], n: int) -> sp.csr_matrix:
@@ -247,4 +341,5 @@ def _pairs_to_csr(entries: Dict[Tuple[int, int], float], n: int) -> sp.csr_matri
 
 
 __all__ = ["localpush_simrank", "LocalPushResult", "Backend",
-           "AUTO_BACKEND_MIN_NODES"]
+           "resolve_backend", "finalize_estimate", "AUTO_BACKEND_MIN_NODES",
+           "AUTO_SHARDED_MIN_NODES"]

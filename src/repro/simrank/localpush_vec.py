@@ -42,14 +42,9 @@ import scipy.sparse as sp
 from repro.errors import SimRankError
 from repro.graphs.graph import Graph
 from repro.graphs.normalize import column_normalize
+from repro.graphs.sparse import csr_row_indices as _csr_rows
 from repro.simrank.exact import DEFAULT_DECAY
 from repro.utils.timer import Timer
-
-
-def _csr_rows(matrix: sp.csr_matrix) -> np.ndarray:
-    """Row index of every stored entry of a CSR matrix (COO expansion)."""
-    return np.repeat(np.arange(matrix.shape[0], dtype=np.int64),
-                     np.diff(matrix.indptr))
 
 
 def localpush_simrank_vectorized(graph: Graph, *, decay: float = DEFAULT_DECAY,
@@ -65,7 +60,7 @@ def localpush_simrank_vectorized(graph: Graph, *, decay: float = DEFAULT_DECAY,
     rounds.  ``max_pushes`` counts absorbed frontier entries, the batched
     analogue of the reference backend's per-pair push count.
     """
-    from repro.simrank.localpush import LocalPushResult
+    from repro.simrank.localpush import LocalPushResult, finalize_estimate
 
     if not 0.0 < decay < 1.0:
         raise SimRankError(f"decay factor c must be in (0, 1), got {decay}")
@@ -139,23 +134,8 @@ def localpush_simrank_vectorized(graph: Graph, *, decay: float = DEFAULT_DECAY,
     else:
         estimate = sp.csr_matrix((n, n))
 
-    # SimRank defines S(u, u) = 1, so the returned matrix must carry a
-    # positive diagonal even when ε is so large that no pair was ever
-    # pushed (threshold ≥ 1): fall back to the untouched residual mass.
-    diagonal = estimate.diagonal()
-    missing = diagonal <= 0.0
-    if missing.any():
-        fill = np.where(missing, residual.diagonal(), 0.0)
-        estimate = (estimate + sp.diags(fill, format="csr")).tocsr()
-
-    if prune:
-        floor = epsilon / 10.0
-        rows = _csr_rows(estimate)
-        keep = (estimate.data >= floor) | (rows == estimate.indices)
-        estimate.data[~keep] = 0.0
-        estimate.eliminate_zeros()
-
-    estimate.sort_indices()
+    estimate = finalize_estimate(estimate, residual, epsilon=epsilon,
+                                 prune=prune)
     leftover = int(np.count_nonzero(residual.data > 0.0))
     return LocalPushResult(
         matrix=estimate,

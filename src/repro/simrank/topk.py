@@ -10,8 +10,9 @@ bundles the full precomputation pipeline used by the SIGMA model:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Literal, Optional
+from typing import Literal, Optional, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -19,11 +20,20 @@ import scipy.sparse as sp
 from repro.errors import SimRankError
 from repro.graphs.graph import Graph
 from repro.graphs.sparse import sparse_row_normalize, top_k_per_row
+from repro.simrank.cache import OperatorCache, get_operator_cache
 from repro.simrank.exact import DEFAULT_DECAY, exact_simrank, linearized_simrank
-from repro.simrank.localpush import Backend, localpush_simrank
+from repro.simrank.localpush import Backend, localpush_simrank, resolve_backend
 from repro.utils.timer import Timer
 
 Method = Literal["exact", "series", "localpush", "auto"]
+
+CacheLike = Union[OperatorCache, str, os.PathLike, None]
+
+
+def _resolve_cache(cache: CacheLike) -> Optional[OperatorCache]:
+    if cache is None or isinstance(cache, OperatorCache):
+        return cache
+    return get_operator_cache(cache)
 
 
 def topk_simrank(matrix: sp.spmatrix | np.ndarray, k: int,
@@ -53,6 +63,11 @@ class SimRankOperator:
     top_k: Optional[int]
     precompute_seconds: float
     backend: Optional[str] = None
+    #: True when the operator was served from a persistent cache instead of
+    #: being recomputed; ``precompute_seconds`` then measures the load.
+    cache_hit: bool = False
+    #: Whether the rows were normalised to sum to one after pruning.
+    row_normalize: bool = False
 
     @property
     def nnz(self) -> int:
@@ -68,7 +83,9 @@ def simrank_operator(graph: Graph, *, method: Method = "auto",
                      decay: float = DEFAULT_DECAY, epsilon: float = 0.1,
                      top_k: Optional[int] = None, row_normalize: bool = False,
                      exact_size_limit: int = 3000,
-                     backend: Backend = "auto") -> SimRankOperator:
+                     backend: Backend = "auto",
+                     num_workers: Optional[int] = None,
+                     cache: CacheLike = None) -> SimRankOperator:
     """Precompute the SimRank aggregation operator for a graph.
 
     Parameters
@@ -89,9 +106,20 @@ def simrank_operator(graph: Graph, *, method: Method = "auto",
         The paper aggregates with the raw scores; normalisation is exposed
         for ablation studies.
     backend:
-        LocalPush engine (``"dict"``, ``"vectorized"`` or ``"auto"``); only
-        consulted when the resolved method is ``"localpush"``.  See
+        LocalPush engine (``"dict"``, ``"vectorized"``, ``"sharded"`` or
+        ``"auto"``); only consulted when the resolved method is
+        ``"localpush"``.  See
         :func:`repro.simrank.localpush.localpush_simrank`.
+    num_workers:
+        Worker-pool size for the sharded LocalPush engine.  Deliberately
+        *not* part of the cache key: the sharded engine is bit-identical
+        across worker counts.
+    cache:
+        Optional persistent operator cache — an
+        :class:`repro.simrank.cache.OperatorCache` or a cache directory
+        path.  On a hit the precompute is skipped entirely and
+        ``cache_hit=True`` is set on the returned operator; on a miss the
+        computed operator is stored for the next run.
     """
     if top_k is not None and top_k <= 0:
         raise SimRankError(f"top_k must be positive, got {top_k}")
@@ -101,26 +129,47 @@ def simrank_operator(graph: Graph, *, method: Method = "auto",
     resolved = method
     if method == "auto":
         resolved = "series" if graph.num_nodes <= exact_size_limit else "localpush"
+    resolved_backend = (resolve_backend(backend, graph.num_nodes)
+                        if resolved == "localpush" else None)
+    cache_epsilon = None if resolved == "exact" else epsilon
+
+    cache_store = _resolve_cache(cache)
+    key: Optional[str] = None
+    timer = Timer()
+    timer.start()
+    if cache_store is not None:
+        key = cache_store.key_for(
+            graph, method=resolved, decay=decay, epsilon=cache_epsilon,
+            top_k=top_k, row_normalize=row_normalize, backend=resolved_backend)
+        cached = cache_store.load(key, expect={
+            "method": resolved, "decay": decay, "epsilon": cache_epsilon,
+            "top_k": top_k, "backend": resolved_backend,
+            "row_normalize": row_normalize})
+        if cached is not None:
+            cached.precompute_seconds = timer.stop()
+            return cached
 
     localpush_backend: Optional[str] = None
-    timer = Timer()
-    with timer:
-        if resolved == "exact":
-            dense = exact_simrank(graph, decay=decay)
-            matrix = sp.csr_matrix(dense)
-        elif resolved == "series":
-            dense = linearized_simrank(graph, decay=decay, tolerance=epsilon / 10.0)
-            dense[dense < epsilon / 10.0] = 0.0
-            matrix = sp.csr_matrix(dense)
-        else:
-            # For the aggregation operator we keep sub-threshold residual mass
-            # (a strict accuracy improvement) and let top-k do the pruning.
-            result = localpush_simrank(graph, decay=decay, epsilon=epsilon,
-                                       prune=top_k is None,
-                                       absorb_residual=True,
-                                       backend=backend)
-            matrix = result.matrix
-            localpush_backend = result.backend
+    if resolved == "exact":
+        dense = exact_simrank(graph, decay=decay)
+        matrix = sp.csr_matrix(dense)
+    elif resolved == "series":
+        dense = linearized_simrank(graph, decay=decay, tolerance=epsilon / 10.0)
+        dense[dense < epsilon / 10.0] = 0.0
+        matrix = sp.csr_matrix(dense)
+    else:
+        # For the aggregation operator we keep sub-threshold residual mass
+        # (a strict accuracy improvement) and let top-k do the pruning; the
+        # sharded engine additionally streams the top-k prune into the push
+        # loop (stream_top_k) so the full estimate never materialises.
+        result = localpush_simrank(graph, decay=decay, epsilon=epsilon,
+                                   prune=top_k is None,
+                                   absorb_residual=True,
+                                   backend=backend,
+                                   num_workers=num_workers,
+                                   stream_top_k=top_k)
+        matrix = result.matrix
+        localpush_backend = result.backend
 
     if top_k is not None:
         matrix = topk_simrank(matrix, top_k)
@@ -128,15 +177,19 @@ def simrank_operator(graph: Graph, *, method: Method = "auto",
         matrix = sparse_row_normalize(matrix)
     matrix.sort_indices()
 
-    return SimRankOperator(
+    operator = SimRankOperator(
         matrix=matrix,
         method=resolved,
         decay=decay,
-        epsilon=None if resolved == "exact" else epsilon,
+        epsilon=cache_epsilon,
         top_k=top_k,
-        precompute_seconds=timer.elapsed,
+        precompute_seconds=timer.stop(),
         backend=localpush_backend,
+        row_normalize=row_normalize,
     )
+    if cache_store is not None and key is not None:
+        cache_store.store(key, operator)
+    return operator
 
 
 __all__ = ["topk_simrank", "simrank_operator", "SimRankOperator"]

@@ -1,9 +1,37 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and collection policy for the test suite.
+
+Tests marked ``@pytest.mark.slow`` (large sharded-LocalPush stress runs,
+full-scale cache round-trips, …) are skipped by the fast default
+selection, so the tier-1 command ``python -m pytest -x -q`` stays at seed
+runtime.  Select them explicitly with ``-m slow`` (or run everything with
+``-m "slow or not slow"``).
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running stress test; excluded from the fast default "
+        "run, select with -m slow")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("-m"):
+        # An explicit marker expression overrides the fast default.
+        return
+    if any("::" in arg for arg in config.args):
+        # So does naming a test by node id: a directly requested slow test
+        # runs rather than silently reporting "skipped".
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: select with -m slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 from repro.datasets.dataset import Dataset
 from repro.datasets.splits import stratified_splits

@@ -14,6 +14,7 @@ from repro.nn.losses import softmax, softmax_cross_entropy
 from repro.simrank.exact import linearized_simrank
 from repro.simrank.localpush import localpush_simrank
 from repro.simrank.pairwise_walk import homophily_probability
+from repro.simrank.sharded import localpush_simrank_sharded
 
 SETTINGS = settings(max_examples=25, deadline=None)
 
@@ -101,6 +102,15 @@ class TestSimRankProperties:
         assert np.abs(approx - reference).max() < epsilon
 
     @SETTINGS
+    @given(random_graphs(max_nodes=12), st.sampled_from([0.3, 0.1]))
+    def test_sharded_backend_error_bound_property(self, graph, epsilon):
+        """Lemma III.5 holds for the sharded engine on arbitrary graphs."""
+        reference = linearized_simrank(graph, num_iterations=40)
+        approx = localpush_simrank_sharded(graph, epsilon=epsilon,
+                                           prune=False).matrix.toarray()
+        assert np.abs(approx - reference).max() < epsilon
+
+    @SETTINGS
     @given(st.floats(0.0, 1.0), st.integers(0, 10))
     def test_homophily_probability_in_unit_interval(self, p, length):
         value = homophily_probability(p, length)
@@ -143,6 +153,64 @@ class TestTopKProperties:
             if matrix[row].nnz == 0:
                 continue
             assert pruned[row].max() == dense[row].max()
+
+
+# --------------------------------------------------------------------------- #
+# Streaming top-k pruning invariants (sharded LocalPush engine)
+# --------------------------------------------------------------------------- #
+class TestStreamingTopKProperties:
+    """Invariants of the in-loop top-k prune of the sharded engine.
+
+    The engine may drop an estimate entry mid-run only when its value plus
+    the residual correction bound ``‖R‖_max / (1 − c)`` is strictly below
+    the row's current k-th largest score — so no entry whose true final
+    score exceeds the retained k-th score (plus that bound) is ever lost,
+    and the streamed result must equal pruning the full estimate post hoc.
+    """
+
+    @SETTINGS
+    @given(random_graphs(max_nodes=16), st.integers(2, 6),
+           st.sampled_from([0.3, 0.1]))
+    def test_streaming_never_drops_a_final_topk_entry(self, graph, k, epsilon):
+        full = localpush_simrank_sharded(graph, epsilon=epsilon, prune=False,
+                                         absorb_residual=True)
+        streamed = localpush_simrank_sharded(graph, epsilon=epsilon,
+                                             prune=False, absorb_residual=True,
+                                             stream_top_k=k)
+        dense_full = full.matrix.toarray()
+        dense_streamed = streamed.matrix.toarray()
+        for row in range(graph.num_nodes):
+            retained = dense_streamed[row][dense_streamed[row] > 0]
+            if retained.size == 0:
+                continue
+            kth_retained = np.sort(retained)[-min(k, retained.size)]
+            dropped = (dense_full[row] > 0) & (dense_streamed[row] == 0)
+            # A dropped entry's true score never exceeds the retained k-th
+            # score: the correction bound made the drop provably safe.
+            if dropped.any():
+                assert dense_full[row][dropped].max() <= kth_retained + 1e-9
+
+    @SETTINGS
+    @given(random_graphs(max_nodes=16), st.integers(2, 6),
+           st.sampled_from([0.3, 0.1]))
+    def test_streaming_equals_posthoc_topk(self, graph, k, epsilon):
+        full = localpush_simrank_sharded(graph, epsilon=epsilon, prune=False,
+                                         absorb_residual=True)
+        streamed = localpush_simrank_sharded(graph, epsilon=epsilon,
+                                             prune=False, absorb_residual=True,
+                                             stream_top_k=k)
+        expected = top_k_per_row(full.matrix, k, keep_diagonal=True)
+        np.testing.assert_allclose(streamed.matrix.toarray(),
+                                   expected.toarray(), rtol=0, atol=1e-12)
+
+    @SETTINGS
+    @given(random_graphs(max_nodes=16), st.integers(1, 5))
+    def test_streaming_respects_row_budget_and_diagonal(self, graph, k):
+        streamed = localpush_simrank_sharded(graph, epsilon=0.1, prune=False,
+                                             absorb_residual=True,
+                                             stream_top_k=k)
+        assert np.diff(streamed.matrix.indptr).max() <= k
+        assert (streamed.matrix.diagonal() > 0).all()
 
 
 # --------------------------------------------------------------------------- #

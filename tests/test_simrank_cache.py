@@ -1,0 +1,300 @@
+"""Round-trip / invalidation / corruption suite for the operator cache.
+
+Covers the persistent SimRank operator cache of
+:mod:`repro.simrank.cache`: hit/miss round trips through
+``simrank_operator``, key sensitivity in every keyed dimension, versioned
+invalidation, corruption eviction, and the end-to-end acceptance check —
+a warm cache makes a repeated Fig. 5 run skip LocalPush precompute,
+asserted via the shared cache-hit counter.
+"""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import SyntheticGraphConfig, generate_synthetic_graph
+from repro.experiments import fig5_scalability, table3_complexity
+from repro.experiments.common import QUICK_EXPERIMENT_CONFIG
+from repro.graphs.graph import Graph
+from repro.simrank.cache import (
+    CACHE_FORMAT_VERSION,
+    OperatorCache,
+    get_operator_cache,
+    graph_fingerprint,
+)
+from repro.simrank.topk import simrank_operator
+
+
+@pytest.fixture()
+def graph() -> Graph:
+    config = SyntheticGraphConfig(
+        num_nodes=120, num_classes=3, num_features=4, average_degree=6.0,
+        homophily=0.3, name="cache-sbm")
+    return generate_synthetic_graph(config, seed=0)
+
+
+@pytest.fixture()
+def cache(tmp_path) -> OperatorCache:
+    return OperatorCache(tmp_path / "operators")
+
+
+class TestGraphFingerprint:
+    def test_stable_and_name_independent(self, graph):
+        renamed = Graph(graph.adjacency.copy(), features=graph.features,
+                        labels=graph.labels, name="other-name")
+        assert graph_fingerprint(graph) == graph_fingerprint(renamed)
+
+    def test_sensitive_to_topology_and_weights(self, graph):
+        reference = graph_fingerprint(graph)
+        dense = graph.adjacency.toarray()
+        rows, cols = np.nonzero(np.triu(dense, k=1))
+        dense[rows[0], cols[0]] = dense[cols[0], rows[0]] = 0.0
+        assert graph_fingerprint(Graph(dense)) != reference
+        reweighted = graph.adjacency.copy()
+        reweighted.data = reweighted.data * 2.0
+        assert graph_fingerprint(Graph(reweighted)) != reference
+
+
+class TestKeying:
+    def test_key_varies_per_parameter(self, graph, cache):
+        base = dict(method="localpush", decay=0.6, epsilon=0.1, top_k=8,
+                    row_normalize=False, backend="sharded")
+        reference = cache.key_for(graph, **base)
+        for variation in (dict(epsilon=0.05), dict(decay=0.7), dict(top_k=16),
+                          dict(top_k=None), dict(backend="vectorized"),
+                          dict(method="series"), dict(row_normalize=True)):
+            assert cache.key_for(graph, **{**base, **variation}) != reference
+
+    def test_key_varies_per_graph(self, graph, cache):
+        other = generate_synthetic_graph(SyntheticGraphConfig(
+            num_nodes=120, num_classes=3, num_features=4, average_degree=6.0,
+            homophily=0.3, name="cache-sbm"), seed=1)
+        params = dict(method="localpush", decay=0.6, epsilon=0.1, top_k=8,
+                      row_normalize=False, backend="sharded")
+        assert cache.key_for(graph, **params) != cache.key_for(other, **params)
+
+    def test_registry_shares_instances_and_counters(self, tmp_path):
+        first = get_operator_cache(tmp_path / "shared")
+        second = get_operator_cache(tmp_path / "shared")
+        assert first is second
+
+
+class TestRoundTrip:
+    def test_miss_store_hit(self, graph, cache):
+        kwargs = dict(method="localpush", epsilon=0.1, top_k=8,
+                      backend="sharded", cache=cache)
+        cold = simrank_operator(graph, **kwargs)
+        assert not cold.cache_hit
+        assert (cache.misses, cache.stores, cache.hits) == (1, 1, 0)
+        assert len(cache) == 1
+
+        warm = simrank_operator(graph, **kwargs)
+        assert warm.cache_hit
+        assert cache.hits == 1
+        assert warm.method == cold.method == "localpush"
+        assert warm.backend == cold.backend == "sharded"
+        assert warm.epsilon == cold.epsilon and warm.top_k == cold.top_k
+        assert np.array_equal(warm.matrix.indptr, cold.matrix.indptr)
+        assert np.array_equal(warm.matrix.indices, cold.matrix.indices)
+        assert np.array_equal(warm.matrix.data, cold.matrix.data)
+
+    def test_cache_accepts_directory_path(self, graph, tmp_path):
+        directory = tmp_path / "by-path"
+        cold = simrank_operator(graph, method="localpush", epsilon=0.1,
+                                top_k=4, cache=directory)
+        warm = simrank_operator(graph, method="localpush", epsilon=0.1,
+                                top_k=4, cache=str(directory))
+        assert not cold.cache_hit and warm.cache_hit
+        assert get_operator_cache(directory).hits == 1
+
+    def test_worker_count_shares_one_entry(self, graph, cache):
+        """num_workers is excluded from the key: sharded is deterministic."""
+        cold = simrank_operator(graph, method="localpush", epsilon=0.1, top_k=8,
+                                backend="sharded", num_workers=1, cache=cache)
+        warm = simrank_operator(graph, method="localpush", epsilon=0.1, top_k=8,
+                                backend="sharded", num_workers=4, cache=cache)
+        assert not cold.cache_hit and warm.cache_hit
+        assert len(cache) == 1
+
+    def test_different_epsilon_is_a_miss(self, graph, cache):
+        simrank_operator(graph, method="localpush", epsilon=0.1, top_k=8,
+                         cache=cache)
+        second = simrank_operator(graph, method="localpush", epsilon=0.05,
+                                  top_k=8, cache=cache)
+        assert not second.cache_hit
+        assert cache.hits == 0 and cache.stores == 2
+
+    def test_row_normalize_is_keyed_and_verified(self, graph, cache):
+        raw = simrank_operator(graph, method="localpush", epsilon=0.1,
+                               top_k=8, cache=cache)
+        normalized = simrank_operator(graph, method="localpush", epsilon=0.1,
+                                      top_k=8, row_normalize=True, cache=cache)
+        assert not normalized.cache_hit  # separate key, no false hit
+        assert normalized.row_normalize and not raw.row_normalize
+        warm = simrank_operator(graph, method="localpush", epsilon=0.1,
+                                top_k=8, row_normalize=True, cache=cache)
+        assert warm.cache_hit and warm.row_normalize
+        sums = np.asarray(warm.matrix.sum(axis=1)).ravel()
+        np.testing.assert_allclose(sums[sums > 0], 1.0)
+
+    def test_series_method_round_trips(self, graph, cache):
+        cold = simrank_operator(graph, method="series", epsilon=0.1, cache=cache)
+        warm = simrank_operator(graph, method="series", epsilon=0.1, cache=cache)
+        assert warm.cache_hit
+        assert warm.method == "series" and warm.backend is None
+        np.testing.assert_allclose(warm.matrix.toarray(), cold.matrix.toarray())
+
+    def test_clear_empties_the_directory(self, graph, cache):
+        simrank_operator(graph, method="localpush", epsilon=0.1, top_k=4,
+                         cache=cache)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestInvalidationAndCorruption:
+    KWARGS = dict(method="localpush", epsilon=0.1, top_k=8, backend="sharded")
+
+    def _entry_path(self, cache):
+        paths = list(cache.directory.glob("simrank-*.npz"))
+        assert len(paths) == 1
+        return paths[0]
+
+    def test_version_mismatch_evicts_and_recomputes(self, graph, cache):
+        simrank_operator(graph, cache=cache, **self.KWARGS)
+        path = self._entry_path(cache)
+        # Rewrite the stored metadata with a stale format version, keeping
+        # the arrays intact — exactly what an old-format file looks like.
+        with np.load(path, allow_pickle=False) as payload:
+            arrays = {name: payload[name] for name in payload.files}
+        meta = json.loads(str(arrays["meta"]))
+        meta["version"] = CACHE_FORMAT_VERSION - 1
+        arrays["meta"] = np.asarray(json.dumps(meta))
+        np.savez_compressed(path, **arrays)
+
+        refreshed = simrank_operator(graph, cache=cache, **self.KWARGS)
+        assert not refreshed.cache_hit
+        assert cache.evictions == 1
+        # The stale file was replaced by a fresh one that now hits.
+        assert simrank_operator(graph, cache=cache, **self.KWARGS).cache_hit
+
+    def test_metadata_mismatch_evicts(self, graph, cache):
+        simrank_operator(graph, cache=cache, **self.KWARGS)
+        path = self._entry_path(cache)
+        with np.load(path, allow_pickle=False) as payload:
+            arrays = {name: payload[name] for name in payload.files}
+        meta = json.loads(str(arrays["meta"]))
+        meta["epsilon"] = 0.99  # tampered: no longer matches the request
+        arrays["meta"] = np.asarray(json.dumps(meta))
+        np.savez_compressed(path, **arrays)
+
+        refreshed = simrank_operator(graph, cache=cache, **self.KWARGS)
+        assert not refreshed.cache_hit
+        assert cache.evictions == 1
+
+    def test_truncated_file_evicts_and_recomputes(self, graph, cache):
+        cold = simrank_operator(graph, cache=cache, **self.KWARGS)
+        path = self._entry_path(cache)
+        path.write_bytes(path.read_bytes()[:20])  # no longer a valid zip
+
+        refreshed = simrank_operator(graph, cache=cache, **self.KWARGS)
+        assert not refreshed.cache_hit
+        assert cache.evictions == 1
+        np.testing.assert_allclose(refreshed.matrix.toarray(),
+                                   cold.matrix.toarray())
+        assert simrank_operator(graph, cache=cache, **self.KWARGS).cache_hit
+
+    def test_garbage_bytes_evict(self, graph, cache):
+        simrank_operator(graph, cache=cache, **self.KWARGS)
+        path = self._entry_path(cache)
+        path.write_bytes(b"this is not an npz archive")
+        assert simrank_operator(graph, cache=cache, **self.KWARGS).cache_hit is False
+        assert cache.evictions == 1
+
+    def test_missing_array_evicts(self, graph, cache):
+        simrank_operator(graph, cache=cache, **self.KWARGS)
+        path = self._entry_path(cache)
+        with np.load(path, allow_pickle=False) as payload:
+            arrays = {name: payload[name] for name in payload.files}
+        del arrays["indices"]
+        np.savez_compressed(path, **arrays)
+        assert simrank_operator(graph, cache=cache, **self.KWARGS).cache_hit is False
+        assert cache.evictions == 1
+
+    def test_stored_file_is_a_plain_zip(self, graph, cache):
+        """The on-disk entry stays inspectable with stock tooling."""
+        simrank_operator(graph, cache=cache, **self.KWARGS)
+        with zipfile.ZipFile(self._entry_path(cache)) as archive:
+            names = set(archive.namelist())
+        assert {"data.npy", "indices.npy", "indptr.npy",
+                "shape.npy", "meta.npy"} <= names
+
+
+class TestExperimentIntegration:
+    """Acceptance criterion: a warm cache skips Fig. 5 precompute."""
+
+    FIG5_KWARGS = dict(num_sizes=1, base_scale=0.05, models=("sigma",),
+                       config=QUICK_EXPERIMENT_CONFIG, seed=0)
+
+    def test_fig5_warm_cache_skips_precompute(self, tmp_path):
+        directory = tmp_path / "fig5-cache"
+        cache = get_operator_cache(directory)
+
+        cold = fig5_scalability.run(simrank_cache_dir=str(directory),
+                                    **self.FIG5_KWARGS)
+        assert cache.hits == 0 and cache.stores == 1
+
+        warm = fig5_scalability.run(simrank_cache_dir=str(directory),
+                                    **self.FIG5_KWARGS)
+        # The repeated run was served entirely from the cache …
+        assert cache.hits == 1
+        assert cache.stores == 1  # … and did not recompute anything.
+
+        cold_precompute = cold.points[0].precompute_seconds
+        warm_precompute = warm.points[0].precompute_seconds
+        assert warm_precompute < cold_precompute
+
+    def test_table3_measured_precompute_uses_cache(self, tmp_path):
+        directory = tmp_path / "table3-cache"
+        kwargs = dict(scale_factor=0.05, measure_precompute=True,
+                      simrank_cache_dir=str(directory))
+        table3_complexity.run("pokec", **kwargs)
+        table3_complexity.run("pokec", **kwargs)
+        assert get_operator_cache(directory).hits == 1
+
+    def test_cli_exposes_cache_and_worker_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "--simrank-backend", "sharded",
+            "--simrank-workers", "4",
+            "--simrank-cache-dir", "/tmp/simrank-cache",
+        ])
+        assert args.simrank_backend == "sharded"
+        assert args.simrank_workers == 4
+        assert args.simrank_cache_dir == "/tmp/simrank-cache"
+
+    def test_cli_rejects_simrank_flags_for_non_sigma_models(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["--model", "glognn", "--dataset", "texas",
+                  "--simrank-workers", "2"])
+        assert "only supported by SIGMA models" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+class TestCacheStress:
+    def test_large_operator_round_trip(self, tmp_path):
+        graph = generate_synthetic_graph(SyntheticGraphConfig(
+            num_nodes=2000, num_classes=3, num_features=4, average_degree=6.0,
+            homophily=0.3, name="cache-large"), seed=3)
+        cache = OperatorCache(tmp_path / "large")
+        kwargs = dict(method="localpush", epsilon=0.1, top_k=16,
+                      backend="sharded", cache=cache)
+        cold = simrank_operator(graph, **kwargs)
+        warm = simrank_operator(graph, **kwargs)
+        assert warm.cache_hit
+        assert np.array_equal(warm.matrix.data, cold.matrix.data)
+        assert warm.precompute_seconds < cold.precompute_seconds

@@ -17,7 +17,12 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.datasets.synthetic import SyntheticGraphConfig, generate_synthetic_graph
+from _simrank_fixtures import (
+    erdos_renyi as _erdos_renyi,
+    sbm as _sbm,
+    star as _star,
+    with_isolated as _with_isolated,
+)
 from repro.errors import SimRankError
 from repro.graphs.graph import Graph
 from repro.graphs.sparse import top_k_per_row
@@ -25,34 +30,6 @@ from repro.models.sigma import _sigmoid
 from repro.simrank.exact import linearized_simrank
 from repro.simrank.localpush import localpush_simrank
 from repro.simrank.localpush_vec import localpush_simrank_vectorized
-
-
-def _erdos_renyi(n: int, p: float, seed: int) -> Graph:
-    rng = np.random.default_rng(seed)
-    upper = rng.random((n, n)) < p
-    rows, cols = np.nonzero(np.triu(upper, k=1))
-    return Graph.from_edges(n, np.stack([rows, cols], axis=1), name=f"er{n}")
-
-
-def _sbm(n: int, seed: int, homophily: float = 0.25) -> Graph:
-    config = SyntheticGraphConfig(
-        num_nodes=n, num_classes=3, num_features=4, average_degree=6.0,
-        homophily=homophily, name=f"sbm{n}")
-    return generate_synthetic_graph(config, seed=seed)
-
-
-def _star(num_leaves: int) -> Graph:
-    edges = [(0, leaf) for leaf in range(1, num_leaves + 1)]
-    return Graph.from_edges(num_leaves + 1, edges, name="star")
-
-
-def _with_isolated(seed: int = 7) -> Graph:
-    """An ER core plus five isolated nodes appended at the end."""
-    core = _erdos_renyi(40, 0.1, seed)
-    n = core.num_nodes + 5
-    adjacency = sp.lil_matrix((n, n))
-    adjacency[:core.num_nodes, :core.num_nodes] = core.adjacency
-    return Graph(adjacency.tocsr(), name="er+isolated")
 
 
 EQUIVALENCE_GRAPHS = [
