@@ -1,12 +1,16 @@
-"""Benchmark: dict vs vectorized vs sharded LocalPush backends (Algorithm 1).
+"""Benchmark: LocalPush engine executors (serial/thread/process) vs the dict oracle.
 
-Times all three engines on a synthetic pokec-style graph, checks they agree
-within ``ε`` (the equivalence criterion of the test suite), and appends the
-result to ``BENCH_localpush.json`` at the repo root so future PRs can track
-the precompute-speed trajectory.  The JSON file is an append-only list of
-run records; each record carries per-backend timings plus the sharded
-engine's ``num_workers`` (the sharded result is bit-identical for every
-worker count, so the knob is pure throughput).
+Times the dict reference engine and the unified core under every executor
+on a synthetic pokec-style graph, checks the core agrees with the oracle
+within ``ε`` (the equivalence criterion of the test suite) *and* that all
+executors are bit-identical to each other, then appends the result to
+``BENCH_localpush.json`` at the repo root so future PRs can track the
+precompute-speed trajectory.
+
+The JSON file is an append-only list of run records.  Each new record is
+validated against :data:`RECORD_SCHEMA` before being appended and carries
+``cpu_count`` alongside ``num_workers`` — process-pool speedups are only
+interpretable relative to the cores the machine actually had.
 
 Usage
 -----
@@ -14,28 +18,108 @@ Usage
 ``PYTHONPATH=src python benchmarks/bench_localpush.py --smoke``    quick smoke (600 nodes)
 ``... --nodes 2000 --epsilon 0.05 --workers 8 --output /tmp/b.json``  custom
 
-Both modes exercise every backend, sharded included.  The full run
-reproduces the acceptance bar of the vectorized-engine PR (≥ 10× speedup
-over the dict reference on a 5k-node graph at ε = 0.1) and records how the
-sharded engine compares at the same size.
+Both modes exercise the dict oracle and every executor.  The full run
+reproduces the acceptance bar of the unified-core PR: per-executor
+speedups over the serial executor on a ≥ 5k-node graph at ε = 0.1
+(``speedup_vs_serial`` — > 1 for the process executor requires actual
+multi-core hardware; see ``cpu_count`` in the record).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 from pathlib import Path
 
 import numpy as np
 
 from repro.datasets.synthetic import SyntheticGraphConfig, generate_synthetic_graph
+from repro.simrank.engine import EXECUTORS, default_num_workers
 from repro.simrank.localpush import localpush_simrank
-from repro.simrank.sharded import default_num_workers
 from repro.utils.timer import Timer
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_localpush.json"
 
-BACKENDS = ("dict", "vectorized", "sharded")
+#: Top-level schema of one appended benchmark record: required key → type.
+#: ``validate_record`` enforces it (with exact types — ``bool`` is not an
+#: acceptable ``int``) before anything is written to the history file.
+RECORD_SCHEMA = {
+    "benchmark": str,
+    "mode": str,
+    "num_nodes": int,
+    "num_edges": int,
+    "epsilon": float,
+    "decay": float,
+    "seed": int,
+    "cpu_count": int,
+    "num_workers": int,
+    "backends": dict,
+    "executors": dict,
+    "within_epsilon": bool,
+}
+
+#: Schema of each per-executor entry inside ``record["executors"]``.
+EXECUTOR_SCHEMA = {
+    "seconds": float,
+    "num_pushes": int,
+    "nnz": int,
+}
+
+#: Extra keys required of the non-serial executor entries.
+POOLED_EXECUTOR_SCHEMA = {
+    "num_workers": int,
+    "speedup_vs_serial": float,
+    "bit_identical_to_serial": bool,
+}
+
+
+class RecordSchemaError(ValueError):
+    """The benchmark record does not match :data:`RECORD_SCHEMA`."""
+
+
+def _check_fields(mapping: dict, schema: dict, context: str, problems: list) -> None:
+    for field, expected in schema.items():
+        if field not in mapping:
+            problems.append(f"{context}: missing required key {field!r}")
+            continue
+        value = mapping[field]
+        if expected is float:
+            ok = type(value) in (int, float) and type(value) is not bool
+        else:
+            ok = type(value) is expected
+        if not ok:
+            problems.append(
+                f"{context}.{field}: expected {expected.__name__}, "
+                f"got {type(value).__name__} ({value!r})")
+
+
+def validate_record(record: dict) -> dict:
+    """Validate a benchmark record against the schema; raise on mismatch."""
+    problems: list = []
+    _check_fields(record, RECORD_SCHEMA, "record", problems)
+    executors = record.get("executors")
+    if isinstance(executors, dict):
+        for name in EXECUTORS:
+            if name not in executors:
+                problems.append(f"record.executors: missing executor {name!r}")
+        for name, entry in executors.items():
+            if not isinstance(entry, dict):
+                problems.append(f"record.executors.{name}: expected dict")
+                continue
+            _check_fields(entry, EXECUTOR_SCHEMA,
+                          f"record.executors.{name}", problems)
+            if name in ("thread", "process"):
+                _check_fields(entry, POOLED_EXECUTOR_SCHEMA,
+                              f"record.executors.{name}", problems)
+    backends = record.get("backends")
+    if isinstance(backends, dict) and "dict" not in backends:
+        problems.append("record.backends: missing the dict oracle entry")
+    if problems:
+        raise RecordSchemaError(
+            "benchmark record failed schema validation:\n  "
+            + "\n  ".join(problems))
+    return record
 
 
 def build_graph(num_nodes: int, *, average_degree: float, seed: int):
@@ -46,24 +130,24 @@ def build_graph(num_nodes: int, *, average_degree: float, seed: int):
     return generate_synthetic_graph(config, seed=seed)
 
 
-def time_backend(graph, backend: str, *, epsilon: float, decay: float,
-                 num_workers: int, stream_top_k: int | None = None) -> dict:
+def time_plan(graph, *, backend: str = "auto", executor: str | None = None,
+              epsilon: float, decay: float, num_workers: int,
+              stream_top_k: int | None = None) -> dict:
     timer = Timer()
     with timer:
         result = localpush_simrank(graph, epsilon=epsilon, decay=decay,
                                    prune=False, backend=backend,
+                                   executor=executor,
                                    num_workers=num_workers,
                                    stream_top_k=stream_top_k)
     record = {
-        "backend": backend,
         "seconds": timer.elapsed,
         "num_pushes": result.num_pushes,
         "nnz": int(result.matrix.nnz),
         "matrix": result.matrix,
     }
-    if backend == "sharded":
+    if result.num_workers is not None:
         record["num_workers"] = result.num_workers
-        record["num_shards"] = result.num_shards
     if stream_top_k is not None:
         record["stream_top_k"] = stream_top_k
     return record
@@ -81,71 +165,104 @@ def run(*, num_nodes: int, average_degree: float, epsilon: float, decay: float,
         seed: int, smoke: bool, num_workers: int,
         stream_top_k: int = 32) -> dict:
     graph = build_graph(num_nodes, average_degree=average_degree, seed=seed)
+    cpu_count = os.cpu_count() or 1
     print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges, "
-          f"epsilon={epsilon}, decay={decay}, workers={num_workers}")
+          f"epsilon={epsilon}, decay={decay}, workers={num_workers}, "
+          f"cpus={cpu_count}")
 
-    records = {}
-    for backend in ("vectorized", "sharded", "dict"):
-        record = time_backend(graph, backend, epsilon=epsilon, decay=decay,
-                              num_workers=num_workers)
-        records[backend] = record
-        extra = (f", shards={record['num_shards']}"
-                 if backend == "sharded" else "")
-        print(f"  {backend:>10}: {record['seconds']:8.3f}s "
+    # Dict oracle first: the within-ε equivalence reference.
+    oracle = time_plan(graph, backend="dict", epsilon=epsilon, decay=decay,
+                       num_workers=num_workers)
+    print(f"  {'dict':>10}: {oracle['seconds']:8.3f}s "
+          f"({oracle['num_pushes']} pushes, nnz={oracle['nnz']})")
+
+    # The unified core under every executor, same worker count.
+    runs = {}
+    for executor in EXECUTORS:
+        record = time_plan(graph, executor=executor, epsilon=epsilon,
+                           decay=decay, num_workers=num_workers)
+        runs[executor] = record
+        workers = record.get("num_workers")
+        extra = f", workers={workers}" if workers is not None else ""
+        print(f"  {executor:>10}: {record['seconds']:8.3f}s "
               f"({record['num_pushes']} pushes, nnz={record['nnz']}{extra})")
 
-    # The operator pipeline always streams top-k through the sharded engine
+    # The operator pipeline always streams top-k through the core
     # (simrank_operator passes stream_top_k=top_k), so the tracked record
     # must include what model precompute actually pays per round.
-    streamed = time_backend(graph, "sharded", epsilon=epsilon, decay=decay,
-                            num_workers=num_workers,
-                            stream_top_k=stream_top_k)
-    print(f"  {'sharded+topk':>12}: {streamed['seconds']:8.3f}s "
+    streamed = time_plan(graph, executor="serial", epsilon=epsilon,
+                         decay=decay, num_workers=num_workers,
+                         stream_top_k=stream_top_k)
+    print(f"  {'serial+topk':>11}: {streamed['seconds']:8.3f}s "
           f"(stream_top_k={stream_top_k}, nnz={streamed['nnz']})")
 
-    dict_seconds = records["dict"]["seconds"]
-    backends_out = {}
-    within_epsilon = True
-    for backend in BACKENDS:
-        record = records[backend]
+    serial = runs["serial"]
+    serial_matrix = serial["matrix"]
+    diff = oracle["matrix"] - serial_matrix
+    max_abs_diff = float(np.abs(diff.data).max()) if diff.nnz else 0.0
+    within_epsilon = max_abs_diff < epsilon
+    print(f"  core vs dict: max|Ŝ_dict − Ŝ| = {max_abs_diff:.5f} "
+          f"(bound ε = {epsilon})")
+
+    executors_out = {}
+    for executor, record in runs.items():
         entry = {
             "seconds": round(record["seconds"], 4),
             "num_pushes": record["num_pushes"],
             "nnz": record["nnz"],
         }
-        if backend != "dict":
-            diff = records["dict"]["matrix"] - record["matrix"]
-            max_abs_diff = float(np.abs(diff.data).max()) if diff.nnz else 0.0
-            entry["max_abs_diff_vs_dict"] = round(max_abs_diff, 6)
-            entry["speedup_vs_dict"] = (round(dict_seconds / record["seconds"], 2)
-                                        if record["seconds"] > 0 else float("inf"))
-            within_epsilon = within_epsilon and max_abs_diff < epsilon
-            print(f"  {backend:>10}: speedup {entry['speedup_vs_dict']}x, "
-                  f"max|Ŝ_dict − Ŝ| = {max_abs_diff:.5f} (bound ε = {epsilon})")
-        if backend == "sharded":
-            entry["num_workers"] = record["num_workers"]
-            entry["num_shards"] = record["num_shards"]
-        backends_out[backend] = entry
-
-    backends_out["sharded_streamed"] = {
+        if executor != "serial":
+            matrix = record["matrix"]
+            identical = (
+                np.array_equal(serial_matrix.indptr, matrix.indptr)
+                and np.array_equal(serial_matrix.indices, matrix.indices)
+                and np.array_equal(serial_matrix.data, matrix.data))
+            entry["num_workers"] = int(record.get("num_workers") or 1)
+            entry["speedup_vs_serial"] = (
+                round(serial["seconds"] / record["seconds"], 2)
+                if record["seconds"] > 0 else float("inf"))
+            entry["bit_identical_to_serial"] = bool(identical)
+            print(f"  {executor:>10}: speedup vs serial "
+                  f"{entry['speedup_vs_serial']}x, bit-identical={identical}")
+        executors_out[executor] = entry
+    executors_out["serial_streamed"] = {
         "seconds": round(streamed["seconds"], 4),
         "num_pushes": streamed["num_pushes"],
         "nnz": streamed["nnz"],
-        "num_workers": streamed["num_workers"],
-        "num_shards": streamed["num_shards"],
         "stream_top_k": streamed["stream_top_k"],
     }
 
+    dict_seconds = oracle["seconds"]
+    backends_out = {
+        "dict": {
+            "seconds": round(dict_seconds, 4),
+            "num_pushes": oracle["num_pushes"],
+            "nnz": oracle["nnz"],
+        },
+        "core": {
+            "seconds": round(serial["seconds"], 4),
+            "num_pushes": serial["num_pushes"],
+            "nnz": serial["nnz"],
+            "max_abs_diff_vs_dict": round(max_abs_diff, 6),
+            "speedup_vs_dict": (round(dict_seconds / serial["seconds"], 2)
+                                if serial["seconds"] > 0 else float("inf")),
+        },
+    }
+    print(f"  {'core':>10}: speedup {backends_out['core']['speedup_vs_dict']}x "
+          "over the dict oracle")
+
     return {
-        "benchmark": "localpush_backends",
+        "benchmark": "localpush_executors",
         "mode": "smoke" if smoke else "full",
         "num_nodes": graph.num_nodes,
         "num_edges": graph.num_edges,
         "epsilon": epsilon,
         "decay": decay,
         "seed": seed,
+        "cpu_count": cpu_count,
         "num_workers": num_workers,
         "backends": backends_out,
+        "executors": executors_out,
         "within_epsilon": bool(within_epsilon),
     }
 
@@ -163,7 +280,7 @@ def main(argv=None) -> int:
     parser.add_argument("--decay", type=float, default=0.6, help="decay factor c")
     parser.add_argument("--seed", type=int, default=0, help="graph seed")
     parser.add_argument("--workers", type=int, default=None,
-                        help="sharded-engine worker pool size "
+                        help="thread/process executor pool size "
                              "(default: min(4, cpu count))")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help="benchmark history JSON to append to "
@@ -175,6 +292,7 @@ def main(argv=None) -> int:
     record = run(num_nodes=num_nodes, average_degree=args.degree,
                  epsilon=args.epsilon, decay=args.decay, seed=args.seed,
                  smoke=args.smoke, num_workers=num_workers)
+    validate_record(record)
     history = load_history(args.output)
     history.append(record)
     args.output.write_text(json.dumps(history, indent=2) + "\n")

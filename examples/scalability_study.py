@@ -9,36 +9,64 @@ paper's pokec generator) and measures, for SIGMA and GloGNN,
 
 reproducing the trend of the paper's Fig. 5 at laptop scale.
 
-LocalPush backend selection
----------------------------
-SIGMA's precompute column is dominated by LocalPush (Algorithm 1), which
-ships with three engines selected by ``simrank_backend``:
+LocalPush (engine, executor) selection
+--------------------------------------
+SIGMA's precompute column is dominated by LocalPush (Algorithm 1).  Two
+engines implement it, and the batched one takes a pluggable *executor*
+(``simrank_executor``) for its per-round shard pushes:
 
-* ``"dict"`` — the per-pair reference loop (correctness oracle);
-* ``"vectorized"`` — the frontier-batched array engine: each round absorbs
-  the whole above-threshold frontier and pushes its mass in one sparse
-  ``R ← R + c·Wᵀ F W`` step — 10–25× faster at these sizes (see
-  ``BENCH_localpush.json``, produced by ``benchmarks/bench_localpush.py``);
-* ``"sharded"`` — the vectorized rounds split into row shards executed by a
-  worker pool (``simrank_workers``), with streaming top-k pruning inside
-  the loop; bit-identical across worker counts;
-* ``"auto"`` (default) — vectorized from 256 nodes, sharded from 4096.
+* ``simrank_backend="dict"`` — the per-pair reference loop (correctness
+  oracle for the test suite);
+* the unified core (:mod:`repro.simrank.engine`) — frontier-batched
+  rounds ``R ← R + c·Wᵀ F W`` with deterministic frontier sharding and
+  streaming top-k pruning, 10–25× faster at these sizes (see
+  ``BENCH_localpush.json``, produced by ``benchmarks/bench_localpush.py``),
+  executed by:
 
-All engines share the ``(1 − c)·ε`` stopping rule and the
-``‖Ŝ − S‖_max < ε`` guarantee, so accuracy is unaffected by the choice.
-Pass ``simrank_cache_dir`` to persist operators across runs — a warm cache
-skips the precompute column entirely.
+  - ``simrank_executor="serial"`` — shards pushed in the calling thread
+    (the legacy ``backend="vectorized"`` configuration);
+  - ``simrank_executor="thread"`` — a thread pool (legacy
+    ``backend="sharded"``; scipy's matmul holds the GIL, so gains are
+    modest on CPython);
+  - ``simrank_executor="process"`` — a process pool sharing the walk
+    matrix via ``multiprocessing.shared_memory`` — true multi-core
+    scaling (``simrank_workers`` sizes the pool).
+
+Every executor and worker count produces a **bit-identical** operator,
+and all plans share the ``(1 − c)·ε`` stopping rule and the
+``‖Ŝ − S‖_max < ε`` guarantee, so accuracy is unaffected by the choice;
+``simrank_backend="auto"`` (default) picks dict below 256 nodes and the
+unified core above.  Pass ``simrank_cache_dir`` to persist operators
+across runs — a warm cache skips the precompute column entirely, and a
+looser-ε run can even be served from a tighter-ε entry by the cache's
+cross-ε reuse.
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro.experiments.fig5_scalability import run as run_fig5
 from repro.experiments.common import format_table
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--executor", default=None,
+                        choices=("serial", "thread", "process", "auto"),
+                        help="unified-core executor for the LocalPush "
+                             "precompute (default: auto)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size for the thread/process executors")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent operator cache directory")
+    args = parser.parse_args()
+
     result = run_fig5(base_dataset="pokec", num_sizes=4, shrink=2.0,
-                      base_scale=0.5, seed=0, simrank_backend="auto")
+                      base_scale=0.5, seed=0, simrank_backend="auto",
+                      simrank_executor=args.executor,
+                      simrank_workers=args.workers,
+                      simrank_cache_dir=args.cache_dir)
     print("learning time across graph sizes")
     print(format_table(result.rows()))
     print("\nSIGMA speed-up over GloGNN by graph size:")

@@ -42,18 +42,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="LocalPush error threshold ε")
     parser.add_argument("--simrank-backend", default=None,
                         choices=("dict", "vectorized", "sharded", "auto"),
-                        help="LocalPush engine for SIGMA's precompute "
-                             "(SIGMA models only; default: auto — "
-                             "vectorized/sharded on large graphs)")
+                        help="LocalPush engine family for SIGMA's precompute "
+                             "(SIGMA models only; default: auto — the "
+                             "unified core on large graphs)")
+    parser.add_argument("--simrank-executor", default=None,
+                        choices=("serial", "thread", "process", "auto"),
+                        help="unified-core executor for the LocalPush shard "
+                             "pushes (SIGMA models only; every executor is "
+                             "bit-identical — 'process' shares the walk "
+                             "matrix across a process pool for multi-core "
+                             "scaling)")
     parser.add_argument("--simrank-workers", type=int, default=None,
-                        help="worker-pool size for the sharded LocalPush "
-                             "engine (SIGMA models only; results are "
-                             "identical for every worker count)")
+                        help="worker-pool size for the thread/process "
+                             "LocalPush executors (SIGMA models only; "
+                             "results are identical for every worker count)")
     parser.add_argument("--simrank-cache-dir", default=None,
                         help="directory of a persistent SimRank operator "
                              "cache; repeated runs on the same graph and "
                              "hyper-parameters skip precompute (SIGMA "
                              "models only)")
+    parser.add_argument("--simrank-cache-max-bytes", type=int, default=None,
+                        help="byte cap on the operator cache directory; "
+                             "stores beyond it evict least-recently-used "
+                             "entries (SIGMA models only)")
     parser.add_argument("--seed", type=int, default=0, help="master random seed")
     parser.add_argument("--json", action="store_true", help="print the summary as JSON")
     return parser
@@ -69,7 +80,8 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     overrides = {}
     for name in ("hidden", "delta", "top_k", "epsilon", "simrank_backend",
-                 "simrank_workers", "simrank_cache_dir"):
+                 "simrank_executor", "simrank_workers", "simrank_cache_dir",
+                 "simrank_cache_max_bytes"):
         value = getattr(args, name)
         if value is not None:
             overrides[name] = value

@@ -65,6 +65,7 @@ def run(*, base_dataset: str = "pokec", num_sizes: int = 4, shrink: float = 2.0,
         models: Sequence[str] = ("sigma", "glognn"),
         config: Optional[TrainConfig] = None, seed: int = 0,
         base_scale: float = 1.0, simrank_backend: str = "auto",
+        simrank_executor: Optional[str] = None,
         simrank_workers: Optional[int] = None,
         simrank_cache_dir: Optional[str] = None) -> Fig5Result:
     """Measure learning time across a geometric grid of graph sizes.
@@ -72,11 +73,11 @@ def run(*, base_dataset: str = "pokec", num_sizes: int = 4, shrink: float = 2.0,
     The largest size is the base dataset at ``base_scale``; each subsequent
     size divides the node count by ``shrink`` (edges shrink roughly
     proportionally, matching the paper's geometric grid of edge counts).
-    ``simrank_backend`` selects the LocalPush engine used for the SIGMA
-    variants' precomputation
-    (``"dict"``/``"vectorized"``/``"sharded"``/``"auto"``) — the precompute
-    column of this figure is exactly what the batched engines accelerate —
-    with ``simrank_workers`` sizing the sharded engine's pool.  With
+    ``simrank_backend`` / ``simrank_executor`` select the LocalPush
+    ``(engine, executor)`` plan used for the SIGMA variants'
+    precomputation (see :mod:`repro.simrank.engine`) — the precompute
+    column of this figure is exactly what the unified core accelerates —
+    with ``simrank_workers`` sizing the thread/process pool.  With
     ``simrank_cache_dir`` set, a warm cache makes repeated runs skip the
     LocalPush precompute entirely (the precompute column then measures the
     cache load).
@@ -94,6 +95,8 @@ def run(*, base_dataset: str = "pokec", num_sizes: int = 4, shrink: float = 2.0,
             overrides = {}
             if model_name in ("sigma", "sigma_iterative"):
                 overrides["simrank_backend"] = simrank_backend
+                if simrank_executor is not None:
+                    overrides["simrank_executor"] = simrank_executor
                 if simrank_workers is not None:
                     overrides["simrank_workers"] = simrank_workers
                 if simrank_cache_dir is not None:

@@ -49,21 +49,25 @@ def run(dataset_name: str = "pokec", *, epsilons: Sequence[float] = DEFAULT_EPSI
         scale_factor: float = 1.0, config: Optional[TrainConfig] = None,
         seed: int = 0, final_layers: int = 2,
         simrank_backend: str = "auto",
+        simrank_executor: Optional[str] = None,
         simrank_workers: Optional[int] = None,
         simrank_cache_dir: Optional[str] = None) -> Fig6Result:
     """Sweep (ε, k) for SIGMA on ``dataset_name``.
 
-    ``simrank_backend`` selects the LocalPush engine
-    (``"dict"``/``"vectorized"``/``"sharded"``/``"auto"``) used for every
-    cell, ``simrank_workers`` sizes the sharded engine's pool and
-    ``simrank_cache_dir`` enables the persistent operator cache — every
-    (ε, k) cell is keyed separately, so a warm cache skips the whole
-    precompute sweep on repeated runs.
+    ``simrank_backend`` / ``simrank_executor`` select the LocalPush
+    ``(engine, executor)`` plan used for every cell (see
+    :mod:`repro.simrank.engine`), ``simrank_workers`` sizes the
+    thread/process pool and ``simrank_cache_dir`` enables the persistent
+    operator cache — every (ε, k) cell is keyed separately *and* a warm
+    cache can serve looser cells from tighter ones by cross-ε/k reuse, so
+    repeated runs skip the whole precompute sweep.
     """
     config = config or DEFAULT_EXPERIMENT_CONFIG
     dataset = load_dataset(dataset_name, seed=seed, scale_factor=scale_factor)
     result = Fig6Result(dataset=dataset_name)
     extra = {}
+    if simrank_executor is not None:
+        extra["simrank_executor"] = simrank_executor
     if simrank_workers is not None:
         extra["simrank_workers"] = simrank_workers
     if simrank_cache_dir is not None:

@@ -106,16 +106,18 @@ def complexity_table(graph: Graph, *, hidden: int = 64, num_layers: int = 2,
 def run(dataset_name: str = "pokec", *, scale_factor: float = 1.0, hidden: int = 64,
         top_k: int = 32, seed: int = 0, measure_precompute: bool = False,
         epsilon: float = 0.1, simrank_backend: str = "auto",
+        simrank_executor: Optional[str] = None,
         simrank_workers: Optional[int] = None,
         simrank_cache_dir: Optional[str] = None) -> Table3Result:
     """Build the complexity table for the requested benchmark graph.
 
     With ``measure_precompute=True`` the table is complemented by the
-    *measured* SIGMA precompute time (LocalPush with ``simrank_backend``
-    plus top-k pruning), grounding the analytic ``O(k·n·f)`` row in a real
-    timing on the same graph.  ``simrank_workers`` sizes the sharded
-    engine's pool; with ``simrank_cache_dir`` the measured precompute of a
-    repeated run collapses to the cache-load time.
+    *measured* SIGMA precompute time (LocalPush with the
+    ``(simrank_backend, simrank_executor)`` plan plus top-k pruning),
+    grounding the analytic ``O(k·n·f)`` row in a real timing on the same
+    graph.  ``simrank_workers`` sizes the thread/process pool; with
+    ``simrank_cache_dir`` the measured precompute of a repeated run
+    collapses to the cache-load time.
     """
     dataset = load_dataset(dataset_name, seed=seed, scale_factor=scale_factor)
     entries = complexity_table(dataset.graph, hidden=hidden, top_k=top_k)
@@ -124,6 +126,7 @@ def run(dataset_name: str = "pokec", *, scale_factor: float = 1.0, hidden: int =
         operator = simrank_operator(dataset.graph, method="localpush",
                                     epsilon=epsilon, top_k=top_k,
                                     backend=simrank_backend,
+                                    executor=simrank_executor,
                                     num_workers=simrank_workers,
                                     cache=simrank_cache_dir)
         result.measured_precompute[operator.backend or simrank_backend] = (

@@ -72,16 +72,24 @@ class SIGMA(NodeClassifier):
         Passed to :func:`repro.simrank.topk.simrank_operator`; the paper uses
         exact scores on small graphs and LocalPush with ``ε = 0.1`` and
         ``k ∈ {16, 32}`` on large ones.  ``simrank_backend`` selects the
-        LocalPush engine (``"dict"``, ``"vectorized"``, ``"sharded"`` or
-        ``"auto"``).
+        LocalPush engine family (``"dict"``, ``"vectorized"``,
+        ``"sharded"`` or ``"auto"``).
+    simrank_executor:
+        Unified-core executor for the LocalPush shard pushes
+        (``"serial"``, ``"thread"``, ``"process"`` or ``"auto"``); every
+        executor produces a bit-identical operator, so this is purely a
+        throughput knob (``"process"`` scales past the GIL).
     simrank_workers:
-        Worker-pool size for the sharded LocalPush engine (ignored by the
-        other backends; results are identical either way).
+        Worker-pool size for the thread/process executors (ignored
+        otherwise; results are identical either way).
     simrank_cache_dir:
         Directory of a persistent operator cache
         (:mod:`repro.simrank.cache`).  When set, repeated constructions on
         the same graph and hyper-parameters skip LocalPush precompute
-        entirely.
+        entirely — including cross-ε/k reuse of dominating entries.
+    simrank_cache_max_bytes:
+        Optional byte cap on that cache directory; stores beyond it evict
+        the least-recently-used entries.
     final_layers:
         Number of layers in ``MLP_H`` (1 for small datasets, 2 for large, as
         in the paper's parameter settings).
@@ -93,8 +101,10 @@ class SIGMA(NodeClassifier):
                  simrank_method: str = "auto", epsilon: float = 0.1,
                  top_k: Optional[int] = 32, decay: float = 0.6,
                  simrank_backend: str = "auto",
+                 simrank_executor: Optional[str] = None,
                  simrank_workers: Optional[int] = None,
                  simrank_cache_dir: Optional[str] = None,
+                 simrank_cache_max_bytes: Optional[int] = None,
                  use_simrank: bool = True, use_features: bool = True,
                  use_adjacency: bool = True,
                  operator_mode: OperatorMode = "simrank",
@@ -125,8 +135,10 @@ class SIGMA(NodeClassifier):
                 operator = simrank_operator(graph, method=simrank_method, decay=decay,
                                             epsilon=epsilon, top_k=top_k,
                                             backend=simrank_backend,
+                                            executor=simrank_executor,
                                             num_workers=simrank_workers,
-                                            cache=simrank_cache_dir)
+                                            cache=simrank_cache_dir,
+                                            cache_max_bytes=simrank_cache_max_bytes)
                 matrix = operator.matrix
                 if operator_mode == "simrank_adj":
                     # Localised ablation: restrict aggregation weights to the

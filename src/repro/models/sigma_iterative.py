@@ -35,8 +35,10 @@ class SIGMAIterative(NodeClassifier):
                  simrank_method: str = "auto", epsilon: float = 0.1,
                  top_k: Optional[int] = 32, decay: float = 0.6,
                  simrank_backend: str = "auto",
+                 simrank_executor: Optional[str] = None,
                  simrank_workers: Optional[int] = None,
                  simrank_cache_dir: Optional[str] = None,
+                 simrank_cache_max_bytes: Optional[int] = None,
                  rng: RngLike = None) -> None:
         super().__init__(graph, hidden=hidden)
         if num_layers < 1:
@@ -50,8 +52,10 @@ class SIGMAIterative(NodeClassifier):
             operator = simrank_operator(graph, method=simrank_method, decay=decay,
                                         epsilon=epsilon, top_k=top_k,
                                         backend=simrank_backend,
+                                        executor=simrank_executor,
                                         num_workers=simrank_workers,
-                                        cache=simrank_cache_dir)
+                                        cache=simrank_cache_dir,
+                                        cache_max_bytes=simrank_cache_max_bytes)
         self.simrank = operator
         self.propagation = SparsePropagation(operator.matrix, timing=self.timing)
         self._adjacency = graph.adjacency.tocsr()

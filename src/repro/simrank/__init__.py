@@ -16,53 +16,78 @@ Three computations are provided:
 :func:`simrank_operator` combines approximation and top-k pruning into the
 sparse aggregation operator used by the SIGMA model.
 
-Backend selection
------------------
-``localpush_simrank`` dispatches between three engines
-(``backend="dict"|"vectorized"|"sharded"|"auto"``):
+(engine, executor) selection
+----------------------------
+``localpush_simrank`` resolves every request to a plan ``(engine,
+executor)``: the per-pair **dict** reference engine (the equivalence
+oracle), or the unified batched **core**
+(:func:`repro.simrank.engine.localpush_engine`) under one of three
+executors.  The legacy ``backend=`` names remain as labels over this
+plan space:
 
-========== ===================== =============================================
-backend     auto-selected for     engine
-========== ===================== =============================================
-dict        < 256 nodes           per-pair reference loop (equivalence oracle)
-vectorized  256 – 4095 nodes      frontier-batched sparse rounds
-sharded     ≥ 4096 nodes          vectorized rounds split into row shards
-                                  executed by a worker pool, merged in shard
-                                  order (bit-deterministic across worker
-                                  counts), with optional streaming top-k
-========== ===================== =============================================
+=========== ==================== ========================================
+backend      plan                 auto-selected for
+=========== ==================== ========================================
+dict         (dict, —)            < 256 nodes — per-pair reference loop
+vectorized   (core, serial)       256 – 4095 nodes — frontier-batched
+                                  sparse rounds, shards pushed in-thread
+sharded      (core, thread)       ≥ 4096 nodes — shards pushed by a
+                                  thread pool, merged in shard order
+(explicit)   (core, process)      ``executor="process"`` — shards pushed
+                                  by a process pool over shared-memory
+                                  walk matrices (multi-core past the GIL)
+=========== ==================== ========================================
 
-The thresholds live in :data:`repro.simrank.localpush.AUTO_BACKEND_MIN_NODES`
-and :data:`repro.simrank.localpush.AUTO_SHARDED_MIN_NODES` and are resolved
-by :func:`repro.simrank.localpush.resolve_backend`; unit tests pin them.
-All engines satisfy the same ``‖Ŝ − S‖_max < ε`` guarantee (Lemma III.5).
+The shard partition is a function of the frontier alone and partial
+updates merge in shard order, so **every executor and worker count
+returns a bit-identical matrix** — pinned by
+``tests/test_simrank_engine.py`` and relied on by the operator cache
+(its key excludes both knobs).  The auto thresholds live in
+:data:`repro.simrank.localpush.AUTO_BACKEND_MIN_NODES` and
+:data:`repro.simrank.localpush.AUTO_SHARDED_MIN_NODES`, resolved by
+:func:`repro.simrank.localpush.resolve_execution`; unit tests pin them.
+All plans satisfy the same ``‖Ŝ − S‖_max < ε`` guarantee (Lemma III.5).
+``localpush_simrank_vectorized`` / ``localpush_simrank_sharded`` are
+deprecated shims over the core (bit-identical, with a
+``DeprecationWarning``).
 
 Streaming top-k error-bound argument
 ------------------------------------
-The sharded engine can prune the estimate to the top ``k`` scores per row
-*inside* the push loop (``stream_top_k``), keeping memory at ``O(k·n)``
-instead of ``O(n·d²/ε)``.  Correctness rests on the residual invariant
+The core can prune the estimate to the top ``k`` scores per row *inside*
+the push loop (``stream_top_k``), keeping memory at ``O(k·n)`` instead
+of ``O(n·d²/ε)``.  Correctness rests on the residual invariant
 ``S = Ŝ + Σ_{ℓ≥0} c^ℓ (Wᵀ)^ℓ R W^ℓ`` and on the columns of ``W = A D⁻¹``
 summing to at most one, which bounds the future growth of *any* estimate
 entry by ``slack = ‖R‖_max / (1 − c)``.  An entry is dropped only when its
 current value plus ``slack`` is strictly below the row's current k-th
 largest score — so it provably cannot enter the final top-k, and the
 streamed result is identical to pruning the fully materialised estimate
-(see :mod:`repro.simrank.sharded` for the full argument).  Because the
+(see :mod:`repro.simrank.engine` for the full argument).  Because the
 estimate never feeds back into the residual, the ε guarantee on retained
 entries is untouched.
 
-Operator cache layout
----------------------
+Operator cache: layout, eviction, reuse
+---------------------------------------
 :mod:`repro.simrank.cache` persists computed operators under a cache
 directory as ``simrank-<key>.npz`` files (CSR arrays plus a JSON metadata
-record).  ``<key>`` hashes ``(format version, graph fingerprint, method,
-c, ε, k, row_normalize, resolved backend)``; the worker count is excluded
-because sharded results are bit-identical across pools.  Stale format
-versions, metadata mismatches and corrupted files are evicted and
-recomputed; see the module docstring of :mod:`repro.simrank.cache`.
-Enable it via ``simrank_operator(..., cache=<dir>)``, model kwargs
-``simrank_cache_dir=...``, or the CLI flag ``--simrank-cache-dir``.
+record) with a sidecar index for LRU accounting.  ``<key>`` hashes
+``(format version, graph fingerprint, method, c, ε, k, row_normalize,
+resolved backend)``; the executor and worker count are excluded because
+core results are bit-identical across both.  Stale format versions,
+metadata mismatches and corrupted files are evicted and recomputed.  Two
+policies sit on top:
+
+* **LRU eviction** — give the cache a byte cap
+  (``cache_max_bytes=``/``--simrank-cache-max-bytes``) and stores beyond
+  it evict the least-recently-used entries;
+* **cross-ε/k reuse** — an entry computed at tighter ``ε′ ≤ ε`` with
+  ``k′ ≥ k`` serves the looser request after re-pruning (never the
+  reverse), counted separately from exact hits.
+
+See the module docstring of :mod:`repro.simrank.cache` for both
+arguments.  Enable the cache via ``simrank_operator(..., cache=<dir>)``,
+model kwargs ``simrank_cache_dir=...``, or the CLI flag
+``--simrank-cache-dir``.
 """
 
 from repro.simrank.cache import (
@@ -71,6 +96,7 @@ from repro.simrank.cache import (
     get_operator_cache,
     graph_fingerprint,
 )
+from repro.simrank.engine import EXECUTORS, localpush_engine
 from repro.simrank.exact import exact_simrank, linearized_simrank
 from repro.simrank.localpush import (
     AUTO_BACKEND_MIN_NODES,
@@ -78,6 +104,7 @@ from repro.simrank.localpush import (
     LocalPushResult,
     localpush_simrank,
     resolve_backend,
+    resolve_execution,
 )
 from repro.simrank.localpush_vec import localpush_simrank_vectorized
 from repro.simrank.sharded import localpush_simrank_sharded
@@ -93,10 +120,13 @@ __all__ = [
     "exact_simrank",
     "linearized_simrank",
     "localpush_simrank",
+    "localpush_engine",
     "localpush_simrank_vectorized",
     "localpush_simrank_sharded",
     "LocalPushResult",
     "resolve_backend",
+    "resolve_execution",
+    "EXECUTORS",
     "AUTO_BACKEND_MIN_NODES",
     "AUTO_SHARDED_MIN_NODES",
     "topk_simrank",

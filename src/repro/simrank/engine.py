@@ -1,0 +1,511 @@
+"""Unified LocalPush engine core with pluggable shard executors.
+
+This module owns the *single* implementation of the batched LocalPush
+loop (Algorithm 1 of the paper, frontier-batched form).  The three
+engines that previous revisions kept side by side — the vectorized
+frontier engine, the thread-sharded engine and its streaming top-k
+variant — were the same round loop differing only in **how the per-round
+shard pushes are executed**.  That difference is now a pluggable
+*executor* strategy:
+
+``executor="serial"``
+    Shards are pushed one after another in the calling thread.  This
+    absorbs the old vectorized engine (``backend="vectorized"``): a
+    frontier small enough for one shard is pushed with a single sparse
+    matmul, exactly as before.
+``executor="thread"``
+    Shards are pushed by a :class:`concurrent.futures.ThreadPoolExecutor`
+    (the old ``backend="sharded"`` pool).  scipy's sparse matmul holds
+    the GIL, so this mainly overlaps allocation and bookkeeping.
+``executor="process"``
+    Shards are pushed by a process pool.  The CSR arrays of the walk
+    matrix ``W`` (and ``Wᵀ``) are placed in
+    :mod:`multiprocessing.shared_memory` segments once per run; each
+    worker process attaches zero-copy views, so only the (small) shard
+    frontiers and the partial results cross the process boundary.  This
+    is the executor that scales past the GIL on multi-core CPython.
+
+Every round works on the same deterministic plan:
+
+1. gather the above-threshold frontier from the CSR residual,
+2. absorb it into the estimate,
+3. partition it into shards ``F = Σ_i F_i`` — the partition is a
+   function of the frontier alone (``num_shards`` fixed by the caller or
+   derived from the frontier size), **never** of the executor or worker
+   count,
+4. hand the shards to the executor and merge the partial updates
+   ``c·Wᵀ F_i W`` *in shard order*, no matter which worker finished
+   first.
+
+Because the push operator is linear in ``F`` and the shard partition and
+merge order are executor-independent, the returned matrix is
+**bit-identical for every executor and every worker count** — the
+property the operator cache relies on (its key excludes both knobs) and
+the equivalence suite pins.  The residual invariant, the streaming
+top-k prune with its ``‖R‖_max/(1−c)`` correction bound, and the shared
+:func:`repro.simrank.localpush.finalize_estimate` semantics are all
+unchanged from the engines this core replaces; see the module docstring
+of :mod:`repro.simrank` for the error-bound arguments.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import SimRankError
+from repro.graphs.graph import Graph
+from repro.graphs.normalize import column_normalize
+from repro.graphs.sparse import csr_row_indices as _csr_rows
+from repro.graphs.sparse import top_k_per_row
+from repro.simrank.exact import DEFAULT_DECAY
+from repro.utils.timer import Timer
+
+#: Target number of frontier entries per shard when ``num_shards`` is not
+#: given.  Chosen so a shard's ``Wᵀ F_i W`` stays comfortably inside cache
+#: while leaving enough shards to occupy a small worker pool.
+DEFAULT_SHARD_NNZ = 8192
+
+#: Upper bound applied to the default worker count.
+DEFAULT_MAX_WORKERS = 4
+
+#: Executor names accepted by :func:`localpush_engine`.
+EXECUTORS = ("serial", "thread", "process")
+
+#: A shard of the frontier: (rows, cols, values) of its stored entries.
+Shard = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def default_num_workers() -> int:
+    """Worker count used when ``num_workers`` is not specified."""
+    return max(1, min(DEFAULT_MAX_WORKERS, os.cpu_count() or 1))
+
+
+def _push_shard(walk_t: sp.csr_matrix, walk: sp.csr_matrix,
+                rows: np.ndarray, cols: np.ndarray, data: np.ndarray,
+                n: int, decay: float) -> sp.csr_matrix:
+    """One shard's partial update ``c·Wᵀ F_i W`` (pure, order-independent)."""
+    shard = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+    pushed = ((walk_t @ shard) @ walk).tocsr()
+    pushed.data *= decay
+    return pushed
+
+
+# --------------------------------------------------------------------- #
+# Executor strategies
+# --------------------------------------------------------------------- #
+class _SerialExecutor:
+    """Push shards one by one in the calling thread."""
+
+    name = "serial"
+    workers_used: Optional[int] = None
+
+    def __init__(self, walk: sp.csr_matrix, walk_t: sp.csr_matrix,
+                 n: int, decay: float) -> None:
+        self._walk, self._walk_t = walk, walk_t
+        self._n, self._decay = n, decay
+
+    def push_round(self, shards: Sequence[Shard]) -> List[sp.csr_matrix]:
+        return [_push_shard(self._walk_t, self._walk, rows, cols, data,
+                            self._n, self._decay)
+                for rows, cols, data in shards]
+
+    def close(self) -> None:
+        pass
+
+
+class _ThreadExecutor(_SerialExecutor):
+    """Push shards on a thread pool; single-shard rounds run inline."""
+
+    name = "thread"
+
+    def __init__(self, walk: sp.csr_matrix, walk_t: sp.csr_matrix,
+                 n: int, decay: float, workers: int) -> None:
+        super().__init__(walk, walk_t, n, decay)
+        self.workers_used = workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def push_round(self, shards: Sequence[Shard]) -> List[sp.csr_matrix]:
+        if self.workers_used == 1 or len(shards) <= 1:
+            return super().push_round(shards)
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.workers_used)
+        futures = [self._pool.submit(_push_shard, self._walk_t, self._walk,
+                                     rows, cols, data, self._n, self._decay)
+                   for rows, cols, data in shards]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# Per-worker-process state: the walk matrices rebuilt as zero-copy views
+# over the parent's shared-memory segments (set by _process_worker_init).
+_PROCESS_STATE: dict = {}
+
+
+def _process_worker_init(spec: dict) -> None:
+    """Attach a worker process to the parent's shared walk matrices."""
+    from multiprocessing import resource_tracker, shared_memory
+
+    segments = []
+    arrays = {}
+    # The parent owns the segments and unlinks them at close; suppress the
+    # attach-side resource_tracker registration (a per-attach register with
+    # no matching unregister — removed upstream only in 3.13's track=False)
+    # so the shared tracker neither warns about "leaked" segments nor
+    # double-frees them.
+    original_register = resource_tracker.register
+
+    def _register(name, rtype):  # pragma: no cover - trivial shim
+        if rtype != "shared_memory":
+            original_register(name, rtype)
+
+    resource_tracker.register = _register
+    try:
+        for field, (name, dtype, length) in spec["arrays"].items():
+            segment = shared_memory.SharedMemory(name=name)
+            segments.append(segment)
+            arrays[field] = np.ndarray((length,), dtype=np.dtype(dtype),
+                                       buffer=segment.buf)
+    finally:
+        resource_tracker.register = original_register
+    n = spec["n"]
+    walk = sp.csr_matrix(
+        (arrays["walk_data"], arrays["walk_indices"], arrays["walk_indptr"]),
+        shape=(n, n))
+    walk_t = sp.csr_matrix(
+        (arrays["walk_t_data"], arrays["walk_t_indices"],
+         arrays["walk_t_indptr"]), shape=(n, n))
+    _PROCESS_STATE.update(walk=walk, walk_t=walk_t, n=n,
+                          decay=spec["decay"], segments=segments)
+
+
+def _process_push_shard(rows: np.ndarray, cols: np.ndarray,
+                        data: np.ndarray) -> Tuple[np.ndarray, np.ndarray,
+                                                   np.ndarray]:
+    """Worker-side shard push against the shared walk matrices."""
+    n = _PROCESS_STATE["n"]
+    pushed = _push_shard(_PROCESS_STATE["walk_t"], _PROCESS_STATE["walk"],
+                         rows, cols, data, n, _PROCESS_STATE["decay"])
+    return pushed.data, pushed.indices, pushed.indptr
+
+
+class _ProcessExecutor(_SerialExecutor):
+    """Push shards on a process pool over shared-memory walk matrices.
+
+    The pool and the shared-memory segments are created lazily on the
+    first multi-shard round, so small runs (every round fits one shard)
+    never pay the fork/attach cost — and remain bit-identical, because
+    single-shard rounds are computed inline by every executor.
+    """
+
+    name = "process"
+
+    def __init__(self, walk: sp.csr_matrix, walk_t: sp.csr_matrix,
+                 n: int, decay: float, workers: int) -> None:
+        super().__init__(walk, walk_t, n, decay)
+        self.workers_used = workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._segments: list = []
+
+    def _start_pool(self) -> None:
+        from multiprocessing import shared_memory
+
+        spec_arrays = {}
+        for field, array in (
+                ("walk_data", self._walk.data),
+                ("walk_indices", self._walk.indices),
+                ("walk_indptr", self._walk.indptr),
+                ("walk_t_data", self._walk_t.data),
+                ("walk_t_indices", self._walk_t.indices),
+                ("walk_t_indptr", self._walk_t.indptr)):
+            array = np.ascontiguousarray(array)
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(1, array.nbytes))
+            view = np.ndarray(array.shape, dtype=array.dtype,
+                              buffer=segment.buf)
+            view[:] = array
+            self._segments.append(segment)
+            spec_arrays[field] = (segment.name, array.dtype.str, array.shape[0])
+        spec = {"arrays": spec_arrays, "n": self._n, "decay": self._decay}
+        methods = mp.get_all_start_methods()
+        context = mp.get_context("fork" if "fork" in methods else "spawn")
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers_used, mp_context=context,
+            initializer=_process_worker_init, initargs=(spec,))
+
+    def push_round(self, shards: Sequence[Shard]) -> List[sp.csr_matrix]:
+        if len(shards) <= 1:
+            return _SerialExecutor.push_round(self, shards)
+        if self._pool is None:
+            self._start_pool()
+        futures = [self._pool.submit(_process_push_shard, rows, cols, data)
+                   for rows, cols, data in shards]
+        partials = []
+        for future in futures:
+            data, indices, indptr = future.result()
+            partials.append(sp.csr_matrix((data, indices, indptr),
+                                          shape=(self._n, self._n)))
+        return partials
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        for segment in self._segments:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments = []
+
+
+def _make_executor(name: str, walk: sp.csr_matrix, walk_t: sp.csr_matrix,
+                   n: int, decay: float, num_workers: Optional[int]):
+    if name == "serial":
+        return _SerialExecutor(walk, walk_t, n, decay)
+    workers = num_workers if num_workers is not None else default_num_workers()
+    if name == "thread":
+        return _ThreadExecutor(walk, walk_t, n, decay, workers)
+    if name == "process":
+        return _ProcessExecutor(walk, walk_t, n, decay, workers)
+    raise SimRankError(f"unknown LocalPush executor {name!r}; "
+                       f"expected one of {EXECUTORS}")
+
+
+# --------------------------------------------------------------------- #
+# Streaming top-k prune (correction-bound guarded; see module docstring
+# of repro.simrank for the full argument)
+# --------------------------------------------------------------------- #
+def _streaming_prune(estimate: sp.csr_matrix, k: int,
+                     slack: float) -> sp.csr_matrix:
+    """Drop estimate entries that provably cannot reach the final top-k.
+
+    An entry is removed only when ``value + slack`` is strictly below the
+    row's current k-th largest value; the diagonal is never dropped (it is
+    preserved by the final ``top_k_per_row(..., keep_diagonal=True)``
+    semantics and must survive streaming too).  Mutates ``estimate`` in
+    place (the caller holds the only reference to the freshly summed
+    matrix).
+    """
+    if estimate.nnz == 0:
+        return estimate
+    indptr, indices, data = estimate.indptr, estimate.indices, estimate.data
+    # Early rounds can never drop anything: value + slack >= slack, and no
+    # row's k-th largest can exceed the global maximum entry.
+    if slack >= float(data.max()):
+        return estimate
+    # Only rows holding more than k entries can possibly shed one.
+    candidates = np.flatnonzero(np.diff(indptr) > k)
+    if candidates.size == 0:
+        return estimate
+    changed = False
+    for row in candidates:
+        start, end = indptr[row], indptr[row + 1]
+        size = end - start
+        row_data = data[start:end]
+        kth = np.partition(row_data, size - k)[size - k]
+        drop = (row_data + slack) < kth
+        if not drop.any():
+            continue
+        drop &= indices[start:end] != row
+        if not drop.any():
+            continue
+        row_data[drop] = 0.0
+        changed = True
+    if changed:
+        estimate.eliminate_zeros()
+    return estimate
+
+
+# --------------------------------------------------------------------- #
+# The engine core
+# --------------------------------------------------------------------- #
+def localpush_engine(graph: Graph, *, decay: float = DEFAULT_DECAY,
+                     epsilon: float = 0.1, prune: bool = True,
+                     absorb_residual: bool = False,
+                     max_pushes: int | None = None,
+                     executor: str = "serial",
+                     num_workers: Optional[int] = None,
+                     num_shards: Optional[int] = None,
+                     stream_top_k: Optional[int] = None,
+                     coalesce_every: int = 4,
+                     backend_label: Optional[str] = None):
+    """Run the batched LocalPush round loop with a pluggable executor.
+
+    Parameters mirror :func:`repro.simrank.localpush.localpush_simrank`
+    (which dispatches here for every non-dict plan), plus:
+
+    executor:
+        ``"serial"``, ``"thread"`` or ``"process"`` — how the per-round
+        shard pushes are executed.  The result is bit-identical for
+        every executor and worker count (see the module docstring), so
+        this is purely a throughput knob.
+    num_workers:
+        Pool size for the thread/process executors (ignored by
+        ``"serial"``); defaults to :func:`default_num_workers`.
+    num_shards:
+        Fixed shard count per round.  Defaults to
+        ``ceil(frontier_nnz / DEFAULT_SHARD_NNZ)``, recomputed per round
+        from the frontier alone so results stay independent of the
+        executor and pool size.
+    stream_top_k:
+        When given, stream top-k pruning into the round loop (bounded
+        ``O(k·n)`` memory) and return the matrix already pruned with
+        :func:`repro.graphs.sparse.top_k_per_row` semantics
+        (``keep_diagonal=True``); matches pruning the fully materialised
+        estimate exactly.
+    backend_label:
+        Legacy backend name recorded on the result for callers that
+        still reason in ``backend=`` terms (``"vectorized"`` ≡
+        ``(core, serial)``, ``"sharded"`` ≡ ``(core, thread|process)``).
+    """
+    from repro.simrank.localpush import LocalPushResult, finalize_estimate
+
+    if not 0.0 < decay < 1.0:
+        raise SimRankError(f"decay factor c must be in (0, 1), got {decay}")
+    if epsilon <= 0.0:
+        raise SimRankError(f"epsilon must be positive, got {epsilon}")
+    if executor not in EXECUTORS:
+        raise SimRankError(f"unknown LocalPush executor {executor!r}; "
+                           f"expected one of {EXECUTORS}")
+    if num_workers is not None and num_workers < 1:
+        raise SimRankError(f"num_workers must be >= 1, got {num_workers}")
+    if num_shards is not None and num_shards < 1:
+        raise SimRankError(f"num_shards must be >= 1, got {num_shards}")
+    if stream_top_k is not None and stream_top_k < 1:
+        raise SimRankError(f"stream_top_k must be >= 1, got {stream_top_k}")
+
+    n = graph.num_nodes
+    threshold = (1.0 - decay) * epsilon
+    walk = column_normalize(graph.adjacency)     # W = A D⁻¹
+    walk_t = walk.T.tocsr()
+    runner = _make_executor(executor, walk, walk_t, n, decay, num_workers)
+
+    residual = sp.identity(n, dtype=np.float64, format="csr")
+    streaming = stream_top_k is not None
+    # The materialised running estimate is only needed when the streaming
+    # prune inspects it every round; otherwise absorbed frontiers are
+    # accumulated as COO triplets and coalesced once at the end.
+    estimate = sp.csr_matrix((n, n), dtype=np.float64)
+    est_rows: list[np.ndarray] = []
+    est_cols: list[np.ndarray] = []
+    est_data: list[np.ndarray] = []
+
+    num_pushes = 0
+    num_rounds = 0
+    max_shards_used = 0
+    timer = Timer()
+    timer.start()
+    try:
+        while True:
+            above = residual.data > threshold
+            count = int(np.count_nonzero(above))
+            if count == 0:
+                break
+            rows = _csr_rows(residual)[above]
+            cols = residual.indices[above].astype(np.int64, copy=False)
+            data = residual.data[above].copy()
+
+            # Absorb the frontier into the estimate (line 4 of Algorithm 1,
+            # batched) and clear it from the residual.
+            if streaming:
+                estimate = estimate + sp.csr_matrix((data, (rows, cols)),
+                                                    shape=(n, n))
+            else:
+                est_rows.append(rows)
+                est_cols.append(cols)
+                est_data.append(data)
+            num_pushes += count
+            if max_pushes is not None and num_pushes > max_pushes:
+                raise SimRankError(
+                    f"LocalPush exceeded max_pushes={max_pushes}; "
+                    "epsilon is likely too small for this graph"
+                )
+            residual.data[above] = 0.0
+
+            # Shard the frontier by stored-entry ranges.  The partition is
+            # a function of the frontier only, never of the executor or
+            # worker count.
+            shards = num_shards if num_shards is not None else max(
+                1, -(-count // DEFAULT_SHARD_NNZ))
+            shards = min(shards, count)
+            max_shards_used = max(max_shards_used, shards)
+            chunks = [(rows[c], cols[c], data[c])
+                      for c in np.array_split(np.arange(count), shards)
+                      if c.size]
+
+            # Merge in shard order — deterministic regardless of which
+            # worker finished first.
+            partials = runner.push_round(chunks)
+            pushed = partials[0]
+            for partial in partials[1:]:
+                pushed = pushed + partial
+            residual = residual + pushed
+            num_rounds += 1
+            if num_rounds % coalesce_every == 0:
+                residual.eliminate_zeros()
+
+            if streaming:
+                r_max = float(residual.data.max()) if residual.nnz else 0.0
+                slack = r_max / (1.0 - decay)
+                estimate = _streaming_prune(estimate, stream_top_k, slack)
+    finally:
+        runner.close()
+    residual.eliminate_zeros()
+    elapsed = timer.stop()
+
+    if not streaming and est_data:
+        estimate = sp.coo_matrix(
+            (np.concatenate(est_data),
+             (np.concatenate(est_rows), np.concatenate(est_cols))),
+            shape=(n, n),
+        ).tocsr()  # COO→CSR sums duplicate frontier absorptions
+
+    if absorb_residual and residual.nnz:
+        rows = _csr_rows(residual)
+        positive = residual.data > 0.0
+        leftover_mass = sp.csr_matrix(
+            (residual.data[positive].copy(),
+             (rows[positive],
+              residual.indices[positive].astype(np.int64, copy=False))),
+            shape=(n, n))
+        estimate = estimate + leftover_mass
+
+    estimate = finalize_estimate(estimate, residual, epsilon=epsilon,
+                                 prune=prune)
+
+    if streaming:
+        # Exact top_k_per_row semantics over the surviving superset: equal
+        # to pruning the full estimate, because streamed drops were
+        # provably outside the final top-k.
+        estimate = top_k_per_row(estimate, stream_top_k, keep_diagonal=True)
+
+    leftover = int(np.count_nonzero(residual.data > 0.0))
+    return LocalPushResult(
+        matrix=estimate,
+        num_pushes=num_pushes,
+        num_residual_entries=leftover,
+        elapsed_seconds=elapsed,
+        epsilon=epsilon,
+        decay=decay,
+        backend=backend_label or
+        ("vectorized" if executor == "serial" else "sharded"),
+        executor=executor,
+        num_rounds=num_rounds,
+        num_workers=runner.workers_used,
+        num_shards=max_shards_used,
+    )
+
+
+__all__ = ["localpush_engine", "default_num_workers", "EXECUTORS",
+           "DEFAULT_SHARD_NNZ", "DEFAULT_MAX_WORKERS"]

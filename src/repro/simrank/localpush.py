@@ -11,29 +11,31 @@ SimRank series ``Σ_ℓ c^ℓ (W^ℓ)ᵀ W^ℓ`` of Theorem III.2, and stopping 
 Entries of the estimate below ``ε / 10`` are pruned, as in the paper, so the
 result stays sparse with roughly ``O(n·d²/ε)`` entries rather than ``O(n²)``.
 
-Backend selection
------------------
-Three interchangeable engines implement the push loop:
+(engine, executor) selection
+----------------------------
+Two engines implement the push loop, and the batched one is further
+parameterized by an *executor* strategy:
 
-* ``backend="dict"`` — the reference implementation below: a per-pair
-  queue over Python dicts, a direct transcription of Algorithm 1.  It is
-  the correctness oracle for the equivalence tests, but the Python-level
-  loop costs ``O(d²)`` bytecode per push.
-* ``backend="vectorized"`` — the frontier-batched engine in
-  :mod:`repro.simrank.localpush_vec`: each round absorbs the *entire*
-  above-threshold frontier with array ops and pushes all of its mass in
-  one sparse-matrix step ``R ← R + c·Wᵀ F W``.  Same stopping rule, same
-  ``‖Ŝ − S‖_max < ε`` guarantee, one to two orders of magnitude faster
-  (see ``BENCH_localpush.json``).
-* ``backend="sharded"`` — the worker-parallel engine in
-  :mod:`repro.simrank.sharded`: each round's frontier is split into row
-  shards pushed by a thread pool and merged deterministically, with
-  optional *streaming* top-k pruning inside the loop so the full estimate
-  never materialises.  Bit-identical across worker counts.
-* ``backend="auto"`` — resolved by :func:`resolve_backend`: ``"dict"``
-  below :data:`AUTO_BACKEND_MIN_NODES` nodes, ``"sharded"`` from
-  :data:`AUTO_SHARDED_MIN_NODES` nodes upward, ``"vectorized"`` in
-  between.
+* the **dict engine** (below) — a per-pair queue over Python dicts, a
+  direct transcription of Algorithm 1.  It is the correctness oracle for
+  the equivalence tests, but the Python-level loop costs ``O(d²)``
+  bytecode per push.
+* the **unified core** (:func:`repro.simrank.engine.localpush_engine`) —
+  frontier-batched rounds ``R ← R + c·Wᵀ F W`` with deterministic
+  frontier sharding, optional streaming top-k pruning, and a pluggable
+  executor: ``"serial"`` (in-thread), ``"thread"``
+  (``ThreadPoolExecutor``) or ``"process"`` (process pool over
+  shared-memory walk matrices).  All executors and worker counts
+  produce bit-identical matrices.
+
+The legacy ``backend=`` names are labels over this plan space and remain
+accepted everywhere: ``"vectorized"`` ≡ ``(core, serial)``,
+``"sharded"`` ≡ ``(core, thread)``, and ``backend="auto"`` resolves by
+node count via :func:`resolve_backend` (``"dict"`` below
+:data:`AUTO_BACKEND_MIN_NODES`, ``"sharded"`` from
+:data:`AUTO_SHARDED_MIN_NODES` upward, ``"vectorized"`` in between).
+Passing ``executor=`` explicitly forces the unified core with that
+executor; :func:`resolve_execution` implements the combined resolution.
 
 Both backends guarantee a strictly positive diagonal: SimRank defines
 ``S(u, u) = 1``, so even when ``ε`` is so large that the push threshold
@@ -56,6 +58,8 @@ from repro.simrank.exact import DEFAULT_DECAY
 from repro.utils.timer import Timer
 
 Backend = Literal["dict", "vectorized", "sharded", "auto"]
+
+ExecutorName = Literal["serial", "thread", "process", "auto"]
 
 #: Node count above which ``backend="auto"`` switches to the vectorized
 #: engine; below it the per-round sparse-matrix setup dominates and the
@@ -88,6 +92,54 @@ def resolve_backend(backend: Backend, num_nodes: int) -> str:
     return "dict"
 
 
+def resolve_execution(backend: Backend = "auto",
+                      executor: Optional[ExecutorName] = None,
+                      num_nodes: int = 0) -> Tuple[str, Optional[str]]:
+    """Resolve a ``(backend, executor)`` request to a concrete plan.
+
+    Returns ``(backend_name, executor_name)`` where ``backend_name`` is
+    the legacy engine-family label (``"dict"``, ``"vectorized"`` or
+    ``"sharded"`` — used for result metadata and operator-cache keys) and
+    ``executor_name`` is the unified-core executor (``"serial"``,
+    ``"thread"`` or ``"process"``), or ``None`` for the dict engine.
+
+    * With ``executor`` unset (or ``"auto"``), the legacy ladder applies:
+      ``"dict"`` ↦ the reference engine, ``"vectorized"`` ↦
+      ``(core, serial)``, ``"sharded"`` ↦ ``(core, thread)``, and
+      ``"auto"`` resolves by node count first.
+    * An explicit executor forces the unified core with that strategy.
+      The backend label never depends on the executor — it is the named
+      backend, or (under ``"auto"``) the node-count ladder's core family
+      — so the operator-cache key, which includes the label, stays
+      identical across executors (all core executors are bit-identical;
+      the label is provenance, not semantics).
+    * ``backend="dict"`` has no pluggable executor; combining it with an
+      explicit executor is an error.
+    """
+    if backend not in ("dict", "vectorized", "sharded", "auto"):
+        raise SimRankError(f"unknown LocalPush backend {backend!r}")
+    if executor not in (None, "auto", "serial", "thread", "process"):
+        raise SimRankError(f"unknown LocalPush executor {executor!r}")
+    requested = None if executor in (None, "auto") else executor
+    if backend == "dict":
+        if requested is not None:
+            raise SimRankError(
+                "backend='dict' is the per-pair reference engine and has no "
+                f"pluggable executor; got executor={requested!r}")
+        return "dict", None
+    if requested is not None:
+        if backend == "auto":
+            ladder = resolve_backend("auto", num_nodes)
+            backend = "sharded" if ladder == "sharded" else "vectorized"
+        return backend, requested
+    resolved = resolve_backend(backend, num_nodes)
+    if resolved == "dict":
+        return "dict", None
+    if resolved == "vectorized":
+        return "vectorized", "serial"
+    return "sharded", "thread"
+
+
 @dataclass
 class LocalPushResult:
     """Output of :func:`localpush_simrank`.
@@ -108,15 +160,19 @@ class LocalPushResult:
     decay:
         The decay factor ``c``.
     backend:
-        Which engine produced the result (``"dict"``, ``"vectorized"`` or
-        ``"sharded"``).
+        Engine-family label of the plan that produced the result
+        (``"dict"``, ``"vectorized"`` ≡ core/serial, or ``"sharded"`` ≡
+        core/pooled).
+    executor:
+        Unified-core executor used (``"serial"``, ``"thread"`` or
+        ``"process"``); ``None`` for the dict reference engine.
     num_rounds:
-        Number of frontier rounds (batched backends only; ``None`` for
-        the per-pair reference backend).
+        Number of frontier rounds (unified core only; ``None`` for the
+        per-pair reference engine).
     num_workers:
-        Worker-pool size used (sharded backend only).
+        Worker-pool size used (thread/process executors only).
     num_shards:
-        Largest per-round shard count used (sharded backend only).
+        Largest per-round shard count used (unified core only).
     """
 
     matrix: sp.csr_matrix
@@ -126,6 +182,7 @@ class LocalPushResult:
     epsilon: float
     decay: float
     backend: str = "dict"
+    executor: Optional[str] = None
     num_rounds: Optional[int] = None
     num_workers: Optional[int] = None
     num_shards: Optional[int] = None
@@ -136,6 +193,7 @@ def localpush_simrank(graph: Graph, *, decay: float = DEFAULT_DECAY,
                       absorb_residual: bool = False,
                       max_pushes: int | None = None,
                       backend: Backend = "auto",
+                      executor: Optional[ExecutorName] = None,
                       num_workers: int | None = None,
                       stream_top_k: int | None = None) -> LocalPushResult:
     """Run Algorithm 1 (LocalPush) and return the sparse approximation.
@@ -165,21 +223,29 @@ def localpush_simrank(graph: Graph, *, decay: float = DEFAULT_DECAY,
         vectorized backend counts absorbed frontier entries, the batched
         analogue of a per-pair push.
     backend:
-        ``"dict"`` (per-pair reference loop), ``"vectorized"``
-        (frontier-batched array engine), ``"sharded"`` (worker-parallel
-        row-sharded engine) or ``"auto"`` (resolved by
-        :func:`resolve_backend` on the node count).  All satisfy the same
-        ``‖Ŝ − S‖_max < ε`` bound; see the module docstring.
+        Legacy engine-family name: ``"dict"`` (per-pair reference loop),
+        ``"vectorized"`` ≡ unified core with the serial executor,
+        ``"sharded"`` ≡ unified core with a pooled executor, or
+        ``"auto"`` (resolved by :func:`resolve_backend` on the node
+        count).  All satisfy the same ``‖Ŝ − S‖_max < ε`` bound; see the
+        module docstring.
+    executor:
+        Unified-core executor: ``"serial"``, ``"thread"`` or
+        ``"process"`` (see :mod:`repro.simrank.engine`).  Passing one
+        explicitly forces the unified core; the default (``None`` /
+        ``"auto"``) follows the backend ladder.  Every executor and
+        worker count produces a bit-identical matrix.
     num_workers:
-        Worker-pool size for the sharded engine; ignored by the other
-        backends.  Results are bit-identical across worker counts.
+        Worker-pool size for the thread/process executors; ignored by
+        the serial executor and the dict engine.  Results are
+        bit-identical across worker counts.
     stream_top_k:
         Prune the returned matrix to the ``k`` largest entries per row
         with ``top_k_per_row(..., keep_diagonal=True)`` semantics.  The
-        sharded engine streams the prune into its push loop (bounded
-        memory); the dict and vectorized engines apply it post hoc — the
-        result is the same either way, so the semantics do not depend on
-        which engine ``"auto"`` resolves to.
+        unified core streams the prune into its push loop (bounded
+        memory); the dict engine applies it post hoc — the result is the
+        same either way, so the semantics do not depend on which engine
+        the plan resolves to.
     """
     if not 0.0 < decay < 1.0:
         raise SimRankError(f"decay factor c must be in (0, 1), got {decay}")
@@ -187,25 +253,16 @@ def localpush_simrank(graph: Graph, *, decay: float = DEFAULT_DECAY,
         raise SimRankError(f"epsilon must be positive, got {epsilon}")
     if stream_top_k is not None and stream_top_k < 1:
         raise SimRankError(f"stream_top_k must be >= 1, got {stream_top_k}")
-    backend = resolve_backend(backend, graph.num_nodes)
-    if backend == "sharded":
-        from repro.simrank.sharded import localpush_simrank_sharded
+    backend_name, executor_name = resolve_execution(backend, executor,
+                                                    graph.num_nodes)
+    if executor_name is not None:
+        from repro.simrank.engine import localpush_engine
 
-        return localpush_simrank_sharded(
+        return localpush_engine(
             graph, decay=decay, epsilon=epsilon, prune=prune,
             absorb_residual=absorb_residual, max_pushes=max_pushes,
-            num_workers=num_workers, stream_top_k=stream_top_k)
-    if backend == "vectorized":
-        from repro.graphs.sparse import top_k_per_row
-        from repro.simrank.localpush_vec import localpush_simrank_vectorized
-
-        result = localpush_simrank_vectorized(
-            graph, decay=decay, epsilon=epsilon, prune=prune,
-            absorb_residual=absorb_residual, max_pushes=max_pushes)
-        if stream_top_k is not None:
-            result.matrix = top_k_per_row(result.matrix, stream_top_k,
-                                          keep_diagonal=True)
-        return result
+            executor=executor_name, num_workers=num_workers,
+            stream_top_k=stream_top_k, backend_label=backend_name)
 
     n = graph.num_nodes
     adjacency = graph.adjacency
@@ -341,5 +398,6 @@ def _pairs_to_csr(entries: Dict[Tuple[int, int], float], n: int) -> sp.csr_matri
 
 
 __all__ = ["localpush_simrank", "LocalPushResult", "Backend",
-           "resolve_backend", "finalize_estimate", "AUTO_BACKEND_MIN_NODES",
+           "ExecutorName", "resolve_backend", "resolve_execution",
+           "finalize_estimate", "AUTO_BACKEND_MIN_NODES",
            "AUTO_SHARDED_MIN_NODES"]

@@ -1,50 +1,21 @@
-"""Vectorized, frontier-batched LocalPush (Algorithm 1, batched variant).
+"""Deprecated shim: the vectorized LocalPush engine is now the unified core.
 
-The reference implementation in :mod:`repro.simrank.localpush` pops one
-``(u, v)`` pair at a time from a work queue — a faithful transcription of
-Algorithm 1, but a Python-level loop whose cost is dominated by dict and
-deque overhead.  This module performs the *same* computation with array
-operations only:
-
-1. **Gather the frontier** — all residual entries strictly above the push
-   threshold ``(1 − c)·ε`` — in one vectorized pass over the CSR residual
-   (row ids recovered with ``np.repeat`` over the ``indptr`` gaps).
-2. **Absorb** the whole frontier into the estimate at once.  The estimate is
-   accumulated as COO triplets and duplicate-coalesced when materialised.
-3. **Push** all frontier residual mass in a single batched step:
-   ``R ← R + c · Wᵀ F W`` where ``F`` is the sparse frontier matrix and
-   ``W = A D⁻¹`` is the column-normalised walk matrix.  Entry-wise this is
-   exactly Algorithm 1's ``R[u', v'] += c · R[u, v] / (deg(u')·deg(v'))``
-   for every ``u' ∈ N(u), v' ∈ N(v)``, with duplicate contributions
-   coalesced by the sparse add.
-
-Because every frontier entry is above threshold when absorbed and the loop
-only terminates once **no** residual exceeds ``(1 − c)·ε``, the batched
-variant satisfies the same invariant as the sequential one
-(``Ŝ + diag-restricted residual`` under-approximates the linearized series)
-and therefore inherits the ``‖Ŝ − S‖_max < ε`` guarantee of Lemma III.5
-verbatim.  Only the *order* in which residual mass is moved differs, so the
-two backends agree within ``ε`` (and in practice far tighter — see
-``tests/test_simrank_localpush_vec.py``).
-
-Complexity: each round costs ``O(nnz(F)·d²)`` work in compiled sparse
-kernels instead of ``O(nnz(F)·d²)`` Python bytecode, and the number of
-rounds is bounded by the series depth ``O(log ε / log c)`` plus the rounds
-needed to drain re-accumulated mass — in practice a few dozen.  Total
-storage stays ``O(n·d²/((1 − c)·ε))`` like the reference.
+The frontier-batched push loop that used to live here (absorb the whole
+above-threshold frontier, push ``R ← R + c·Wᵀ F W`` in one sparse step)
+is the ``executor="serial"`` configuration of
+:func:`repro.simrank.engine.localpush_engine` — see that module for the
+loop, the sharding plan and the bit-identical-across-executors argument.
+This module remains only so existing imports keep working; prefer
+``localpush_simrank(..., backend="vectorized")`` or the engine directly.
 """
 
 from __future__ import annotations
 
-import numpy as np
-import scipy.sparse as sp
+import warnings
 
-from repro.errors import SimRankError
 from repro.graphs.graph import Graph
-from repro.graphs.normalize import column_normalize
-from repro.graphs.sparse import csr_row_indices as _csr_rows
+from repro.simrank.engine import localpush_engine
 from repro.simrank.exact import DEFAULT_DECAY
-from repro.utils.timer import Timer
 
 
 def localpush_simrank_vectorized(graph: Graph, *, decay: float = DEFAULT_DECAY,
@@ -52,101 +23,22 @@ def localpush_simrank_vectorized(graph: Graph, *, decay: float = DEFAULT_DECAY,
                                  absorb_residual: bool = False,
                                  max_pushes: int | None = None,
                                  coalesce_every: int = 4):
-    """Frontier-batched LocalPush; drop-in equivalent of the dict backend.
+    """Deprecated alias for the unified core with the serial executor.
 
-    Parameters mirror :func:`repro.simrank.localpush.localpush_simrank`
-    (which dispatches here for ``backend="vectorized"``); ``coalesce_every``
-    controls how often explicit zeros are purged from the residual between
-    rounds.  ``max_pushes`` counts absorbed frontier entries, the batched
-    analogue of the reference backend's per-pair push count.
+    Emits a :class:`DeprecationWarning` and returns a result bit-identical
+    to ``localpush_engine(..., executor="serial")`` (pinned by
+    ``tests/test_simrank_engine.py``).
     """
-    from repro.simrank.localpush import LocalPushResult, finalize_estimate
-
-    if not 0.0 < decay < 1.0:
-        raise SimRankError(f"decay factor c must be in (0, 1), got {decay}")
-    if epsilon <= 0.0:
-        raise SimRankError(f"epsilon must be positive, got {epsilon}")
-
-    n = graph.num_nodes
-    threshold = (1.0 - decay) * epsilon
-    walk = column_normalize(graph.adjacency)     # W = A D⁻¹
-    walk_t = walk.T.tocsr()
-
-    residual = sp.identity(n, dtype=np.float64, format="csr")
-    est_rows: list[np.ndarray] = []
-    est_cols: list[np.ndarray] = []
-    est_data: list[np.ndarray] = []
-
-    num_pushes = 0
-    num_rounds = 0
-    timer = Timer()
-    timer.start()
-    while True:
-        above = residual.data > threshold
-        count = int(np.count_nonzero(above))
-        if count == 0:
-            break
-        rows = _csr_rows(residual)
-        frontier_rows = rows[above]
-        frontier_cols = residual.indices[above].astype(np.int64, copy=False)
-        frontier_data = residual.data[above].copy()
-
-        # Absorb the frontier into the estimate (line 4 of Algorithm 1,
-        # batched) and clear it from the residual.
-        est_rows.append(frontier_rows)
-        est_cols.append(frontier_cols)
-        est_data.append(frontier_data)
-        num_pushes += count
-        if max_pushes is not None and num_pushes > max_pushes:
-            raise SimRankError(
-                f"LocalPush exceeded max_pushes={max_pushes}; "
-                "epsilon is likely too small for this graph"
-            )
-        residual.data[above] = 0.0
-
-        # Batched push (line 5): R += c · Wᵀ F W.  The sparse add coalesces
-        # duplicate (u', v') contributions from different frontier entries.
-        frontier = sp.csr_matrix((frontier_data, (frontier_rows, frontier_cols)),
-                                 shape=(n, n))
-        pushed = (walk_t @ frontier) @ walk
-        pushed = pushed.tocsr()
-        pushed.data *= decay
-        residual = residual + pushed
-        num_rounds += 1
-        if num_rounds % coalesce_every == 0:
-            residual.eliminate_zeros()
-    residual.eliminate_zeros()
-    elapsed = timer.stop()
-
-    if absorb_residual and residual.nnz:
-        rows = _csr_rows(residual)
-        positive = residual.data > 0.0
-        est_rows.append(rows[positive])
-        est_cols.append(residual.indices[positive].astype(np.int64, copy=False))
-        est_data.append(residual.data[positive].copy())
-
-    if est_data:
-        estimate = sp.coo_matrix(
-            (np.concatenate(est_data),
-             (np.concatenate(est_rows), np.concatenate(est_cols))),
-            shape=(n, n),
-        ).tocsr()  # COO→CSR sums duplicate frontier absorptions
-    else:
-        estimate = sp.csr_matrix((n, n))
-
-    estimate = finalize_estimate(estimate, residual, epsilon=epsilon,
-                                 prune=prune)
-    leftover = int(np.count_nonzero(residual.data > 0.0))
-    return LocalPushResult(
-        matrix=estimate,
-        num_pushes=num_pushes,
-        num_residual_entries=leftover,
-        elapsed_seconds=elapsed,
-        epsilon=epsilon,
-        decay=decay,
-        backend="vectorized",
-        num_rounds=num_rounds,
-    )
+    warnings.warn(
+        "localpush_simrank_vectorized is deprecated; use "
+        "localpush_simrank(..., backend='vectorized') or "
+        "repro.simrank.engine.localpush_engine(..., executor='serial')",
+        DeprecationWarning, stacklevel=2)
+    return localpush_engine(graph, decay=decay, epsilon=epsilon, prune=prune,
+                            absorb_residual=absorb_residual,
+                            max_pushes=max_pushes, executor="serial",
+                            coalesce_every=coalesce_every,
+                            backend_label="vectorized")
 
 
 __all__ = ["localpush_simrank_vectorized"]

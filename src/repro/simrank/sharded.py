@@ -1,135 +1,29 @@
-"""Sharded, worker-parallel LocalPush with streaming top-k pruning.
+"""Deprecated shim: the sharded LocalPush engine is now the unified core.
 
-This is the third LocalPush engine (``backend="sharded"``), built for the
-Fig. 5 / Table III scalability regime where a single batched push round
-``R ← R + c·Wᵀ F W`` becomes the bottleneck.  It extends the vectorized
-engine of :mod:`repro.simrank.localpush_vec` in two orthogonal ways:
-
-**Row-sharded push rounds.**  Each round's above-threshold frontier ``F``
-is split by stored-entry ranges into shards ``F = Σ_i F_i`` and every
-shard's partial update ``c·Wᵀ F_i W`` is computed in a
-:class:`concurrent.futures.ThreadPoolExecutor` task.  The push operator is
-linear in ``F``, so the shard sum equals the unsharded update exactly (up
-to floating-point grouping).  Determinism is preserved by construction:
-
-* the shard *partition* depends only on the frontier (``num_shards`` is
-  either caller-fixed or derived from the frontier size, never from the
-  worker count), and
-* the partial results are *merged in shard order*, no matter which worker
-  finished first.
-
-Consequently the returned matrix is bit-identical for every
-``num_workers`` — a property the test suite pins for
-``num_workers ∈ {1, 2, 4}`` and the operator cache relies on (the cache
-key deliberately excludes the worker count).
-
-**Streaming top-k pruning.**  When ``stream_top_k=k`` is given, the
-estimate is pruned *inside* the round loop so at most ``O(k·n)`` (plus a
-provably-undecidable margin) entries are ever held, instead of
-materialising the full ``O(n·d²/ε)`` estimate and pruning afterwards.
-The prune is guarded by a correction bound derived from the residual
-invariant ``S = Ŝ + Σ_{ℓ≥0} c^ℓ (Wᵀ)^ℓ R W^ℓ``: because the columns of
-``W = A D⁻¹`` sum to at most one, every entry of ``(Wᵀ)^ℓ R W^ℓ`` is
-bounded by ``‖R‖_max``, so the *future growth* of any estimate entry is at
-most
-
-    ``slack = ‖R‖_max / (1 − c)``.
-
-An entry ``(u, v)`` is therefore dropped from row ``u`` only when
-
-    ``Ŝ(u, v) + slack < (k-th largest entry of row u)``,
-
-i.e. when its final value provably cannot reach the row's final k-th
-largest score (row maxima are monotone under pushes, so the k-th largest
-only grows).  Dropped entries can thus never belong to the final top-k
-selection, and a last :func:`repro.graphs.sparse.top_k_per_row` pass over
-the surviving superset yields *exactly* the same matrix — same entries,
-same deterministic tie-breaking, same preserved diagonal — as pruning the
-fully materialised estimate.  The ``‖Ŝ − S‖_max < ε`` guarantee of
-Lemma III.5 is untouched because pruning the estimate never feeds back
-into the residual loop.
+The row-sharded, worker-parallel push loop with streaming top-k pruning
+that used to live here is the ``executor="thread"`` configuration of
+:func:`repro.simrank.engine.localpush_engine`; the shard partition, the
+shard-order merge, the ``‖R‖_max/(1−c)`` streaming-prune correction
+bound and the worker-count determinism guarantee all moved there
+verbatim (the process executor shares them too).  This module remains
+only so existing imports keep working; prefer
+``localpush_simrank(..., backend="sharded")``, an explicit
+``executor=``, or the engine directly.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ThreadPoolExecutor
+import warnings
 from typing import Optional
 
-import numpy as np
-import scipy.sparse as sp
-
-from repro.errors import SimRankError
 from repro.graphs.graph import Graph
-from repro.graphs.normalize import column_normalize
-from repro.graphs.sparse import csr_row_indices as _csr_rows
-from repro.graphs.sparse import top_k_per_row
+from repro.simrank.engine import (
+    DEFAULT_MAX_WORKERS,
+    DEFAULT_SHARD_NNZ,
+    default_num_workers,
+    localpush_engine,
+)
 from repro.simrank.exact import DEFAULT_DECAY
-from repro.utils.timer import Timer
-
-#: Target number of frontier entries per shard when ``num_shards`` is not
-#: given.  Chosen so a shard's ``Wᵀ F_i W`` stays comfortably inside cache
-#: while leaving enough shards to occupy a small worker pool.
-DEFAULT_SHARD_NNZ = 8192
-
-#: Upper bound applied to the default worker count.
-DEFAULT_MAX_WORKERS = 4
-
-
-def default_num_workers() -> int:
-    """Worker count used when ``num_workers`` is not specified."""
-    return max(1, min(DEFAULT_MAX_WORKERS, os.cpu_count() or 1))
-
-
-def _push_shard(walk_t: sp.csr_matrix, walk: sp.csr_matrix,
-                rows: np.ndarray, cols: np.ndarray, data: np.ndarray,
-                n: int, decay: float) -> sp.csr_matrix:
-    """One shard's partial update ``c·Wᵀ F_i W`` (pure, order-independent)."""
-    shard = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
-    pushed = ((walk_t @ shard) @ walk).tocsr()
-    pushed.data *= decay
-    return pushed
-
-
-def _streaming_prune(estimate: sp.csr_matrix, k: int,
-                     slack: float) -> sp.csr_matrix:
-    """Drop estimate entries that provably cannot reach the final top-k.
-
-    An entry is removed only when ``value + slack`` is strictly below the
-    row's current k-th largest value; the diagonal is never dropped (it is
-    preserved by the final ``top_k_per_row(..., keep_diagonal=True)``
-    semantics and must survive streaming too).  Mutates ``estimate`` in
-    place (the caller holds the only reference to the freshly summed
-    matrix).
-    """
-    if estimate.nnz == 0:
-        return estimate
-    indptr, indices, data = estimate.indptr, estimate.indices, estimate.data
-    # Early rounds can never drop anything: value + slack >= slack, and no
-    # row's k-th largest can exceed the global maximum entry.
-    if slack >= float(data.max()):
-        return estimate
-    # Only rows holding more than k entries can possibly shed one.
-    candidates = np.flatnonzero(np.diff(indptr) > k)
-    if candidates.size == 0:
-        return estimate
-    changed = False
-    for row in candidates:
-        start, end = indptr[row], indptr[row + 1]
-        size = end - start
-        row_data = data[start:end]
-        kth = np.partition(row_data, size - k)[size - k]
-        drop = (row_data + slack) < kth
-        if not drop.any():
-            continue
-        drop &= indices[start:end] != row
-        if not drop.any():
-            continue
-        row_data[drop] = 0.0
-        changed = True
-    if changed:
-        estimate.eliminate_zeros()
-    return estimate
 
 
 def localpush_simrank_sharded(graph: Graph, *, decay: float = DEFAULT_DECAY,
@@ -140,165 +34,24 @@ def localpush_simrank_sharded(graph: Graph, *, decay: float = DEFAULT_DECAY,
                               num_shards: Optional[int] = None,
                               stream_top_k: Optional[int] = None,
                               coalesce_every: int = 4):
-    """Row-sharded LocalPush; drop-in equivalent of the other backends.
+    """Deprecated alias for the unified core with the thread executor.
 
-    Parameters mirror :func:`repro.simrank.localpush.localpush_simrank`
-    (which dispatches here for ``backend="sharded"``), plus:
-
-    num_workers:
-        Size of the thread pool executing shard pushes.  Defaults to
-        :func:`default_num_workers`.  The result is bit-identical for every
-        worker count (see the module docstring), so this is purely a
-        throughput knob.
-    num_shards:
-        Fixed shard count per round.  Defaults to
-        ``ceil(frontier_nnz / DEFAULT_SHARD_NNZ)``, recomputed per round
-        from the frontier alone so results stay independent of the pool
-        size.
-    stream_top_k:
-        When given, stream top-k pruning into the round loop (bounded
-        memory) and return the matrix already pruned with
-        :func:`repro.graphs.sparse.top_k_per_row` semantics
-        (``keep_diagonal=True``).  Matches pruning the fully materialised
-        estimate exactly; see the correction-bound argument above.
+    Emits a :class:`DeprecationWarning` and returns a result bit-identical
+    to ``localpush_engine(..., executor="thread")`` (pinned by
+    ``tests/test_simrank_engine.py``).
     """
-    from repro.simrank.localpush import LocalPushResult, finalize_estimate
-
-    if not 0.0 < decay < 1.0:
-        raise SimRankError(f"decay factor c must be in (0, 1), got {decay}")
-    if epsilon <= 0.0:
-        raise SimRankError(f"epsilon must be positive, got {epsilon}")
-    if num_workers is not None and num_workers < 1:
-        raise SimRankError(f"num_workers must be >= 1, got {num_workers}")
-    if num_shards is not None and num_shards < 1:
-        raise SimRankError(f"num_shards must be >= 1, got {num_shards}")
-    if stream_top_k is not None and stream_top_k < 1:
-        raise SimRankError(f"stream_top_k must be >= 1, got {stream_top_k}")
-
-    workers = num_workers if num_workers is not None else default_num_workers()
-    n = graph.num_nodes
-    threshold = (1.0 - decay) * epsilon
-    walk = column_normalize(graph.adjacency)     # W = A D⁻¹
-    walk_t = walk.T.tocsr()
-
-    residual = sp.identity(n, dtype=np.float64, format="csr")
-    streaming = stream_top_k is not None
-    # The materialised running estimate is only needed when the streaming
-    # prune inspects it every round; otherwise absorbed frontiers are
-    # accumulated as COO triplets and coalesced once at the end, like the
-    # vectorized engine.
-    estimate = sp.csr_matrix((n, n), dtype=np.float64)
-    est_rows: list[np.ndarray] = []
-    est_cols: list[np.ndarray] = []
-    est_data: list[np.ndarray] = []
-
-    num_pushes = 0
-    num_rounds = 0
-    max_shards_used = 0
-    pool = ThreadPoolExecutor(max_workers=workers) if workers > 1 else None
-    timer = Timer()
-    timer.start()
-    try:
-        while True:
-            above = residual.data > threshold
-            count = int(np.count_nonzero(above))
-            if count == 0:
-                break
-            rows = _csr_rows(residual)[above]
-            cols = residual.indices[above].astype(np.int64, copy=False)
-            data = residual.data[above].copy()
-
-            # Absorb the frontier into the estimate (line 4 of Algorithm 1,
-            # batched) and clear it from the residual.
-            if streaming:
-                estimate = estimate + sp.csr_matrix((data, (rows, cols)),
-                                                    shape=(n, n))
-            else:
-                est_rows.append(rows)
-                est_cols.append(cols)
-                est_data.append(data)
-            num_pushes += count
-            if max_pushes is not None and num_pushes > max_pushes:
-                raise SimRankError(
-                    f"LocalPush exceeded max_pushes={max_pushes}; "
-                    "epsilon is likely too small for this graph"
-                )
-            residual.data[above] = 0.0
-
-            # Shard the frontier by stored-entry ranges.  The partition is a
-            # function of the frontier only, never of the worker count.
-            shards = num_shards if num_shards is not None else max(
-                1, -(-count // DEFAULT_SHARD_NNZ))
-            shards = min(shards, count)
-            max_shards_used = max(max_shards_used, shards)
-            chunks = [c for c in np.array_split(np.arange(count), shards)
-                      if c.size]
-            if pool is not None and len(chunks) > 1:
-                futures = [pool.submit(_push_shard, walk_t, walk, rows[c],
-                                       cols[c], data[c], n, decay)
-                           for c in chunks]
-                partials = [future.result() for future in futures]
-            else:
-                partials = [_push_shard(walk_t, walk, rows[c], cols[c],
-                                        data[c], n, decay) for c in chunks]
-
-            # Merge in shard order — deterministic regardless of which
-            # worker finished first.
-            pushed = partials[0]
-            for partial in partials[1:]:
-                pushed = pushed + partial
-            residual = residual + pushed
-            num_rounds += 1
-            if num_rounds % coalesce_every == 0:
-                residual.eliminate_zeros()
-
-            if streaming:
-                r_max = float(residual.data.max()) if residual.nnz else 0.0
-                slack = r_max / (1.0 - decay)
-                estimate = _streaming_prune(estimate, stream_top_k, slack)
-    finally:
-        if pool is not None:
-            pool.shutdown(wait=True)
-    residual.eliminate_zeros()
-    elapsed = timer.stop()
-
-    if not streaming and est_data:
-        estimate = sp.coo_matrix(
-            (np.concatenate(est_data),
-             (np.concatenate(est_rows), np.concatenate(est_cols))),
-            shape=(n, n),
-        ).tocsr()  # COO→CSR sums duplicate frontier absorptions
-
-    if absorb_residual and residual.nnz:
-        rows = _csr_rows(residual)
-        positive = residual.data > 0.0
-        leftover_mass = sp.csr_matrix(
-            (residual.data[positive].copy(),
-             (rows[positive], residual.indices[positive].astype(np.int64, copy=False))),
-            shape=(n, n))
-        estimate = estimate + leftover_mass
-
-    estimate = finalize_estimate(estimate, residual, epsilon=epsilon,
-                                 prune=prune)
-
-    if streaming:
-        # Exact top_k_per_row semantics over the surviving superset: equal to
-        # pruning the full estimate because streamed drops were provably out.
-        estimate = top_k_per_row(estimate, stream_top_k, keep_diagonal=True)
-
-    leftover = int(np.count_nonzero(residual.data > 0.0))
-    return LocalPushResult(
-        matrix=estimate,
-        num_pushes=num_pushes,
-        num_residual_entries=leftover,
-        elapsed_seconds=elapsed,
-        epsilon=epsilon,
-        decay=decay,
-        backend="sharded",
-        num_rounds=num_rounds,
-        num_workers=workers,
-        num_shards=max_shards_used,
-    )
+    warnings.warn(
+        "localpush_simrank_sharded is deprecated; use "
+        "localpush_simrank(..., backend='sharded') or "
+        "repro.simrank.engine.localpush_engine(..., executor='thread')",
+        DeprecationWarning, stacklevel=2)
+    return localpush_engine(graph, decay=decay, epsilon=epsilon, prune=prune,
+                            absorb_residual=absorb_residual,
+                            max_pushes=max_pushes, executor="thread",
+                            num_workers=num_workers, num_shards=num_shards,
+                            stream_top_k=stream_top_k,
+                            coalesce_every=coalesce_every,
+                            backend_label="sharded")
 
 
 __all__ = ["localpush_simrank_sharded", "default_num_workers",

@@ -20,9 +20,18 @@ import scipy.sparse as sp
 from repro.errors import SimRankError
 from repro.graphs.graph import Graph
 from repro.graphs.sparse import sparse_row_normalize, top_k_per_row
-from repro.simrank.cache import OperatorCache, get_operator_cache
+from repro.simrank.cache import (
+    OperatorCache,
+    get_operator_cache,
+    graph_fingerprint,
+)
 from repro.simrank.exact import DEFAULT_DECAY, exact_simrank, linearized_simrank
-from repro.simrank.localpush import Backend, localpush_simrank, resolve_backend
+from repro.simrank.localpush import (
+    Backend,
+    ExecutorName,
+    localpush_simrank,
+    resolve_execution,
+)
 from repro.utils.timer import Timer
 
 Method = Literal["exact", "series", "localpush", "auto"]
@@ -30,10 +39,15 @@ Method = Literal["exact", "series", "localpush", "auto"]
 CacheLike = Union[OperatorCache, str, os.PathLike, None]
 
 
-def _resolve_cache(cache: CacheLike) -> Optional[OperatorCache]:
-    if cache is None or isinstance(cache, OperatorCache):
+def _resolve_cache(cache: CacheLike,
+                   max_bytes: Optional[int] = None) -> Optional[OperatorCache]:
+    if cache is None:
+        return None
+    if isinstance(cache, OperatorCache):
+        if max_bytes is not None:
+            cache.max_bytes = max_bytes
         return cache
-    return get_operator_cache(cache)
+    return get_operator_cache(cache, max_bytes=max_bytes)
 
 
 def topk_simrank(matrix: sp.spmatrix | np.ndarray, k: int,
@@ -68,6 +82,10 @@ class SimRankOperator:
     cache_hit: bool = False
     #: Whether the rows were normalised to sum to one after pruning.
     row_normalize: bool = False
+    #: Set on cross-ε/k cache reuse hits: the (tighter) ε′ and (larger) k′
+    #: of the stored entry that was re-pruned to serve this request.
+    reuse_source_epsilon: Optional[float] = None
+    reuse_source_top_k: Optional[int] = None
 
     @property
     def nnz(self) -> int:
@@ -84,8 +102,10 @@ def simrank_operator(graph: Graph, *, method: Method = "auto",
                      top_k: Optional[int] = None, row_normalize: bool = False,
                      exact_size_limit: int = 3000,
                      backend: Backend = "auto",
+                     executor: Optional[ExecutorName] = None,
                      num_workers: Optional[int] = None,
-                     cache: CacheLike = None) -> SimRankOperator:
+                     cache: CacheLike = None,
+                     cache_max_bytes: Optional[int] = None) -> SimRankOperator:
     """Precompute the SimRank aggregation operator for a graph.
 
     Parameters
@@ -106,20 +126,29 @@ def simrank_operator(graph: Graph, *, method: Method = "auto",
         The paper aggregates with the raw scores; normalisation is exposed
         for ablation studies.
     backend:
-        LocalPush engine (``"dict"``, ``"vectorized"``, ``"sharded"`` or
-        ``"auto"``); only consulted when the resolved method is
-        ``"localpush"``.  See
+        LocalPush engine family (``"dict"``, ``"vectorized"``,
+        ``"sharded"`` or ``"auto"``); only consulted when the resolved
+        method is ``"localpush"``.  See
         :func:`repro.simrank.localpush.localpush_simrank`.
+    executor:
+        Unified-core executor (``"serial"``, ``"thread"``, ``"process"``
+        or ``"auto"``) — how the LocalPush shard pushes run.  Not part of
+        the cache key: every executor is bit-identical.
     num_workers:
-        Worker-pool size for the sharded LocalPush engine.  Deliberately
-        *not* part of the cache key: the sharded engine is bit-identical
+        Worker-pool size for the thread/process executors.  Deliberately
+        *not* part of the cache key: the engine core is bit-identical
         across worker counts.
     cache:
         Optional persistent operator cache — an
         :class:`repro.simrank.cache.OperatorCache` or a cache directory
         path.  On a hit the precompute is skipped entirely and
-        ``cache_hit=True`` is set on the returned operator; on a miss the
-        computed operator is stored for the next run.
+        ``cache_hit=True`` is set on the returned operator (including
+        cross-ε/k *reuse* hits, where a tighter-ε′/larger-k′ entry is
+        re-pruned to this request — see :mod:`repro.simrank.cache`); on a
+        miss the computed operator is stored for the next run.
+    cache_max_bytes:
+        Byte cap for the cache directory; stores beyond it evict the
+        least-recently-used entries.  ``None`` (default) means unbounded.
     """
     if top_k is not None and top_k <= 0:
         raise SimRankError(f"top_k must be positive, got {top_k}")
@@ -129,22 +158,26 @@ def simrank_operator(graph: Graph, *, method: Method = "auto",
     resolved = method
     if method == "auto":
         resolved = "series" if graph.num_nodes <= exact_size_limit else "localpush"
-    resolved_backend = (resolve_backend(backend, graph.num_nodes)
-                        if resolved == "localpush" else None)
+    resolved_backend: Optional[str] = None
+    if resolved == "localpush":
+        resolved_backend, _ = resolve_execution(backend, executor,
+                                                graph.num_nodes)
     cache_epsilon = None if resolved == "exact" else epsilon
 
-    cache_store = _resolve_cache(cache)
+    cache_store = _resolve_cache(cache, cache_max_bytes)
     key: Optional[str] = None
+    fingerprint: Optional[str] = None
     timer = Timer()
     timer.start()
     if cache_store is not None:
+        fingerprint = graph_fingerprint(graph)
         key = cache_store.key_for(
             graph, method=resolved, decay=decay, epsilon=cache_epsilon,
             top_k=top_k, row_normalize=row_normalize, backend=resolved_backend)
-        cached = cache_store.load(key, expect={
-            "method": resolved, "decay": decay, "epsilon": cache_epsilon,
-            "top_k": top_k, "backend": resolved_backend,
-            "row_normalize": row_normalize})
+        cached = cache_store.lookup(
+            graph, method=resolved, decay=decay, epsilon=cache_epsilon,
+            top_k=top_k, row_normalize=row_normalize,
+            backend=resolved_backend, fingerprint=fingerprint)
         if cached is not None:
             cached.precompute_seconds = timer.stop()
             return cached
@@ -160,12 +193,13 @@ def simrank_operator(graph: Graph, *, method: Method = "auto",
     else:
         # For the aggregation operator we keep sub-threshold residual mass
         # (a strict accuracy improvement) and let top-k do the pruning; the
-        # sharded engine additionally streams the top-k prune into the push
+        # unified core additionally streams the top-k prune into the push
         # loop (stream_top_k) so the full estimate never materialises.
         result = localpush_simrank(graph, decay=decay, epsilon=epsilon,
                                    prune=top_k is None,
                                    absorb_residual=True,
                                    backend=backend,
+                                   executor=executor,
                                    num_workers=num_workers,
                                    stream_top_k=top_k)
         matrix = result.matrix
@@ -188,7 +222,7 @@ def simrank_operator(graph: Graph, *, method: Method = "auto",
         row_normalize=row_normalize,
     )
     if cache_store is not None and key is not None:
-        cache_store.store(key, operator)
+        cache_store.store(key, operator, fingerprint=fingerprint)
     return operator
 
 

@@ -1,10 +1,14 @@
-"""Shared fixtures and collection policy for the test suite.
+"""Shared fixtures for the test suite.
 
-Tests marked ``@pytest.mark.slow`` (large sharded-LocalPush stress runs,
-full-scale cache round-trips, …) are skipped by the fast default
-selection, so the tier-1 command ``python -m pytest -x -q`` stays at seed
-runtime.  Select them explicitly with ``-m slow`` (or run everything with
-``-m "slow or not slow"``).
+The collection policy lives declaratively in ``pyproject.toml``
+(``[tool.pytest.ini_options]``): the ``slow`` marker is registered there
+and the fast default selection comes from ``addopts = -m 'not slow'``,
+so the tier-1 command ``python -m pytest -x -q`` stays at seed runtime.
+Select slow tests explicitly with ``-m slow`` (or run everything with
+``-m "slow or not slow"``) — the last ``-m`` on the command line wins
+over the addopts default.  The one hook kept here is the node-id escape
+hatch: a slow test requested directly by node id runs rather than
+silently reporting "deselected".
 """
 
 from __future__ import annotations
@@ -12,26 +16,19 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+FAST_DEFAULT_MARKEXPR = "not slow"
+
 
 def pytest_configure(config):
-    config.addinivalue_line(
-        "markers",
-        "slow: long-running stress test; excluded from the fast default "
-        "run, select with -m slow")
+    # Naming a test by node id overrides the fast default (mirroring the
+    # explicit `-m` override): clear the addopts-supplied markexpr so a
+    # directly requested slow test actually runs.  A user-typed `-m` is
+    # indistinguishable only when it equals the default itself, in which
+    # case clearing it changes nothing for non-slow selections.
+    if config.option.markexpr == FAST_DEFAULT_MARKEXPR and any(
+            "::" in str(arg) for arg in config.invocation_params.args):
+        config.option.markexpr = ""
 
-
-def pytest_collection_modifyitems(config, items):
-    if config.getoption("-m"):
-        # An explicit marker expression overrides the fast default.
-        return
-    if any("::" in arg for arg in config.args):
-        # So does naming a test by node id: a directly requested slow test
-        # runs rather than silently reporting "skipped".
-        return
-    skip_slow = pytest.mark.skip(reason="slow test: select with -m slow")
-    for item in items:
-        if "slow" in item.keywords:
-            item.add_marker(skip_slow)
 
 from repro.datasets.dataset import Dataset
 from repro.datasets.splits import stratified_splits

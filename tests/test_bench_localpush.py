@@ -1,0 +1,116 @@
+"""Schema-validation tests for the LocalPush benchmark record.
+
+``benchmarks/bench_localpush.py`` appends run records to
+``BENCH_localpush.json``; every appended record must satisfy
+``RECORD_SCHEMA`` (required keys, exact types, per-executor entries with
+``speedup_vs_serial`` and ``num_workers``) and carry ``cpu_count`` so
+process-pool speedups stay interpretable across machines.  The benchmark
+script is not a package, so it is loaded by file path.
+"""
+
+import copy
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_BENCH_PATH = (Path(__file__).resolve().parent.parent / "benchmarks"
+               / "bench_localpush.py")
+_spec = importlib.util.spec_from_file_location("bench_localpush", _BENCH_PATH)
+bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench)
+
+
+def _valid_record() -> dict:
+    executor = {"seconds": 0.5, "num_pushes": 100, "nnz": 1000}
+    pooled = {**executor, "num_workers": 4, "speedup_vs_serial": 1.6,
+              "bit_identical_to_serial": True}
+    return {
+        "benchmark": "localpush_executors",
+        "mode": "smoke",
+        "num_nodes": 600,
+        "num_edges": 2700,
+        "epsilon": 0.1,
+        "decay": 0.6,
+        "seed": 0,
+        "cpu_count": 4,
+        "num_workers": 4,
+        "backends": {"dict": {"seconds": 5.0, "num_pushes": 90, "nnz": 900},
+                     "core": {"seconds": 0.5, "num_pushes": 100, "nnz": 1000,
+                              "speedup_vs_dict": 10.0,
+                              "max_abs_diff_vs_dict": 0.01}},
+        "executors": {"serial": dict(executor),
+                      "thread": dict(pooled),
+                      "process": dict(pooled)},
+        "within_epsilon": True,
+    }
+
+
+class TestRecordSchema:
+    def test_valid_record_passes(self):
+        assert bench.validate_record(_valid_record()) is not None
+
+    @pytest.mark.parametrize("missing", sorted(set(bench.RECORD_SCHEMA)))
+    def test_missing_top_level_key_fails(self, missing):
+        record = _valid_record()
+        del record[missing]
+        with pytest.raises(bench.RecordSchemaError, match=missing):
+            bench.validate_record(record)
+
+    def test_cpu_count_is_required_and_typed(self):
+        record = _valid_record()
+        record["cpu_count"] = "4"  # wrong type
+        with pytest.raises(bench.RecordSchemaError, match="cpu_count"):
+            bench.validate_record(record)
+
+    def test_bool_is_not_an_int(self):
+        record = _valid_record()
+        record["num_nodes"] = True  # bool must not satisfy an int field
+        with pytest.raises(bench.RecordSchemaError, match="num_nodes"):
+            bench.validate_record(record)
+
+    def test_int_is_an_acceptable_float(self):
+        record = _valid_record()
+        record["epsilon"] = 1  # JSON round-trips 1.0 as 1
+        assert bench.validate_record(record)
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_every_executor_entry_is_required(self, executor):
+        record = _valid_record()
+        del record["executors"][executor]
+        with pytest.raises(bench.RecordSchemaError, match=executor):
+            bench.validate_record(record)
+
+    def test_pooled_executors_need_speedup_and_workers(self):
+        record = _valid_record()
+        del record["executors"]["process"]["speedup_vs_serial"]
+        with pytest.raises(bench.RecordSchemaError, match="speedup_vs_serial"):
+            bench.validate_record(record)
+        record = _valid_record()
+        del record["executors"]["thread"]["num_workers"]
+        with pytest.raises(bench.RecordSchemaError, match="num_workers"):
+            bench.validate_record(record)
+
+    def test_dict_oracle_entry_required(self):
+        record = _valid_record()
+        del record["backends"]["dict"]
+        with pytest.raises(bench.RecordSchemaError, match="dict"):
+            bench.validate_record(record)
+
+    def test_validation_does_not_mutate(self):
+        record = _valid_record()
+        snapshot = copy.deepcopy(record)
+        bench.validate_record(record)
+        assert record == snapshot
+
+
+class TestSmokeRecord:
+    """End-to-end: a real (tiny) bench run emits a schema-valid record."""
+
+    def test_smoke_run_produces_valid_record(self):
+        record = bench.run(num_nodes=120, average_degree=4.0, epsilon=0.3,
+                           decay=0.6, seed=0, smoke=True, num_workers=2)
+        assert bench.validate_record(record)
+        assert record["within_epsilon"] is True
+        for executor in ("thread", "process"):
+            assert record["executors"][executor]["bit_identical_to_serial"]

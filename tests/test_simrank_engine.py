@@ -1,0 +1,271 @@
+"""Suite for the unified LocalPush engine core and its pluggable executors.
+
+Pins the tentpole properties of the ``(engine, executor)`` refactor:
+
+* every executor (``serial``/``thread``/``process``) and worker count
+  produces a **bit-identical** matrix, streamed top-k included,
+* :func:`repro.simrank.localpush.resolve_execution` maps the legacy
+  ``backend=`` ladder onto executor plans and rejects nonsense plans,
+* the deprecated shims ``localpush_simrank_vectorized`` /
+  ``localpush_simrank_sharded`` emit a :class:`DeprecationWarning` but
+  return results bit-identical to the unified core, and
+* the operator pipeline accepts ``executor=`` and serves the same
+  operator regardless of it.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from _simrank_fixtures import (
+    disconnected as _disconnected,
+    erdos_renyi as _erdos_renyi,
+    sbm as _sbm,
+    star as _star,
+    weighted as _weighted,
+)
+from repro.errors import SimRankError
+from repro.simrank.engine import EXECUTORS, localpush_engine
+from repro.simrank.localpush import (
+    AUTO_BACKEND_MIN_NODES,
+    AUTO_SHARDED_MIN_NODES,
+    localpush_simrank,
+    resolve_execution,
+)
+
+
+def _assert_identical(a: sp.csr_matrix, b: sp.csr_matrix) -> None:
+    assert np.array_equal(a.indptr, b.indptr)
+    assert np.array_equal(a.indices, b.indices)
+    assert np.array_equal(a.data, b.data)  # bitwise, no tolerance
+
+
+EQUIVALENCE_GRAPHS = [
+    pytest.param(lambda: _erdos_renyi(60, 0.08, seed=0), id="erdos-renyi-60"),
+    pytest.param(lambda: _sbm(150, seed=2), id="sbm-150"),
+    pytest.param(lambda: _weighted(40, seed=12), id="weighted-40"),
+    pytest.param(_disconnected, id="disconnected"),
+    pytest.param(lambda: _star(12), id="star-12"),
+]
+
+
+class TestExecutorEquivalence:
+    """Bit-identical output across executors — pinned, not approximate."""
+
+    @pytest.mark.parametrize("make_graph", EQUIVALENCE_GRAPHS)
+    def test_all_executors_identical_on_equivalence_suite(self, make_graph):
+        graph = make_graph()
+        kwargs = dict(epsilon=0.1, prune=False, absorb_residual=True,
+                      num_shards=3)
+        results = {
+            executor: localpush_engine(graph, executor=executor,
+                                       num_workers=2 if executor != "serial"
+                                       else None, **kwargs)
+            for executor in EXECUTORS
+        }
+        for executor in ("thread", "process"):
+            _assert_identical(results["serial"].matrix,
+                              results[executor].matrix)
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_pooled_executors_match_serial(self, executor):
+        graph = _sbm(200, seed=5)
+        # num_shards forces multi-shard rounds so the pools actually engage.
+        serial = localpush_engine(graph, epsilon=0.05, prune=False,
+                                  executor="serial", num_shards=6)
+        pooled = localpush_engine(graph, epsilon=0.05, prune=False,
+                                  executor=executor, num_workers=2,
+                                  num_shards=6)
+        _assert_identical(serial.matrix, pooled.matrix)
+        assert serial.num_pushes == pooled.num_pushes
+        assert serial.num_rounds == pooled.num_rounds
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_process_worker_count_does_not_change_the_matrix(self, workers):
+        graph = _sbm(150, seed=6)
+        reference = localpush_engine(graph, epsilon=0.1, prune=False,
+                                     executor="process", num_workers=2,
+                                     num_shards=4)
+        other = localpush_engine(graph, epsilon=0.1, prune=False,
+                                 executor="process", num_workers=workers,
+                                 num_shards=4)
+        _assert_identical(reference.matrix, other.matrix)
+
+    def test_streamed_topk_identical_across_executors(self):
+        graph = _sbm(200, seed=7)
+        kwargs = dict(epsilon=0.1, prune=False, absorb_residual=True,
+                      stream_top_k=6, num_shards=5)
+        serial = localpush_engine(graph, executor="serial", **kwargs)
+        process = localpush_engine(graph, executor="process", num_workers=2,
+                                   **kwargs)
+        _assert_identical(serial.matrix, process.matrix)
+        assert np.diff(process.matrix.indptr).max() <= 6
+        assert (process.matrix.diagonal() > 0).all()
+
+    def test_matches_dict_oracle_within_epsilon(self):
+        graph = _erdos_renyi(80, 0.07, seed=8)
+        oracle = localpush_simrank(graph, epsilon=0.05, prune=False,
+                                   backend="dict")
+        core = localpush_engine(graph, epsilon=0.05, prune=False,
+                                executor="process", num_workers=2,
+                                num_shards=3)
+        diff = np.abs((oracle.matrix - core.matrix).toarray()).max()
+        assert diff < 0.05
+
+    def test_result_metadata(self):
+        graph = _sbm(150, seed=9)
+        result = localpush_engine(graph, epsilon=0.1, executor="process",
+                                  num_workers=2, num_shards=3)
+        assert result.executor == "process"
+        assert result.backend == "sharded"
+        assert result.num_workers == 2
+        assert result.num_shards == 3
+        assert result.num_rounds is not None and result.num_rounds > 0
+
+    def test_invalid_executor_rejected(self, tiny_graph):
+        with pytest.raises(SimRankError):
+            localpush_engine(tiny_graph, epsilon=0.1, executor="gpu")
+
+
+class TestResolveExecution:
+    """The legacy backend ladder re-expressed as (engine, executor) plans."""
+
+    def test_ladder_with_default_executor(self):
+        assert resolve_execution("auto", None, AUTO_BACKEND_MIN_NODES - 1) == \
+            ("dict", None)
+        assert resolve_execution("auto", None, AUTO_BACKEND_MIN_NODES) == \
+            ("vectorized", "serial")
+        assert resolve_execution("auto", None, AUTO_SHARDED_MIN_NODES) == \
+            ("sharded", "thread")
+
+    def test_legacy_backend_names_map_to_executors(self):
+        assert resolve_execution("vectorized", None, 10) == \
+            ("vectorized", "serial")
+        assert resolve_execution("sharded", None, 10) == ("sharded", "thread")
+        assert resolve_execution("dict", None, 10**6) == ("dict", None)
+
+    def test_explicit_executor_forces_the_core(self):
+        # Even below the dict threshold, naming an executor selects the core.
+        assert resolve_execution("auto", "process", 10) == \
+            ("vectorized", "process")
+        assert resolve_execution("auto", "serial", 10) == \
+            ("vectorized", "serial")
+        # An explicit backend keeps its label for cache keys / provenance.
+        assert resolve_execution("vectorized", "process", 10) == \
+            ("vectorized", "process")
+
+    def test_backend_label_is_executor_independent(self):
+        """The cache key includes the label, so it must not move with the
+        executor: same request + size → same label for every executor."""
+        for num_nodes in (10, 500, 5000):
+            labels = {resolve_execution("auto", executor, num_nodes)[0]
+                      for executor in ("serial", "thread", "process")}
+            assert len(labels) == 1
+        assert resolve_execution("auto", "serial", 5000) == \
+            ("sharded", "serial")
+
+    def test_auto_executor_is_the_default(self):
+        assert resolve_execution("sharded", "auto", 10) == \
+            resolve_execution("sharded", None, 10)
+
+    def test_dict_with_executor_is_an_error(self):
+        with pytest.raises(SimRankError):
+            resolve_execution("dict", "process", 100)
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(SimRankError):
+            resolve_execution("gpu", None, 100)
+        with pytest.raises(SimRankError):
+            resolve_execution("auto", "fpga", 100)
+
+    def test_localpush_simrank_accepts_executor(self):
+        graph = _sbm(150, seed=10)
+        result = localpush_simrank(graph, epsilon=0.1, executor="process",
+                                   num_workers=2)
+        assert result.executor == "process"
+        serial = localpush_simrank(graph, epsilon=0.1, backend="vectorized")
+        assert serial.executor == "serial"
+        _assert_identical(result.matrix, serial.matrix)
+
+    def test_localpush_simrank_rejects_dict_with_executor(self, tiny_graph):
+        with pytest.raises(SimRankError):
+            localpush_simrank(tiny_graph, epsilon=0.1, backend="dict",
+                              executor="thread")
+
+
+class TestDeprecatedShims:
+    """Direct engine calls still work: warn, but return core-identical bits."""
+
+    def test_vectorized_shim_warns_and_matches_core(self):
+        from repro.simrank.localpush_vec import localpush_simrank_vectorized
+
+        graph = _sbm(150, seed=11)
+        with pytest.warns(DeprecationWarning):
+            shimmed = localpush_simrank_vectorized(graph, epsilon=0.1,
+                                                   prune=False)
+        core = localpush_engine(graph, epsilon=0.1, prune=False,
+                                executor="serial")
+        _assert_identical(shimmed.matrix, core.matrix)
+        assert shimmed.backend == "vectorized"
+        assert shimmed.executor == "serial"
+        assert shimmed.num_pushes == core.num_pushes
+
+    def test_sharded_shim_warns_and_matches_core(self):
+        from repro.simrank.sharded import localpush_simrank_sharded
+
+        graph = _sbm(150, seed=12)
+        with pytest.warns(DeprecationWarning):
+            shimmed = localpush_simrank_sharded(graph, epsilon=0.1,
+                                                prune=False, num_workers=2,
+                                                num_shards=4,
+                                                stream_top_k=5,
+                                                absorb_residual=True)
+        core = localpush_engine(graph, epsilon=0.1, prune=False,
+                                executor="thread", num_workers=2,
+                                num_shards=4, stream_top_k=5,
+                                absorb_residual=True)
+        _assert_identical(shimmed.matrix, core.matrix)
+        assert shimmed.backend == "sharded"
+        assert shimmed.executor == "thread"
+
+    def test_shims_match_the_dispatcher(self):
+        """backend= names route through the same core as the shims."""
+        from repro.simrank.localpush_vec import localpush_simrank_vectorized
+
+        graph = _sbm(150, seed=13)
+        with pytest.warns(DeprecationWarning):
+            shimmed = localpush_simrank_vectorized(graph, epsilon=0.1)
+        dispatched = localpush_simrank(graph, epsilon=0.1,
+                                       backend="vectorized")
+        _assert_identical(shimmed.matrix, dispatched.matrix)
+
+
+class TestOperatorPipelineExecutors:
+    def test_operator_identical_across_executors(self):
+        from repro.simrank.topk import simrank_operator
+
+        graph = _sbm(150, seed=14)
+        serial = simrank_operator(graph, method="localpush", epsilon=0.1,
+                                  top_k=4, executor="serial")
+        process = simrank_operator(graph, method="localpush", epsilon=0.1,
+                                   top_k=4, executor="process",
+                                   num_workers=2)
+        _assert_identical(serial.matrix, process.matrix)
+        assert np.diff(process.matrix.indptr).max() <= 4
+
+
+@pytest.mark.slow
+class TestEngineStress:
+    """Large-graph executor equivalence; excluded from the fast default."""
+
+    def test_large_graph_executors_bit_identical(self):
+        graph = _sbm(2000, seed=20)
+        serial = localpush_engine(graph, epsilon=0.1, prune=False,
+                                  executor="serial")
+        thread = localpush_engine(graph, epsilon=0.1, prune=False,
+                                  executor="thread", num_workers=4)
+        process = localpush_engine(graph, epsilon=0.1, prune=False,
+                                   executor="process", num_workers=4)
+        _assert_identical(serial.matrix, thread.matrix)
+        _assert_identical(serial.matrix, process.matrix)
+        assert serial.num_shards >= 2  # the frontier actually sharded
