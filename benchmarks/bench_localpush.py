@@ -34,7 +34,9 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.config import SimRankConfig
 from repro.datasets.synthetic import SyntheticGraphConfig, generate_synthetic_graph
+from repro.errors import ConfigError
 from repro.simrank.engine import EXECUTORS, default_num_workers
 from repro.simrank.localpush import localpush_simrank
 from repro.utils.timer import Timer
@@ -44,6 +46,8 @@ DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_localpush.json"
 #: Top-level schema of one appended benchmark record: required key → type.
 #: ``validate_record`` enforces it (with exact types — ``bool`` is not an
 #: acceptable ``int``) before anything is written to the history file.
+#: ``config`` is the resolved ``SimRankConfig.to_dict()`` of the run and
+#: must round-trip through ``SimRankConfig.from_dict``.
 RECORD_SCHEMA = {
     "benchmark": str,
     "mode": str,
@@ -54,6 +58,7 @@ RECORD_SCHEMA = {
     "seed": int,
     "cpu_count": int,
     "num_workers": int,
+    "config": dict,
     "backends": dict,
     "executors": dict,
     "within_epsilon": bool,
@@ -115,6 +120,13 @@ def validate_record(record: dict) -> dict:
     backends = record.get("backends")
     if isinstance(backends, dict) and "dict" not in backends:
         problems.append("record.backends: missing the dict oracle entry")
+    config = record.get("config")
+    if type(config) is dict:
+        try:
+            SimRankConfig.from_dict(config)
+        except ConfigError as error:
+            problems.append(f"record.config: not a valid SimRankConfig "
+                            f"serialisation ({error})")
     if problems:
         raise RecordSchemaError(
             "benchmark record failed schema validation:\n  "
@@ -251,6 +263,13 @@ def run(*, num_nodes: int, average_degree: float, epsilon: float, decay: float,
     print(f"  {'core':>10}: speedup {backends_out['core']['speedup_vs_dict']}x "
           "over the dict oracle")
 
+    # The resolved configuration of the headline executor-sweep runs
+    # (LocalPush, full estimate, no pruning) — embedded so the history is
+    # self-describing.  The extra `serial_streamed` measurement differs
+    # only in its streaming prune and records its own `stream_top_k`.
+    config = SimRankConfig(method="localpush", epsilon=epsilon, decay=decay,
+                           workers=num_workers)
+
     return {
         "benchmark": "localpush_executors",
         "mode": "smoke" if smoke else "full",
@@ -261,6 +280,7 @@ def run(*, num_nodes: int, average_degree: float, epsilon: float, decay: float,
         "seed": seed,
         "cpu_count": cpu_count,
         "num_workers": num_workers,
+        "config": config.to_dict(),
         "backends": backends_out,
         "executors": executors_out,
         "within_epsilon": bool(within_epsilon),

@@ -9,43 +9,39 @@ paper's pokec generator) and measures, for SIGMA and GloGNN,
 
 reproducing the trend of the paper's Fig. 5 at laptop scale.
 
-LocalPush (engine, executor) selection
---------------------------------------
-SIGMA's precompute column is dominated by LocalPush (Algorithm 1).  Two
-engines implement it, and the batched one takes a pluggable *executor*
-(``simrank_executor``) for its per-round shard pushes:
+Configuring the precompute
+--------------------------
+SIGMA's precompute column is dominated by LocalPush (Algorithm 1).  The
+whole pipeline is configured by one object —
+:class:`repro.config.SimRankConfig` — whose execution-plan fields map to
+the flags of this script:
 
-* ``simrank_backend="dict"`` — the per-pair reference loop (correctness
-  oracle for the test suite);
-* the unified core (:mod:`repro.simrank.engine`) — frontier-batched
-  rounds ``R ← R + c·Wᵀ F W`` with deterministic frontier sharding and
-  streaming top-k pruning, 10–25× faster at these sizes (see
-  ``BENCH_localpush.json``, produced by ``benchmarks/bench_localpush.py``),
-  executed by:
-
-  - ``simrank_executor="serial"`` — shards pushed in the calling thread
-    (the legacy ``backend="vectorized"`` configuration);
-  - ``simrank_executor="thread"`` — a thread pool (legacy
-    ``backend="sharded"``; scipy's matmul holds the GIL, so gains are
-    modest on CPython);
-  - ``simrank_executor="process"`` — a process pool sharing the walk
-    matrix via ``multiprocessing.shared_memory`` — true multi-core
-    scaling (``simrank_workers`` sizes the pool).
+* ``backend`` — engine family: ``"dict"`` (per-pair reference loop, the
+  correctness oracle) or the unified frontier-batched core
+  (:mod:`repro.simrank.engine`), 10–25× faster at these sizes (see
+  ``BENCH_localpush.json``, produced by ``benchmarks/bench_localpush.py``);
+* ``executor`` — how the core's per-round shard pushes run:
+  ``"serial"`` (in the calling thread), ``"thread"`` (a thread pool;
+  scipy's matmul holds the GIL, so gains are modest on CPython) or
+  ``"process"`` (a process pool sharing the walk matrix via
+  ``multiprocessing.shared_memory`` — true multi-core scaling);
+* ``workers`` — thread/process pool size;
+* ``cache_dir`` / ``cache_max_bytes`` — the persistent operator cache: a
+  warm cache skips the precompute column entirely, and a looser-ε run
+  can even be served from a tighter-ε entry by the cache's cross-ε reuse.
 
 Every executor and worker count produces a **bit-identical** operator,
 and all plans share the ``(1 − c)·ε`` stopping rule and the
 ``‖Ŝ − S‖_max < ε`` guarantee, so accuracy is unaffected by the choice;
-``simrank_backend="auto"`` (default) picks dict below 256 nodes and the
-unified core above.  Pass ``simrank_cache_dir`` to persist operators
-across runs — a warm cache skips the precompute column entirely, and a
-looser-ε run can even be served from a tighter-ε entry by the cache's
-cross-ε reuse.
+``backend="auto"`` (default) picks dict below 256 nodes and the unified
+core above.
 """
 
 from __future__ import annotations
 
 import argparse
 
+from repro.config import SIGMA_DEFAULT_SIMRANK
 from repro.experiments.fig5_scalability import run as run_fig5
 from repro.experiments.common import format_table
 
@@ -62,11 +58,11 @@ def main() -> None:
                         help="persistent operator cache directory")
     args = parser.parse_args()
 
+    simrank = SIGMA_DEFAULT_SIMRANK.with_overrides(
+        executor=args.executor, workers=args.workers,
+        cache_dir=args.cache_dir)
     result = run_fig5(base_dataset="pokec", num_sizes=4, shrink=2.0,
-                      base_scale=0.5, seed=0, simrank_backend="auto",
-                      simrank_executor=args.executor,
-                      simrank_workers=args.workers,
-                      simrank_cache_dir=args.cache_dir)
+                      base_scale=0.5, seed=0, simrank=simrank)
     print("learning time across graph sizes")
     print(format_table(result.rows()))
     print("\nSIGMA speed-up over GloGNN by graph size:")

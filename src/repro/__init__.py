@@ -16,10 +16,19 @@ Quickstart
 >>> result = Trainer(model, TrainConfig(max_epochs=100)).fit(dataset.split(0))
 >>> 0.0 <= result.test_accuracy <= 1.0
 True
+
+Public API
+----------
+The supported surface for building on the system is :mod:`repro.api`
+(``precompute`` / ``build_model`` / ``run``) together with the config
+objects :class:`repro.config.SimRankConfig` and
+:class:`repro.config.RunSpec`; see the "Public API" section of
+ROADMAP.md.  Everything else is internal and free to be refactored.
 """
 
 from repro.version import __version__
 from repro.errors import (
+    ConfigError,
     DatasetError,
     ExperimentError,
     GraphError,
@@ -28,6 +37,7 @@ from repro.errors import (
     SimRankError,
     TrainingError,
 )
+from repro.config import RunSpec, SimRankConfig
 from repro.graphs import Graph, node_homophily
 from repro.datasets import Dataset, Split, list_datasets, load_dataset
 from repro.simrank import (
@@ -39,6 +49,8 @@ from repro.simrank import (
 )
 from repro.models import SIGMA, create_model, list_models
 from repro.training import TrainConfig, Trainer, evaluate_model, repeated_evaluation
+from repro import api
+from repro.api import RunResult
 
 __all__ = [
     "__version__",
@@ -46,9 +58,14 @@ __all__ = [
     "GraphError",
     "DatasetError",
     "SimRankError",
+    "ConfigError",
     "ModelError",
     "TrainingError",
     "ExperimentError",
+    "SimRankConfig",
+    "RunSpec",
+    "RunResult",
+    "api",
     "Graph",
     "node_homophily",
     "Dataset",

@@ -1,0 +1,119 @@
+"""Public facade of the repro package.
+
+This module is the supported surface for building on the system (see the
+"Public API" section of ROADMAP.md): three functions and the config
+objects they consume.  Everything else in the package is internal and
+free to be refactored between releases.
+
+* :func:`precompute` — compute (or load from cache) the SimRank
+  aggregation operator described by a :class:`repro.config.SimRankConfig`.
+* :func:`build_model` — construct any registered model, either from a
+  name plus overrides or from a :class:`repro.config.RunSpec`.
+* :func:`run` — execute a :class:`RunSpec` end to end (load dataset,
+  build, train over the splits) and return a :class:`RunResult`.
+
+Example
+-------
+>>> from repro.api import run
+>>> from repro.config import RunSpec, SimRankConfig
+>>> spec = RunSpec(model="sigma", dataset="texas", repeats=1,
+...                simrank=SimRankConfig(top_k=8))
+>>> result = run(spec)          # doctest: +SKIP
+>>> 0.0 <= result.summary.mean_accuracy <= 1.0   # doctest: +SKIP
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import SIMRANK_MODELS, RunSpec, SimRankConfig
+from repro.errors import ConfigError
+from repro.graphs.graph import Graph
+
+
+def precompute(graph: Graph,
+               config: Optional[SimRankConfig] = None) -> "SimRankOperator":
+    """Precompute the SimRank aggregation operator for ``graph``.
+
+    With ``config=None`` the library defaults apply (auto method
+    selection, ε = 0.1, no pruning).  A ``cache_dir`` in the config makes
+    repeated calls hit the persistent operator cache.
+    """
+    from repro.simrank.topk import simrank_operator
+
+    return simrank_operator(graph, config=config)
+
+
+def build_model(name: Optional[str], graph: Graph, *,
+                spec: Optional[RunSpec] = None,
+                simrank: Optional[SimRankConfig] = None,
+                rng: object = None, **overrides: object):
+    """Construct a registered model on ``graph``.
+
+    Either pass ``name`` (plus optional ``simrank`` config and
+    hyper-parameter ``overrides``), or pass a ``spec`` whose model name,
+    overrides and SimRank config are used — with ``name``/``overrides``
+    arguments layered on top.  The SimRank config is routed to the SIGMA
+    models as their ``simrank=`` parameter; supplying one for any other
+    model is an error.
+    """
+    if spec is not None:
+        name = name or spec.model
+        overrides = {**spec.overrides, **overrides}
+        simrank = simrank if simrank is not None else spec.simrank
+    if name is None:
+        raise ConfigError("build_model needs a model name or a spec")
+    if simrank is not None:
+        if name.lower() not in SIMRANK_MODELS:
+            raise ConfigError(
+                f"a SimRankConfig only applies to {SIMRANK_MODELS}, "
+                f"not {name!r}")
+        overrides = {**overrides, "simrank": simrank}
+    from repro.models.registry import create_model
+
+    return create_model(name, graph, rng=rng, **overrides)
+
+
+@dataclass
+class RunResult:
+    """Outcome of :func:`run`: the spec that ran plus its summary."""
+
+    spec: RunSpec
+    summary: "EvaluationSummary"
+
+    def as_row(self) -> Dict[str, object]:
+        """The summary row (accuracy/timing) — what the CLI prints."""
+        return self.summary.as_row()
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable record: the spec and the result row."""
+        return {"spec": self.spec.to_dict(), **self.as_row()}
+
+
+def run(spec: RunSpec) -> RunResult:
+    """Execute ``spec`` end to end and return its :class:`RunResult`.
+
+    Loads ``spec.dataset`` (scaled by ``spec.scale_factor``), trains
+    ``spec.model`` over ``spec.repeats`` splits (the paper's 5/10
+    protocol when ``None``) under ``spec.train``, seeding everything from
+    ``spec.seed``.
+    """
+    from repro.datasets.registry import load_dataset
+    from repro.training.evaluation import repeated_evaluation
+
+    dataset = load_dataset(spec.dataset, seed=spec.seed,
+                           scale_factor=spec.scale_factor)
+    overrides = dict(spec.overrides)
+    if spec.simrank is not None:
+        overrides["simrank"] = spec.simrank
+    summary = repeated_evaluation(spec.model, dataset,
+                                  num_repeats=spec.repeats,
+                                  config=spec.train, seed=spec.seed,
+                                  **overrides)
+    return RunResult(spec=spec, summary=summary)
+
+
+__all__ = ["precompute", "build_model", "run", "RunResult",
+           "RunSpec", "SimRankConfig"]

@@ -1,5 +1,14 @@
 """Command-line interface for training a single model on a benchmark.
 
+The CLI is a thin shell over the public API: flags are parsed straight
+into a :class:`repro.config.RunSpec` (:func:`build_runspec`) — with the
+SimRank flags collected by :meth:`repro.config.SimRankConfig.from_cli_args`
+— and executed by :func:`repro.api.run`.
+
+Training-loop defaults (``--lr``, ``--weight-decay``, ``--epochs``,
+``--patience``) are sourced from :class:`repro.training.config.TrainConfig`
+so the numbers live in exactly one place.
+
 Examples
 --------
 ``python -m repro.cli --model sigma --dataset chameleon``
@@ -12,10 +21,22 @@ import argparse
 import json
 from typing import Optional
 
-from repro.datasets.registry import list_datasets, load_dataset
+from repro.api import run
+from repro.config import (
+    SIGMA_DEFAULT_SIMRANK,
+    SIMRANK_BACKENDS,
+    SIMRANK_EXECUTORS,
+    SIMRANK_METHODS,
+    SIMRANK_MODELS,
+    RunSpec,
+    SimRankConfig,
+)
+from repro.datasets.registry import list_datasets
 from repro.models.registry import list_models
 from repro.training.config import TrainConfig
-from repro.training.evaluation import repeated_evaluation
+
+#: Single source of the training-loop defaults shown in ``--help``.
+_TRAIN_DEFAULTS = TrainConfig()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,10 +50,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of repeated splits (default: the paper's 5/10)")
     parser.add_argument("--scale-factor", type=float, default=1.0,
                         help="node-count multiplier for quicker runs")
-    parser.add_argument("--epochs", type=int, default=300, help="maximum epochs")
-    parser.add_argument("--patience", type=int, default=60, help="early-stopping patience")
-    parser.add_argument("--lr", type=float, default=0.01, help="learning rate")
-    parser.add_argument("--weight-decay", type=float, default=1e-3, help="weight decay")
+    parser.add_argument("--epochs", type=int, default=_TRAIN_DEFAULTS.max_epochs,
+                        help="maximum epochs")
+    parser.add_argument("--patience", type=int, default=_TRAIN_DEFAULTS.patience,
+                        help="early-stopping patience")
+    parser.add_argument("--lr", type=float, default=_TRAIN_DEFAULTS.learning_rate,
+                        help="learning rate")
+    parser.add_argument("--weight-decay", type=float,
+                        default=_TRAIN_DEFAULTS.weight_decay, help="weight decay")
     parser.add_argument("--hidden", type=int, default=None, help="hidden width override")
     parser.add_argument("--delta", type=float, default=None,
                         help="feature factor δ (SIGMA / GloGNN)")
@@ -40,13 +65,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="top-k pruning of the SimRank/PPR operator")
     parser.add_argument("--epsilon", type=float, default=None,
                         help="LocalPush error threshold ε")
+    parser.add_argument("--decay", type=float, default=None,
+                        help="SimRank decay factor c (SIGMA models only)")
+    parser.add_argument("--simrank-method", default=None,
+                        choices=SIMRANK_METHODS,
+                        help="SimRank computation method for SIGMA's "
+                             "precompute (default: auto — exactness on "
+                             "small graphs, LocalPush above)")
     parser.add_argument("--simrank-backend", default=None,
-                        choices=("dict", "vectorized", "sharded", "auto"),
+                        choices=SIMRANK_BACKENDS,
                         help="LocalPush engine family for SIGMA's precompute "
                              "(SIGMA models only; default: auto — the "
                              "unified core on large graphs)")
     parser.add_argument("--simrank-executor", default=None,
-                        choices=("serial", "thread", "process", "auto"),
+                        choices=SIMRANK_EXECUTORS,
                         help="unified-core executor for the LocalPush shard "
                              "pushes (SIGMA models only; every executor is "
                              "bit-identical — 'process' shares the walk "
@@ -70,31 +102,57 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[list[str]] = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    config = TrainConfig(learning_rate=args.lr, weight_decay=args.weight_decay,
-                         max_epochs=args.epochs, patience=args.patience,
-                         track_test_history=False)
-    dataset = load_dataset(args.dataset, seed=args.seed, scale_factor=args.scale_factor)
+def _simrank_flags_used(args: argparse.Namespace) -> list[str]:
+    """The SIGMA-only flags present on this command line."""
+    sigma_only = ("decay", "simrank_method", "simrank_backend",
+                  "simrank_executor", "simrank_workers", "simrank_cache_dir",
+                  "simrank_cache_max_bytes")
+    return [name for name in sigma_only if getattr(args, name) is not None]
 
+
+def build_runspec(args: argparse.Namespace) -> RunSpec:
+    """Translate parsed CLI flags into the :class:`RunSpec` that runs.
+
+    For the SIGMA models every SimRank flag folds into one
+    :class:`SimRankConfig` (flags left unset inherit the model default,
+    :data:`SIGMA_DEFAULT_SIMRANK`); for the baselines ``--top-k`` /
+    ``--epsilon`` stay plain model overrides and the SIGMA-only flags are
+    rejected by :func:`main` before this point.
+    """
+    train = TrainConfig(learning_rate=args.lr, weight_decay=args.weight_decay,
+                        max_epochs=args.epochs, patience=args.patience,
+                        track_test_history=False)
     overrides = {}
-    for name in ("hidden", "delta", "top_k", "epsilon", "simrank_backend",
-                 "simrank_executor", "simrank_workers", "simrank_cache_dir",
-                 "simrank_cache_max_bytes"):
+    for name in ("hidden", "delta"):
         value = getattr(args, name)
         if value is not None:
             overrides[name] = value
-    if args.model not in ("sigma", "sigma_iterative"):
-        rejected = [name for name in overrides if name.startswith("simrank_")]
+    simrank: Optional[SimRankConfig] = None
+    if args.model in SIMRANK_MODELS:
+        simrank = SimRankConfig.from_cli_args(args, base=SIGMA_DEFAULT_SIMRANK)
+    else:
+        for name in ("top_k", "epsilon"):
+            value = getattr(args, name)
+            if value is not None:
+                overrides[name] = value
+    return RunSpec(model=args.model, dataset=args.dataset,
+                   overrides=overrides, train=train, simrank=simrank,
+                   seed=args.seed, repeats=args.repeats,
+                   scale_factor=args.scale_factor)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.model not in SIMRANK_MODELS:
+        rejected = _simrank_flags_used(args)
         if rejected:
             flags = ", ".join("--" + name.replace("_", "-") for name in rejected)
             parser.error(f"{flags}: only supported by SIGMA models, "
                          f"not {args.model!r}")
 
-    summary = repeated_evaluation(args.model, dataset, num_repeats=args.repeats,
-                                  config=config, seed=args.seed, **overrides)
-    row = summary.as_row()
+    result = run(build_runspec(args))
+    row = result.as_row()
     if args.json:
         print(json.dumps(row, indent=2))
     else:

@@ -1,0 +1,511 @@
+"""Typed, validated configuration objects — the public API of the system.
+
+PRs 1–3 scaled the LocalPush precompute path, but every knob (backend,
+executor, worker count, cache directory, cache byte cap) travelled as a
+loose keyword argument through six layers: ``simrank_operator`` →
+``SIGMA``/``SIGMAIterative`` → registry defaults → CLI flags → the
+experiment scripts → the examples.  This module ends that relay with two
+frozen dataclasses:
+
+* :class:`SimRankConfig` — everything that determines a SimRank
+  aggregation operator (method, decay, ε, top-k, normalisation, the
+  LocalPush ``(backend, executor, workers)`` plan and the persistent
+  operator cache).  :meth:`SimRankConfig.cache_key_fields` is the
+  *single* derivation of the operator-cache key fields; the cache merely
+  hashes them.
+* :class:`RunSpec` — one end-to-end evaluation run: model name plus
+  overrides, dataset, a :class:`repro.training.config.TrainConfig`, an
+  optional :class:`SimRankConfig`, the seed and the repeat count.
+  ``repro.api.run(spec)`` executes it.
+
+Both are immutable (``with_overrides`` returns modified copies),
+validated in ``__post_init__`` (raising :class:`repro.errors.ConfigError`)
+and serialisable via ``to_dict``/``from_dict`` so benchmark records and
+experiment manifests can embed the exact configuration they ran.
+
+Every legacy keyword (``simrank_backend=``, ``simrank_executor=``,
+``cache=``, ``cache_max_bytes=``, …) remains accepted by the consuming
+layers as a deprecated shim: the shim builds the equivalent config and
+emits a :class:`DeprecationWarning` — one per deprecated keyword — and
+the resulting operator *and* on-disk cache key are identical to the
+config path (pinned by ``tests/test_config.py``), so existing caches
+stay warm.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import TYPE_CHECKING, Any, ClassVar, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.training.config import TrainConfig
+
+#: SimRank decay factor ``c`` used throughout the paper (Eq. (2)).
+#: ``repro.simrank.exact.DEFAULT_DECAY`` re-exports this value.
+DEFAULT_DECAY = 0.6
+
+SIMRANK_METHODS: Tuple[str, ...] = ("exact", "series", "localpush", "auto")
+SIMRANK_BACKENDS: Tuple[str, ...] = ("dict", "vectorized", "sharded", "auto")
+SIMRANK_EXECUTORS: Tuple[str, ...] = ("serial", "thread", "process", "auto")
+
+#: Registry names of the models that consume a :class:`SimRankConfig`.
+SIMRANK_MODELS: Tuple[str, ...] = ("sigma", "sigma_iterative")
+
+#: The operator-cache key fields, in their canonical order.  The cache
+#: hashes exactly these (plus the format version and graph fingerprint);
+#: :meth:`SimRankConfig.cache_key_fields` is the only code that derives
+#: their values from a configuration.
+CACHE_KEY_FIELDS: Tuple[str, ...] = (
+    "method", "decay", "epsilon", "top_k", "row_normalize", "backend")
+
+
+class _Unset:
+    """Sentinel distinguishing "keyword not passed" from an explicit value."""
+
+    _singleton: Optional["_Unset"] = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._singleton is None:
+            cls._singleton = super().__new__(cls)
+        return cls._singleton
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<unset>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Default value for deprecated keyword parameters: "not passed".
+UNSET = _Unset()
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+def _as_float(name: str, value: object) -> float:
+    """Coerce to float, turning TypeError/ValueError into ConfigError."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ConfigError(f"{name} must be a number, got {value!r}") from None
+
+
+def _as_int(name: str, value: object) -> int:
+    """Coerce an integral value to int (bools and non-integers rejected)."""
+    try:
+        integral = not isinstance(value, bool) and int(value) == value
+    except (TypeError, ValueError):
+        integral = False
+    _require(integral, f"{name} must be an integer, got {value!r}")
+    return int(value)
+
+
+@dataclass(frozen=True)
+class SimRankConfig:
+    """Full specification of a SimRank aggregation operator.
+
+    Field groups
+    ------------
+    ``method, decay, epsilon, top_k, row_normalize, exact_size_limit``
+        The mathematical contract: which fixed point is approximated, to
+        what error, and how the result is pruned/normalised.  These feed
+        the operator-cache key.
+    ``backend, executor, workers``
+        The LocalPush execution plan (see :mod:`repro.simrank.engine`).
+        Only the resolved backend *label* enters the cache key — every
+        executor and worker count is bit-identical.
+    ``cache_dir, cache_max_bytes``
+        The persistent operator cache (:mod:`repro.simrank.cache`) and
+        its LRU byte cap.  Pure resource location, never keyed.
+    """
+
+    method: str = "auto"
+    decay: float = DEFAULT_DECAY
+    epsilon: float = 0.1
+    top_k: Optional[int] = None
+    row_normalize: bool = False
+    exact_size_limit: int = 3000
+    backend: str = "auto"
+    executor: Optional[str] = None
+    workers: Optional[int] = None
+    cache_dir: Optional[str] = None
+    cache_max_bytes: Optional[int] = None
+
+    #: CLI-flag ↔ field mapping consumed by :meth:`from_cli_args` and the
+    #: parser-parity tests: ``argparse`` attribute name → config field.
+    CLI_FLAG_FIELDS: ClassVar[Mapping[str, str]] = {
+        "simrank_method": "method",
+        "decay": "decay",
+        "epsilon": "epsilon",
+        "top_k": "top_k",
+        "simrank_backend": "backend",
+        "simrank_executor": "executor",
+        "simrank_workers": "workers",
+        "simrank_cache_dir": "cache_dir",
+        "simrank_cache_max_bytes": "cache_max_bytes",
+    }
+
+    def __post_init__(self) -> None:
+        # Numeric fields are coerced to canonical types (float/int/bool);
+        # besides validation this canonicalises the cache-key payload, so
+        # e.g. epsilon=1 and epsilon=1.0 share one key.  (A pre-config
+        # entry written with a non-canonical type recomputes once.)
+        coerce = object.__setattr__
+        _require(self.method in SIMRANK_METHODS,
+                 f"method must be one of {SIMRANK_METHODS}, got {self.method!r}")
+        coerce(self, "decay", _as_float("decay", self.decay))
+        _require(0.0 < self.decay < 1.0,
+                 f"decay must be in (0, 1), got {self.decay}")
+        coerce(self, "epsilon", _as_float("epsilon", self.epsilon))
+        _require(self.epsilon > 0.0,
+                 f"epsilon must be positive, got {self.epsilon}")
+        if self.top_k is not None:
+            coerce(self, "top_k", _as_int("top_k", self.top_k))
+            _require(self.top_k > 0,
+                     f"top_k must be a positive integer or None, got {self.top_k!r}")
+        coerce(self, "row_normalize", bool(self.row_normalize))
+        coerce(self, "exact_size_limit",
+               _as_int("exact_size_limit", self.exact_size_limit))
+        _require(self.exact_size_limit >= 0,
+                 f"exact_size_limit must be non-negative, "
+                 f"got {self.exact_size_limit!r}")
+        _require(self.backend in SIMRANK_BACKENDS,
+                 f"backend must be one of {SIMRANK_BACKENDS}, got {self.backend!r}")
+        _require(self.executor is None or self.executor in SIMRANK_EXECUTORS,
+                 f"executor must be one of {SIMRANK_EXECUTORS} or None, "
+                 f"got {self.executor!r}")
+        if self.workers is not None:
+            coerce(self, "workers", _as_int("workers", self.workers))
+            _require(self.workers >= 1,
+                     f"workers must be a positive integer or None, "
+                     f"got {self.workers!r}")
+        if self.cache_dir is not None:
+            try:
+                coerce(self, "cache_dir", os.fspath(self.cache_dir))
+            except TypeError:
+                raise ConfigError(
+                    f"cache_dir must be a path or None, "
+                    f"got {self.cache_dir!r}") from None
+        if self.cache_max_bytes is not None:
+            coerce(self, "cache_max_bytes",
+                   _as_int("cache_max_bytes", self.cache_max_bytes))
+            _require(self.cache_max_bytes > 0,
+                     f"cache_max_bytes must be a positive integer or None, "
+                     f"got {self.cache_max_bytes!r}")
+
+    # ------------------------------------------------------------------ #
+    # Copy / serialisation
+    # ------------------------------------------------------------------ #
+    def with_overrides(self, **changes: object) -> "SimRankConfig":
+        """A validated copy with the given fields replaced."""
+        unknown = set(changes) - {f.name for f in fields(self)}
+        _require(not unknown,
+                 f"unknown SimRankConfig field(s): {', '.join(sorted(unknown))}")
+        return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-serialisable); inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SimRankConfig":
+        """Reconstruct a validated config from :meth:`to_dict` output."""
+        _require(isinstance(data, Mapping),
+                 f"SimRankConfig.from_dict expects a mapping, got {type(data).__name__}")
+        unknown = set(data) - {f.name for f in fields(cls)}
+        _require(not unknown,
+                 f"unknown SimRankConfig field(s): {', '.join(sorted(unknown))}")
+        return cls(**dict(data))
+
+    # ------------------------------------------------------------------ #
+    # Resolution (single source of the operator-cache key)
+    # ------------------------------------------------------------------ #
+    def resolved_method(self, num_nodes: int) -> str:
+        """``"auto"`` resolved by graph size (paper policy: exactness on
+        small graphs, the ε-approximation above ``exact_size_limit``)."""
+        if self.method != "auto":
+            return self.method
+        return "series" if num_nodes <= self.exact_size_limit else "localpush"
+
+    def resolved_backend(self, num_nodes: int) -> Optional[str]:
+        """The LocalPush engine-family label entering the cache key.
+
+        ``None`` unless the resolved method is ``"localpush"``.  The
+        executor and worker count never influence the label — all core
+        executors are bit-identical (see ``resolve_execution``).
+        """
+        if self.resolved_method(num_nodes) != "localpush":
+            return None
+        from repro.simrank.localpush import resolve_execution
+
+        backend, _ = resolve_execution(self.backend, self.executor, num_nodes)
+        return backend
+
+    def cache_key_fields(self, num_nodes: int) -> Dict[str, object]:
+        """The operator-cache key fields for a graph of ``num_nodes``.
+
+        This is the *only* derivation of the key tuple in the codebase:
+        ``repro.simrank.cache`` hashes exactly this mapping (plus format
+        version and graph fingerprint), and the deprecated-kwarg shims
+        build a config first, so every path produces the same key and
+        caches written before this API existed stay warm.
+        """
+        method = self.resolved_method(num_nodes)
+        return {
+            "method": method,
+            "decay": self.decay,
+            # Exact SimRank has no ε contract; keyed as None (legacy layout).
+            "epsilon": None if method == "exact" else self.epsilon,
+            "top_k": self.top_k,
+            "row_normalize": self.row_normalize,
+            "backend": self.resolved_backend(num_nodes),
+        }
+
+    # ------------------------------------------------------------------ #
+    # CLI bridge
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_cli_args(cls, args: Any,
+                      base: Optional["SimRankConfig"] = None) -> "SimRankConfig":
+        """Build a config from parsed CLI flags.
+
+        Flags left at their ``None`` default inherit from ``base`` (the
+        model's default config when omitted), so an empty command line is
+        exactly the documented defaults.  :data:`CLI_FLAG_FIELDS` maps
+        ``argparse`` attribute names to config fields; the parser-parity
+        test asserts every mapped flag exists.
+        """
+        base = base if base is not None else cls()
+        overrides = {
+            field_name: getattr(args, attr)
+            for attr, field_name in cls.CLI_FLAG_FIELDS.items()
+            if getattr(args, attr, None) is not None
+        }
+        return base.with_overrides(**overrides) if overrides else base
+
+
+#: The paper's operator settings for the SIGMA models: top-k pruning at
+#: ``k = 32`` (Table III/X), everything else the library defaults.  This
+#: is what ``SIGMA(graph)`` uses when no config is passed.
+SIGMA_DEFAULT_SIMRANK = SimRankConfig(top_k=32)
+
+
+def merge_deprecated_kwargs(config: Optional[SimRankConfig],
+                            deprecated: Mapping[str, Tuple[str, object]],
+                            *, default: Optional[SimRankConfig] = None,
+                            api_hint: str = "config=SimRankConfig(...)",
+                            stacklevel: int = 3) -> SimRankConfig:
+    """Fold legacy keyword arguments into a :class:`SimRankConfig`.
+
+    ``deprecated`` maps each legacy keyword name to ``(config_field,
+    value)``; entries whose value is :data:`UNSET` were not passed and
+    are skipped — callers for whom an explicit ``None`` also means "use
+    the default" (most pool/cache knobs, whose legacy default *was*
+    ``None``) normalise it to ``UNSET`` before calling.  Each remaining
+    keyword emits exactly one :class:`DeprecationWarning` (attributed
+    ``stacklevel`` frames up, i.e. the caller's caller by default).
+    Mixing an explicit ``config`` with legacy keywords is an error —
+    there is no sensible precedence between them.
+    """
+    overrides: Dict[str, object] = {}
+    used = []
+    for name, (field_name, value) in deprecated.items():
+        if value is UNSET:
+            continue
+        used.append(name)
+        overrides[field_name] = value
+    if used and config is not None:
+        # Reject before warning: a call that errors out should surface
+        # the ConfigError, not deprecation advice (which would itself be
+        # promoted under a warnings-as-errors filter).
+        raise ConfigError(
+            "cannot combine an explicit SimRankConfig with the deprecated "
+            f"keyword(s): {', '.join(sorted(used))}")
+    for name in used:
+        warnings.warn(
+            f"the '{name}=' keyword is deprecated; pass {api_hint} instead",
+            DeprecationWarning, stacklevel=stacklevel)
+    base = config if config is not None else (
+        default if default is not None else SimRankConfig())
+    return base.with_overrides(**overrides) if overrides else base
+
+
+def merge_optional_deprecated_kwargs(config: Optional[SimRankConfig],
+                                     deprecated: Mapping[str, Tuple[str, object]],
+                                     *, default: Optional[SimRankConfig] = None,
+                                     api_hint: str = "simrank=SimRankConfig(...)",
+                                     stacklevel: int = 4
+                                     ) -> Optional[SimRankConfig]:
+    """:func:`merge_deprecated_kwargs` for callers where ``None`` means
+    "use the consumer's default config": when no deprecated keyword was
+    actually passed, ``config`` is returned unchanged (possibly ``None``)
+    instead of being materialised.  ``None`` values are treated as "not
+    passed" throughout (every keyword this wrapper serves had ``None``
+    for its legacy default)."""
+    deprecated = {name: (field_name, UNSET if value is None else value)
+                  for name, (field_name, value) in deprecated.items()}
+    if all(value is UNSET for _, value in deprecated.values()):
+        return config
+    return merge_deprecated_kwargs(config, deprecated, default=default,
+                                   api_hint=api_hint, stacklevel=stacklevel)
+
+
+def merge_experiment_simrank_kwargs(config: Optional[SimRankConfig], *,
+                                    simrank_backend: object = UNSET,
+                                    simrank_executor: object = UNSET,
+                                    simrank_workers: object = UNSET,
+                                    simrank_cache_dir: object = UNSET,
+                                    default: Optional[SimRankConfig] = None
+                                    ) -> Optional[SimRankConfig]:
+    """Shared deprecated-kwarg shim of the experiment ``run()`` functions.
+
+    The execution-plan keywords the experiments used to forward
+    (``simrank_backend=`` …) live in exactly one mapping here, so adding
+    the next knob is a one-place change instead of an edit in every
+    experiment module.  Returns ``config`` unchanged (possibly ``None``)
+    when no legacy keyword was passed.
+    """
+    return merge_optional_deprecated_kwargs(config, {
+        "simrank_backend": ("backend", simrank_backend),
+        "simrank_executor": ("executor", simrank_executor),
+        "simrank_workers": ("workers", simrank_workers),
+        "simrank_cache_dir": ("cache_dir", simrank_cache_dir),
+    }, default=default, stacklevel=5)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One end-to-end evaluation run, declaratively.
+
+    ``repro.api.run(spec)`` loads the dataset, constructs the model from
+    the registry (with ``overrides`` on top of the registry defaults and
+    ``simrank`` routed to the SIGMA models), trains over ``repeats``
+    splits under ``train`` and returns a ``RunResult``.  The CLI parses
+    straight into a ``RunSpec``; experiments build them in loops.
+    """
+
+    model: str = "sigma"
+    dataset: str = "texas"
+    overrides: Dict[str, object] = field(default_factory=dict)
+    train: Optional["TrainConfig"] = None
+    simrank: Optional[SimRankConfig] = None
+    seed: int = 0
+    repeats: Optional[int] = None
+    scale_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        coerce = object.__setattr__
+        _require(isinstance(self.model, str) and bool(self.model),
+                 f"model must be a non-empty string, got {self.model!r}")
+        coerce(self, "model", self.model.lower())
+        _require(isinstance(self.dataset, str) and bool(self.dataset),
+                 f"dataset must be a non-empty string, got {self.dataset!r}")
+        _require(isinstance(self.overrides, Mapping),
+                 f"overrides must be a mapping, got {type(self.overrides).__name__}")
+        coerce(self, "overrides", dict(self.overrides))
+        if self.train is None:
+            from repro.training.config import TrainConfig
+
+            coerce(self, "train", TrainConfig())
+        _require(self.simrank is None or isinstance(self.simrank, SimRankConfig),
+                 f"simrank must be a SimRankConfig or None, got {self.simrank!r}")
+        if self.simrank is not None or "simrank" in self.overrides:
+            _require(self.model in SIMRANK_MODELS,
+                     f"a SimRankConfig only applies to {SIMRANK_MODELS}, "
+                     f"not {self.model!r}")
+        _require(self.simrank is None or "simrank" not in self.overrides,
+                 "pass the SimRankConfig either as spec.simrank or inside "
+                 "overrides, not both")
+        coerce(self, "seed", _as_int("seed", self.seed))
+        if self.repeats is not None:
+            coerce(self, "repeats", _as_int("repeats", self.repeats))
+            _require(self.repeats >= 1,
+                     f"repeats must be a positive integer or None, "
+                     f"got {self.repeats!r}")
+        coerce(self, "scale_factor", _as_float("scale_factor", self.scale_factor))
+        _require(self.scale_factor > 0.0,
+                 f"scale_factor must be positive, got {self.scale_factor}")
+        # Late (lazy-import) check so config stays a leaf module: the
+        # model name must exist in the registry.
+        from repro.models.registry import list_models
+
+        _require(self.model in list_models(),
+                 f"unknown model {self.model!r}; available: "
+                 f"{', '.join(list_models())}")
+
+    # ------------------------------------------------------------------ #
+    def with_overrides(self, **changes: object) -> "RunSpec":
+        """A validated copy with the given *spec fields* replaced.
+
+        (To change model hyper-parameter overrides, replace the
+        ``overrides`` field wholesale.)
+        """
+        unknown = set(changes) - {f.name for f in fields(self)}
+        _require(not unknown,
+                 f"unknown RunSpec field(s): {', '.join(sorted(unknown))}")
+        return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, object]:
+        overrides = dict(self.overrides)
+        if isinstance(overrides.get("simrank"), SimRankConfig):
+            # __post_init__ permits the config inside overrides (instead
+            # of spec.simrank); keep that shape serialisable too.
+            overrides["simrank"] = overrides["simrank"].to_dict()
+        return {
+            "model": self.model,
+            "dataset": self.dataset,
+            "overrides": overrides,
+            "train": self.train.to_dict(),
+            "simrank": None if self.simrank is None else self.simrank.to_dict(),
+            "seed": self.seed,
+            "repeats": self.repeats,
+            "scale_factor": self.scale_factor,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunSpec":
+        from repro.training.config import TrainConfig
+
+        _require(isinstance(data, Mapping),
+                 f"RunSpec.from_dict expects a mapping, got {type(data).__name__}")
+        unknown = set(data) - {f.name for f in fields(cls)}
+        _require(not unknown,
+                 f"unknown RunSpec field(s): {', '.join(sorted(unknown))}")
+        payload = dict(data)
+        if payload.get("train") is not None and not hasattr(payload["train"], "max_epochs"):
+            payload["train"] = TrainConfig.from_dict(payload["train"])
+        if payload.get("simrank") is not None and not isinstance(
+                payload["simrank"], SimRankConfig):
+            payload["simrank"] = SimRankConfig.from_dict(payload["simrank"])
+        overrides = payload.get("overrides")
+        if (isinstance(overrides, Mapping)
+                and isinstance(overrides.get("simrank"), Mapping)):
+            payload["overrides"] = {
+                **overrides,
+                "simrank": SimRankConfig.from_dict(overrides["simrank"]),
+            }
+        return cls(**payload)
+
+
+__all__ = [
+    "DEFAULT_DECAY",
+    "SIMRANK_METHODS",
+    "SIMRANK_BACKENDS",
+    "SIMRANK_EXECUTORS",
+    "SIMRANK_MODELS",
+    "CACHE_KEY_FIELDS",
+    "UNSET",
+    "SimRankConfig",
+    "SIGMA_DEFAULT_SIMRANK",
+    "RunSpec",
+    "merge_deprecated_kwargs",
+    "merge_optional_deprecated_kwargs",
+    "merge_experiment_simrank_kwargs",
+]

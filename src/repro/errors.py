@@ -24,6 +24,17 @@ class SimRankError(ReproError):
     """Raised when SimRank computation receives invalid parameters."""
 
 
+class ConfigError(SimRankError, ValueError):
+    """Raised when a configuration object fails validation.
+
+    Subclasses :class:`SimRankError` and :class:`ValueError` so callers
+    that guarded the pre-config pipeline (``simrank_operator`` raised
+    ``SimRankError`` for bad parameters; the cache cap raised
+    ``ValueError``) keep catching what they caught before the config
+    objects took over validation.
+    """
+
+
 class ModelError(ReproError):
     """Raised when a model is mis-configured or used before being built."""
 

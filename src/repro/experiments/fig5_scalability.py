@@ -15,12 +15,19 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api import build_model
+from repro.config import (
+    SIGMA_DEFAULT_SIMRANK,
+    SIMRANK_MODELS,
+    UNSET,
+    SimRankConfig,
+    merge_experiment_simrank_kwargs,
+)
 from repro.datasets.dataset import Dataset
 from repro.datasets.registry import get_spec
 from repro.datasets.splits import stratified_splits
 from repro.datasets.synthetic import generate_synthetic_graph
 from repro.experiments.common import QUICK_EXPERIMENT_CONFIG, format_table
-from repro.models.registry import create_model
 from repro.training.config import TrainConfig
 from repro.training.trainer import Trainer
 
@@ -64,24 +71,31 @@ class Fig5Result:
 def run(*, base_dataset: str = "pokec", num_sizes: int = 4, shrink: float = 2.0,
         models: Sequence[str] = ("sigma", "glognn"),
         config: Optional[TrainConfig] = None, seed: int = 0,
-        base_scale: float = 1.0, simrank_backend: str = "auto",
-        simrank_executor: Optional[str] = None,
-        simrank_workers: Optional[int] = None,
-        simrank_cache_dir: Optional[str] = None) -> Fig5Result:
+        base_scale: float = 1.0,
+        simrank: Optional[SimRankConfig] = None,
+        simrank_backend: object = UNSET,
+        simrank_executor: object = UNSET,
+        simrank_workers: object = UNSET,
+        simrank_cache_dir: object = UNSET) -> Fig5Result:
     """Measure learning time across a geometric grid of graph sizes.
 
     The largest size is the base dataset at ``base_scale``; each subsequent
     size divides the node count by ``shrink`` (edges shrink roughly
     proportionally, matching the paper's geometric grid of edge counts).
-    ``simrank_backend`` / ``simrank_executor`` select the LocalPush
-    ``(engine, executor)`` plan used for the SIGMA variants'
-    precomputation (see :mod:`repro.simrank.engine`) — the precompute
-    column of this figure is exactly what the unified core accelerates —
-    with ``simrank_workers`` sizing the thread/process pool.  With
-    ``simrank_cache_dir`` set, a warm cache makes repeated runs skip the
-    LocalPush precompute entirely (the precompute column then measures the
-    cache load).
+    ``simrank`` configures the SIGMA variants' LocalPush precompute — the
+    precompute column of this figure is exactly what the unified core
+    accelerates — including the ``(backend, executor, workers)`` plan and
+    the persistent operator cache (a warm ``cache_dir`` makes repeated
+    runs skip precompute entirely; the column then measures the cache
+    load).  The pre-config keywords (``simrank_backend=`` …) remain as
+    deprecated shims.
     """
+    # Legacy keywords fold into the model-default config so the shim
+    # reproduces the old behaviour (top-k 32 etc.) exactly.
+    simrank = merge_experiment_simrank_kwargs(
+        simrank, simrank_backend=simrank_backend,
+        simrank_executor=simrank_executor, simrank_workers=simrank_workers,
+        simrank_cache_dir=simrank_cache_dir, default=SIGMA_DEFAULT_SIMRANK)
     config = config or QUICK_EXPERIMENT_CONFIG
     spec = get_spec(base_dataset)
     result = Fig5Result()
@@ -92,16 +106,9 @@ def run(*, base_dataset: str = "pokec", num_sizes: int = 4, shrink: float = 2.0,
         splits = stratified_splits(graph.labels, num_splits=1, seed=seed + 1)
         dataset = Dataset(graph=graph, splits=splits, name=f"{base_dataset}@{scale:.3f}")
         for model_name in models:
-            overrides = {}
-            if model_name in ("sigma", "sigma_iterative"):
-                overrides["simrank_backend"] = simrank_backend
-                if simrank_executor is not None:
-                    overrides["simrank_executor"] = simrank_executor
-                if simrank_workers is not None:
-                    overrides["simrank_workers"] = simrank_workers
-                if simrank_cache_dir is not None:
-                    overrides["simrank_cache_dir"] = simrank_cache_dir
-            model = create_model(model_name, graph, rng=seed, **overrides)
+            operator_config = simrank if model_name in SIMRANK_MODELS else None
+            model = build_model(model_name, graph, rng=seed,
+                                simrank=operator_config)
             trained = Trainer(model, config).fit(dataset.split(0))
             result.points.append(ScalabilityPoint(
                 model=model_name,

@@ -12,6 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.config import (
+    SIGMA_DEFAULT_SIMRANK,
+    UNSET,
+    SimRankConfig,
+    merge_experiment_simrank_kwargs,
+)
 from repro.datasets.registry import load_dataset
 from repro.experiments.common import DEFAULT_EXPERIMENT_CONFIG, format_table
 from repro.training.config import TrainConfig
@@ -48,37 +54,37 @@ def run(dataset_name: str = "pokec", *, epsilons: Sequence[float] = DEFAULT_EPSI
         top_ks: Sequence[int] = DEFAULT_TOP_KS, num_repeats: int = 1,
         scale_factor: float = 1.0, config: Optional[TrainConfig] = None,
         seed: int = 0, final_layers: int = 2,
-        simrank_backend: str = "auto",
-        simrank_executor: Optional[str] = None,
-        simrank_workers: Optional[int] = None,
-        simrank_cache_dir: Optional[str] = None) -> Fig6Result:
+        simrank: Optional[SimRankConfig] = None,
+        simrank_backend: object = UNSET,
+        simrank_executor: object = UNSET,
+        simrank_workers: object = UNSET,
+        simrank_cache_dir: object = UNSET) -> Fig6Result:
     """Sweep (ε, k) for SIGMA on ``dataset_name``.
 
-    ``simrank_backend`` / ``simrank_executor`` select the LocalPush
-    ``(engine, executor)`` plan used for every cell (see
-    :mod:`repro.simrank.engine`), ``simrank_workers`` sizes the
-    thread/process pool and ``simrank_cache_dir`` enables the persistent
-    operator cache — every (ε, k) cell is keyed separately *and* a warm
-    cache can serve looser cells from tighter ones by cross-ε/k reuse, so
-    repeated runs skip the whole precompute sweep.
+    ``simrank`` is the *base* operator configuration shared by every
+    cell — the LocalPush ``(backend, executor, workers)`` plan and the
+    persistent cache directory; each grid cell overrides only its
+    ``(epsilon, top_k)``.  Every cell is keyed separately in the cache
+    *and* a warm cache can serve looser cells from tighter ones by
+    cross-ε/k reuse, so repeated runs skip the whole precompute sweep.
+    The pre-config keywords (``simrank_backend=`` …) remain as deprecated
+    shims.
     """
+    simrank = merge_experiment_simrank_kwargs(
+        simrank, simrank_backend=simrank_backend,
+        simrank_executor=simrank_executor, simrank_workers=simrank_workers,
+        simrank_cache_dir=simrank_cache_dir)
+    base = simrank if simrank is not None else SIGMA_DEFAULT_SIMRANK
     config = config or DEFAULT_EXPERIMENT_CONFIG
     dataset = load_dataset(dataset_name, seed=seed, scale_factor=scale_factor)
     result = Fig6Result(dataset=dataset_name)
-    extra = {}
-    if simrank_executor is not None:
-        extra["simrank_executor"] = simrank_executor
-    if simrank_workers is not None:
-        extra["simrank_workers"] = simrank_workers
-    if simrank_cache_dir is not None:
-        extra["simrank_cache_dir"] = simrank_cache_dir
     for epsilon in epsilons:
         for top_k in top_ks:
+            cell = base.with_overrides(method="localpush", epsilon=epsilon,
+                                       top_k=top_k)
             summary = repeated_evaluation(
-                "sigma", dataset, num_repeats=num_repeats, config=config, seed=seed,
-                epsilon=epsilon, top_k=top_k, final_layers=final_layers,
-                simrank_method="localpush", simrank_backend=simrank_backend,
-                **extra)
+                "sigma", dataset, num_repeats=num_repeats, config=config,
+                seed=seed, simrank=cell, final_layers=final_layers)
             result.cells.append({
                 "epsilon": epsilon,
                 "top_k": top_k,

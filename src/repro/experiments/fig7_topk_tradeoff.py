@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.config import SIGMA_DEFAULT_SIMRANK, SimRankConfig
 from repro.datasets.registry import load_dataset
 from repro.experiments.common import DEFAULT_EXPERIMENT_CONFIG, format_table
 from repro.training.config import TrainConfig
@@ -44,15 +45,22 @@ class Fig7Result:
 def run(dataset_name: str = "pokec", *, top_ks: Sequence[int] = DEFAULT_TOP_KS,
         epsilon: float = 0.1, num_repeats: int = 1, scale_factor: float = 1.0,
         config: Optional[TrainConfig] = None, seed: int = 0,
-        final_layers: int = 2) -> Fig7Result:
-    """Sweep k at fixed ε and record accuracy and total runtime."""
+        final_layers: int = 2,
+        simrank: Optional[SimRankConfig] = None) -> Fig7Result:
+    """Sweep k at fixed ε and record accuracy and total runtime.
+
+    ``simrank`` is the base operator configuration; each sweep point
+    overrides only its ``top_k`` (and the fixed ``epsilon``).
+    """
+    base = simrank if simrank is not None else SIGMA_DEFAULT_SIMRANK
     config = config or DEFAULT_EXPERIMENT_CONFIG
     dataset = load_dataset(dataset_name, seed=seed, scale_factor=scale_factor)
     result = Fig7Result(dataset=dataset_name)
     for top_k in top_ks:
         summary = repeated_evaluation(
             "sigma", dataset, num_repeats=num_repeats, config=config, seed=seed,
-            epsilon=epsilon, top_k=top_k, final_layers=final_layers)
+            simrank=base.with_overrides(epsilon=epsilon, top_k=top_k),
+            final_layers=final_layers)
         result.points.append({
             "top_k": top_k,
             "accuracy": round(100 * summary.mean_accuracy, 2),

@@ -16,10 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.api import precompute
+from repro.config import (
+    UNSET,
+    SimRankConfig,
+    merge_experiment_simrank_kwargs,
+)
 from repro.datasets.registry import load_dataset
 from repro.experiments.common import format_table
 from repro.graphs.graph import Graph
-from repro.simrank.topk import simrank_operator
 
 
 @dataclass(frozen=True)
@@ -105,31 +110,34 @@ def complexity_table(graph: Graph, *, hidden: int = 64, num_layers: int = 2,
 
 def run(dataset_name: str = "pokec", *, scale_factor: float = 1.0, hidden: int = 64,
         top_k: int = 32, seed: int = 0, measure_precompute: bool = False,
-        epsilon: float = 0.1, simrank_backend: str = "auto",
-        simrank_executor: Optional[str] = None,
-        simrank_workers: Optional[int] = None,
-        simrank_cache_dir: Optional[str] = None) -> Table3Result:
+        epsilon: float = 0.1,
+        simrank: Optional[SimRankConfig] = None,
+        simrank_backend: object = UNSET,
+        simrank_executor: object = UNSET,
+        simrank_workers: object = UNSET,
+        simrank_cache_dir: object = UNSET) -> Table3Result:
     """Build the complexity table for the requested benchmark graph.
 
     With ``measure_precompute=True`` the table is complemented by the
-    *measured* SIGMA precompute time (LocalPush with the
-    ``(simrank_backend, simrank_executor)`` plan plus top-k pruning),
+    *measured* SIGMA precompute time (LocalPush under the ``simrank``
+    config's ``(backend, executor, workers)`` plan plus top-k pruning),
     grounding the analytic ``O(k·n·f)`` row in a real timing on the same
-    graph.  ``simrank_workers`` sizes the thread/process pool; with
-    ``simrank_cache_dir`` the measured precompute of a repeated run
-    collapses to the cache-load time.
+    graph.  With a ``cache_dir`` in the config, the measured precompute
+    of a repeated run collapses to the cache-load time.  The pre-config
+    keywords (``simrank_backend=`` …) remain as deprecated shims.
     """
+    simrank = merge_experiment_simrank_kwargs(
+        simrank, simrank_backend=simrank_backend,
+        simrank_executor=simrank_executor, simrank_workers=simrank_workers,
+        simrank_cache_dir=simrank_cache_dir)
+    base = simrank if simrank is not None else SimRankConfig()
     dataset = load_dataset(dataset_name, seed=seed, scale_factor=scale_factor)
     entries = complexity_table(dataset.graph, hidden=hidden, top_k=top_k)
     result = Table3Result(dataset=dataset_name, entries=entries)
     if measure_precompute:
-        operator = simrank_operator(dataset.graph, method="localpush",
-                                    epsilon=epsilon, top_k=top_k,
-                                    backend=simrank_backend,
-                                    executor=simrank_executor,
-                                    num_workers=simrank_workers,
-                                    cache=simrank_cache_dir)
-        result.measured_precompute[operator.backend or simrank_backend] = (
+        operator = precompute(dataset.graph, base.with_overrides(
+            method="localpush", epsilon=epsilon, top_k=top_k))
+        result.measured_precompute[operator.backend or base.backend] = (
             operator.precompute_seconds)
     return result
 

@@ -15,10 +15,11 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.datasets.registry import LARGE_DATASETS, load_dataset
+from repro.api import run as run_spec
+from repro.config import RunSpec
+from repro.datasets.registry import LARGE_DATASETS
 from repro.experiments.common import DEFAULT_EXPERIMENT_CONFIG, format_table
 from repro.training.config import TrainConfig
-from repro.training.evaluation import repeated_evaluation
 
 DEFAULT_MODELS = ("linkx", "glognn", "sigma")
 
@@ -59,15 +60,21 @@ def run(datasets: Sequence[str] = tuple(LARGE_DATASETS),
         models: Sequence[str] = DEFAULT_MODELS, *,
         num_repeats: int = 2, scale_factor: float = 1.0,
         config: Optional[TrainConfig] = None, seed: int = 0) -> Table7Result:
-    """Measure the Pre./AGG/Learn breakdown for each model and dataset."""
+    """Measure the Pre./AGG/Learn breakdown for each model and dataset.
+
+    Each (model, dataset) cell is one declarative :class:`RunSpec`
+    executed by :func:`repro.api.run` — the experiment holds no model
+    construction or training logic of its own.
+    """
     config = config or DEFAULT_EXPERIMENT_CONFIG
     result = Table7Result(datasets=list(datasets), models=list(models))
     for model_name in models:
         result.rows_by_model[model_name] = []
         for dataset_name in datasets:
-            dataset = load_dataset(dataset_name, seed=seed, scale_factor=scale_factor)
-            summary = repeated_evaluation(model_name, dataset, num_repeats=num_repeats,
-                                          config=config, seed=seed)
+            summary = run_spec(RunSpec(
+                model=model_name, dataset=dataset_name, train=config,
+                seed=seed, repeats=num_repeats,
+                scale_factor=scale_factor)).summary
             result.rows_by_model[model_name].append({
                 "dataset": dataset_name,
                 "pre": round(summary.mean_precompute_time, 3),

@@ -30,6 +30,12 @@ from typing import Literal, Optional
 import numpy as np
 import scipy.sparse as sp
 
+from repro.config import (
+    SIGMA_DEFAULT_SIMRANK,
+    UNSET,
+    SimRankConfig,
+    merge_deprecated_kwargs,
+)
 from repro.errors import ModelError
 from repro.graphs.graph import Graph
 from repro.graphs.sparse import sparse_row_normalize
@@ -42,6 +48,39 @@ from repro.simrank.topk import simrank_operator
 from repro.utils.rng import RngLike, ensure_rng
 
 OperatorMode = Literal["simrank", "simrank_adj"]
+
+
+def resolve_sigma_simrank_config(simrank, *, simrank_method, decay, epsilon,
+                                 top_k, simrank_backend, simrank_executor,
+                                 simrank_workers, simrank_cache_dir,
+                                 simrank_cache_max_bytes):
+    """Shared deprecated-kwarg shim of the two SIGMA variants.
+
+    Folds the pre-config keywords into ``simrank`` (defaulting to
+    :data:`repro.config.SIGMA_DEFAULT_SIMRANK`), one
+    :class:`DeprecationWarning` per keyword.  The pool/cache knobs had
+    ``None`` for their legacy default, so an explicit ``None`` there
+    means "default" — but ``top_k=None`` stays an explicit override: the
+    legacy default was 32, and ``None`` is the documented "no pruning"
+    request.
+    """
+    return merge_deprecated_kwargs(simrank, {
+        "simrank_method": ("method", simrank_method),
+        "decay": ("decay", decay),
+        "epsilon": ("epsilon", epsilon),
+        "top_k": ("top_k", top_k),
+        "simrank_backend": ("backend", simrank_backend),
+        "simrank_executor": (
+            "executor", UNSET if simrank_executor is None else simrank_executor),
+        "simrank_workers": (
+            "workers", UNSET if simrank_workers is None else simrank_workers),
+        "simrank_cache_dir": (
+            "cache_dir", UNSET if simrank_cache_dir is None else simrank_cache_dir),
+        "simrank_cache_max_bytes": (
+            "cache_max_bytes",
+            UNSET if simrank_cache_max_bytes is None else simrank_cache_max_bytes),
+    }, default=SIGMA_DEFAULT_SIMRANK, api_hint="simrank=SimRankConfig(...)",
+        stacklevel=4)
 
 
 def _sigmoid(value: float) -> float:
@@ -68,28 +107,18 @@ class SIGMA(NodeClassifier):
     alpha:
         Initial value of the local/global balance α; learnable unless
         ``learn_alpha=False``.
-    simrank_method / epsilon / top_k / decay / simrank_backend:
-        Passed to :func:`repro.simrank.topk.simrank_operator`; the paper uses
-        exact scores on small graphs and LocalPush with ``ε = 0.1`` and
-        ``k ∈ {16, 32}`` on large ones.  ``simrank_backend`` selects the
-        LocalPush engine family (``"dict"``, ``"vectorized"``,
-        ``"sharded"`` or ``"auto"``).
-    simrank_executor:
-        Unified-core executor for the LocalPush shard pushes
-        (``"serial"``, ``"thread"``, ``"process"`` or ``"auto"``); every
-        executor produces a bit-identical operator, so this is purely a
-        throughput knob (``"process"`` scales past the GIL).
-    simrank_workers:
-        Worker-pool size for the thread/process executors (ignored
-        otherwise; results are identical either way).
-    simrank_cache_dir:
-        Directory of a persistent operator cache
-        (:mod:`repro.simrank.cache`).  When set, repeated constructions on
-        the same graph and hyper-parameters skip LocalPush precompute
-        entirely — including cross-ε/k reuse of dominating entries.
-    simrank_cache_max_bytes:
-        Optional byte cap on that cache directory; stores beyond it evict
-        the least-recently-used entries.
+    simrank:
+        A :class:`repro.config.SimRankConfig` describing the operator
+        precompute: method, decay, ε, top-k, the LocalPush ``(backend,
+        executor, workers)`` plan and the persistent operator cache.
+        Defaults to :data:`repro.config.SIGMA_DEFAULT_SIMRANK` (the
+        paper's ``ε = 0.1``, ``k = 32``).  The pre-config keywords
+        (``simrank_method=``, ``epsilon=``, ``top_k=``, ``decay=``,
+        ``simrank_backend=``, ``simrank_executor=``, ``simrank_workers=``,
+        ``simrank_cache_dir=``, ``simrank_cache_max_bytes=``) remain
+        accepted as deprecated shims: each emits a
+        :class:`DeprecationWarning` and folds into an equivalent config
+        with an identical operator and cache key.
     final_layers:
         Number of layers in ``MLP_H`` (1 for small datasets, 2 for large, as
         in the paper's parameter settings).
@@ -98,18 +127,26 @@ class SIGMA(NodeClassifier):
     def __init__(self, graph: Graph, *, hidden: int = 64, delta: float = 0.5,
                  alpha: float = 0.5, learn_alpha: bool = True,
                  dropout: float = 0.5, final_layers: int = 1,
-                 simrank_method: str = "auto", epsilon: float = 0.1,
-                 top_k: Optional[int] = 32, decay: float = 0.6,
-                 simrank_backend: str = "auto",
-                 simrank_executor: Optional[str] = None,
-                 simrank_workers: Optional[int] = None,
-                 simrank_cache_dir: Optional[str] = None,
-                 simrank_cache_max_bytes: Optional[int] = None,
+                 simrank: Optional[SimRankConfig] = None,
                  use_simrank: bool = True, use_features: bool = True,
                  use_adjacency: bool = True,
                  operator_mode: OperatorMode = "simrank",
-                 rng: RngLike = None) -> None:
+                 rng: RngLike = None,
+                 simrank_method: object = UNSET, epsilon: object = UNSET,
+                 top_k: object = UNSET, decay: object = UNSET,
+                 simrank_backend: object = UNSET,
+                 simrank_executor: object = UNSET,
+                 simrank_workers: object = UNSET,
+                 simrank_cache_dir: object = UNSET,
+                 simrank_cache_max_bytes: object = UNSET) -> None:
         super().__init__(graph, hidden=hidden)
+        simrank = resolve_sigma_simrank_config(
+            simrank, simrank_method=simrank_method, decay=decay,
+            epsilon=epsilon, top_k=top_k, simrank_backend=simrank_backend,
+            simrank_executor=simrank_executor,
+            simrank_workers=simrank_workers,
+            simrank_cache_dir=simrank_cache_dir,
+            simrank_cache_max_bytes=simrank_cache_max_bytes)
         if not 0.0 <= delta <= 1.0:
             raise ModelError(f"delta must be in [0, 1], got {delta}")
         if not 0.0 <= alpha <= 1.0:
@@ -126,19 +163,16 @@ class SIGMA(NodeClassifier):
         self.use_adjacency = use_adjacency
         self.operator_mode = operator_mode
         self.learn_alpha = learn_alpha and use_simrank
+        #: The resolved operator configuration (``self.simrank`` below is
+        #: the computed operator itself, kept for backward compatibility).
+        self.simrank_config = simrank
 
         # ---------------- precomputation (Algorithm 1 + top-k) ---------- #
         self.simrank = None
         self.propagation: Optional[SparsePropagation] = None
         if use_simrank:
             with self.timing.measure("precompute"):
-                operator = simrank_operator(graph, method=simrank_method, decay=decay,
-                                            epsilon=epsilon, top_k=top_k,
-                                            backend=simrank_backend,
-                                            executor=simrank_executor,
-                                            num_workers=simrank_workers,
-                                            cache=simrank_cache_dir,
-                                            cache_max_bytes=simrank_cache_max_bytes)
+                operator = simrank_operator(graph, config=simrank)
                 matrix = operator.matrix
                 if operator_mode == "simrank_adj":
                     # Localised ablation: restrict aggregation weights to the

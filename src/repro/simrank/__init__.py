@@ -14,42 +14,58 @@ Three computations are provided:
   ``O(d²/ε)``-style cost, returning a sparse matrix.
 
 :func:`simrank_operator` combines approximation and top-k pruning into the
-sparse aggregation operator used by the SIGMA model.
+sparse aggregation operator used by the SIGMA model.  Its supported
+calling convention is a single typed config object::
 
-(engine, executor) selection
+    from repro.config import SimRankConfig
+    operator = simrank_operator(graph, SimRankConfig(
+        method="localpush", epsilon=0.1, top_k=32,
+        executor="process", workers=8,
+        cache_dir="~/.cache/simrank"))
+
+(the pre-config keyword arguments remain accepted as deprecated shims —
+one ``DeprecationWarning`` each, identical operator and cache key).
+
+Configuration: SimRankConfig
 ----------------------------
-``localpush_simrank`` resolves every request to a plan ``(engine,
-executor)``: the per-pair **dict** reference engine (the equivalence
-oracle), or the unified batched **core**
-(:func:`repro.simrank.engine.localpush_engine`) under one of three
-executors.  The legacy ``backend=`` names remain as labels over this
-plan space:
+:class:`repro.config.SimRankConfig` carries three field groups:
 
-=========== ==================== ========================================
-backend      plan                 auto-selected for
-=========== ==================== ========================================
-dict         (dict, —)            < 256 nodes — per-pair reference loop
-vectorized   (core, serial)       256 – 4095 nodes — frontier-batched
-                                  sparse rounds, shards pushed in-thread
-sharded      (core, thread)       ≥ 4096 nodes — shards pushed by a
-                                  thread pool, merged in shard order
-(explicit)   (core, process)      ``executor="process"`` — shards pushed
-                                  by a process pool over shared-memory
-                                  walk matrices (multi-core past the GIL)
-=========== ==================== ========================================
+* the **mathematical contract** — ``method`` (``"exact"``, ``"series"``,
+  ``"localpush"`` or ``"auto"``, which picks exactness up to
+  ``exact_size_limit`` nodes and LocalPush above), ``decay``,
+  ``epsilon``, ``top_k`` and ``row_normalize``; these determine the
+  operator entries and therefore enter the cache key;
+* the **execution plan** — ``backend``, ``executor`` and ``workers``,
+  resolved to a concrete LocalPush plan by ``resolve_execution``:
+
+  =========== ==================== ========================================
+  backend      plan                 auto-selected for
+  =========== ==================== ========================================
+  dict         (dict, —)            < 256 nodes — per-pair reference loop
+  vectorized   (core, serial)       256 – 4095 nodes — frontier-batched
+                                    sparse rounds, shards pushed in-thread
+  sharded      (core, thread)       ≥ 4096 nodes — shards pushed by a
+                                    thread pool, merged in shard order
+  (explicit)   (core, process)      ``executor="process"`` — shards pushed
+                                    by a process pool over shared-memory
+                                    walk matrices (multi-core past the GIL)
+  =========== ==================== ========================================
+
+* the **cache location** — ``cache_dir`` and ``cache_max_bytes``.
 
 The shard partition is a function of the frontier alone and partial
 updates merge in shard order, so **every executor and worker count
 returns a bit-identical matrix** — pinned by
-``tests/test_simrank_engine.py`` and relied on by the operator cache
-(its key excludes both knobs).  The auto thresholds live in
+``tests/test_simrank_engine.py``.  Accordingly only the resolved backend
+*label* enters the operator-cache key; the key fields are derived in
+exactly one place, :meth:`repro.config.SimRankConfig.cache_key_fields`.
+The auto thresholds live in
 :data:`repro.simrank.localpush.AUTO_BACKEND_MIN_NODES` and
-:data:`repro.simrank.localpush.AUTO_SHARDED_MIN_NODES`, resolved by
-:func:`repro.simrank.localpush.resolve_execution`; unit tests pin them.
-All plans satisfy the same ``‖Ŝ − S‖_max < ε`` guarantee (Lemma III.5).
-``localpush_simrank_vectorized`` / ``localpush_simrank_sharded`` are
-deprecated shims over the core (bit-identical, with a
-``DeprecationWarning``).
+:data:`repro.simrank.localpush.AUTO_SHARDED_MIN_NODES`; unit tests pin
+them.  All plans satisfy the same ``‖Ŝ − S‖_max < ε`` guarantee
+(Lemma III.5).  ``localpush_simrank_vectorized`` /
+``localpush_simrank_sharded`` are deprecated shims over the core
+(bit-identical, with a ``DeprecationWarning``).
 
 Streaming top-k error-bound argument
 ------------------------------------
@@ -85,9 +101,10 @@ policies sit on top:
   reverse), counted separately from exact hits.
 
 See the module docstring of :mod:`repro.simrank.cache` for both
-arguments.  Enable the cache via ``simrank_operator(..., cache=<dir>)``,
-model kwargs ``simrank_cache_dir=...``, or the CLI flag
-``--simrank-cache-dir``.
+arguments.  Enable the cache by setting ``cache_dir`` (and optionally
+``cache_max_bytes``) on the :class:`repro.config.SimRankConfig` passed
+to ``simrank_operator`` / ``SIGMA(simrank=...)`` / a ``RunSpec``, or via
+the CLI flag ``--simrank-cache-dir``.
 """
 
 from repro.simrank.cache import (

@@ -23,7 +23,11 @@ index::
 payload containing the cache format version, the *graph fingerprint* (a
 SHA-256 over the adjacency CSR arrays — content-addressed, so renames and
 re-generations of the same graph hit) and the resolved operator
-parameters.  The worker count **and the unified-core executor** are
+parameters.  The parameter fields are derived in exactly one place —
+:meth:`repro.config.SimRankConfig.cache_key_fields` — and hashed here by
+:meth:`OperatorCache.key_for_fields`; both the config path and the
+deprecated-kwarg shims flow through that derivation, so they produce
+identical keys.  The worker count **and the unified-core executor** are
 deliberately excluded from the key: the engine core is bit-deterministic
 across executors and pool sizes, so operators computed with any of them
 are interchangeable.
@@ -81,6 +85,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 import numpy as np
 import scipy.sparse as sp
 
+from repro.config import CACHE_KEY_FIELDS
 from repro.graphs.graph import Graph
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -192,21 +197,39 @@ class OperatorCache:
         self._max_bytes = value
 
     # ------------------------------------------------------------------ #
-    def key_for(self, graph: Graph, *, method: str, decay: float,
-                epsilon: Optional[float], top_k: Optional[int],
-                row_normalize: bool, backend: Optional[str]) -> str:
-        """Content-addressed key for one operator configuration."""
+    def key_for_fields(self, graph: Graph, fields: Dict[str, object]) -> str:
+        """Content-addressed key for one operator configuration.
+
+        ``fields`` is the mapping produced by
+        :meth:`repro.config.SimRankConfig.cache_key_fields` — the single
+        derivation of the key tuple.  The cache only *hashes*: it never
+        decides what enters the key.  A field set that drifts from
+        :data:`repro.config.CACHE_KEY_FIELDS` is rejected so the two
+        modules cannot silently disagree.
+        """
+        if set(fields) != set(CACHE_KEY_FIELDS):
+            raise ValueError(
+                f"cache key fields must be exactly {sorted(CACHE_KEY_FIELDS)}, "
+                f"got {sorted(fields)}")
         payload = json.dumps({
             "version": CACHE_FORMAT_VERSION,
             "graph": graph_fingerprint(graph),
+            **fields,
+        }, sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+    def key_for(self, graph: Graph, *, method: str, decay: float,
+                epsilon: Optional[float], top_k: Optional[int],
+                row_normalize: bool, backend: Optional[str]) -> str:
+        """Keyword-argument form of :meth:`key_for_fields` (same key)."""
+        return self.key_for_fields(graph, {
             "method": method,
             "decay": decay,
             "epsilon": epsilon,
             "top_k": top_k,
             "row_normalize": row_normalize,
             "backend": backend,
-        }, sort_keys=True)
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+        })
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{_FILE_PREFIX}{key}.npz"

@@ -11,11 +11,10 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.config import DEFAULT_DECAY
 from repro.errors import SimRankError
 from repro.graphs.graph import Graph
 from repro.graphs.normalize import column_normalize
-
-DEFAULT_DECAY = 0.6
 
 
 def _check_decay(decay: float) -> float:

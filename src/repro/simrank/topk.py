@@ -17,7 +17,7 @@ from typing import Literal, Optional, Union
 import numpy as np
 import scipy.sparse as sp
 
-from repro.errors import SimRankError
+from repro.config import UNSET, SimRankConfig, merge_deprecated_kwargs
 from repro.graphs.graph import Graph
 from repro.graphs.sparse import sparse_row_normalize, top_k_per_row
 from repro.simrank.cache import (
@@ -25,29 +25,13 @@ from repro.simrank.cache import (
     get_operator_cache,
     graph_fingerprint,
 )
-from repro.simrank.exact import DEFAULT_DECAY, exact_simrank, linearized_simrank
-from repro.simrank.localpush import (
-    Backend,
-    ExecutorName,
-    localpush_simrank,
-    resolve_execution,
-)
+from repro.simrank.exact import exact_simrank, linearized_simrank
+from repro.simrank.localpush import localpush_simrank
 from repro.utils.timer import Timer
 
 Method = Literal["exact", "series", "localpush", "auto"]
 
 CacheLike = Union[OperatorCache, str, os.PathLike, None]
-
-
-def _resolve_cache(cache: CacheLike,
-                   max_bytes: Optional[int] = None) -> Optional[OperatorCache]:
-    if cache is None:
-        return None
-    if isinstance(cache, OperatorCache):
-        if max_bytes is not None:
-            cache.max_bytes = max_bytes
-        return cache
-    return get_operator_cache(cache, max_bytes=max_bytes)
 
 
 def topk_simrank(matrix: sp.spmatrix | np.ndarray, k: int,
@@ -97,129 +81,138 @@ class SimRankOperator:
         return self.nnz / n if n else 0.0
 
 
-def simrank_operator(graph: Graph, *, method: Method = "auto",
-                     decay: float = DEFAULT_DECAY, epsilon: float = 0.1,
-                     top_k: Optional[int] = None, row_normalize: bool = False,
-                     exact_size_limit: int = 3000,
-                     backend: Backend = "auto",
-                     executor: Optional[ExecutorName] = None,
-                     num_workers: Optional[int] = None,
-                     cache: CacheLike = None,
-                     cache_max_bytes: Optional[int] = None) -> SimRankOperator:
+def simrank_operator(graph: Graph, config: Optional[SimRankConfig] = None, *,
+                     method: object = UNSET, decay: object = UNSET,
+                     epsilon: object = UNSET, top_k: object = UNSET,
+                     row_normalize: object = UNSET,
+                     exact_size_limit: object = UNSET,
+                     backend: object = UNSET, executor: object = UNSET,
+                     num_workers: object = UNSET, cache: object = UNSET,
+                     cache_max_bytes: object = UNSET) -> SimRankOperator:
     """Precompute the SimRank aggregation operator for a graph.
 
-    Parameters
-    ----------
-    method:
-        ``"exact"`` (dense Jeh–Widom SimRank), ``"series"`` (dense
-        linearized series), ``"localpush"`` (Algorithm 1, sparse) or
-        ``"auto"`` which picks ``"series"`` for graphs up to
-        ``exact_size_limit`` nodes and ``"localpush"`` above it — matching
-        the paper's policy of exact scores on small datasets and the
-        ε-approximation on large ones.
-    epsilon:
-        Error threshold for the LocalPush approximation.
-    top_k:
-        When given, keep only the ``k`` largest scores per row.
-    row_normalize:
-        Optionally normalise the rows of the pruned operator to sum to one.
-        The paper aggregates with the raw scores; normalisation is exposed
-        for ablation studies.
-    backend:
-        LocalPush engine family (``"dict"``, ``"vectorized"``,
-        ``"sharded"`` or ``"auto"``); only consulted when the resolved
-        method is ``"localpush"``.  See
-        :func:`repro.simrank.localpush.localpush_simrank`.
-    executor:
-        Unified-core executor (``"serial"``, ``"thread"``, ``"process"``
-        or ``"auto"``) — how the LocalPush shard pushes run.  Not part of
-        the cache key: every executor is bit-identical.
-    num_workers:
-        Worker-pool size for the thread/process executors.  Deliberately
-        *not* part of the cache key: the engine core is bit-identical
-        across worker counts.
-    cache:
-        Optional persistent operator cache — an
-        :class:`repro.simrank.cache.OperatorCache` or a cache directory
-        path.  On a hit the precompute is skipped entirely and
-        ``cache_hit=True`` is set on the returned operator (including
-        cross-ε/k *reuse* hits, where a tighter-ε′/larger-k′ entry is
-        re-pruned to this request — see :mod:`repro.simrank.cache`); on a
-        miss the computed operator is stored for the next run.
-    cache_max_bytes:
-        Byte cap for the cache directory; stores beyond it evict the
-        least-recently-used entries.  ``None`` (default) means unbounded.
+    The supported calling convention is a single
+    :class:`repro.config.SimRankConfig`::
+
+        simrank_operator(graph, SimRankConfig(method="localpush",
+                                              epsilon=0.1, top_k=32,
+                                              cache_dir="~/.simrank-cache"))
+
+    See :class:`repro.config.SimRankConfig` for the meaning of every
+    field (method selection, ε, top-k pruning, the LocalPush
+    ``(backend, executor, workers)`` plan, and the persistent operator
+    cache with its LRU byte cap).  With ``config=None`` and no keywords
+    the library defaults apply.
+
+    Deprecated keywords
+    -------------------
+    The pre-config keyword arguments (``method=``, ``decay=``,
+    ``epsilon=``, ``top_k=``, ``row_normalize=``, ``exact_size_limit=``,
+    ``backend=``, ``executor=``, ``num_workers=``, ``cache=``,
+    ``cache_max_bytes=``) remain accepted: each one emits a
+    :class:`DeprecationWarning` and is folded into an equivalent config,
+    producing an identical operator *and* an identical on-disk cache key
+    (pinned by ``tests/test_config.py``), so caches written by older
+    code stay warm.  ``cache=`` additionally accepts a live
+    :class:`repro.simrank.cache.OperatorCache` instance.  Mixing
+    ``config=`` with any deprecated keyword is an error.
     """
-    if top_k is not None and top_k <= 0:
-        raise SimRankError(f"top_k must be positive, got {top_k}")
-    if method not in {"exact", "series", "localpush", "auto"}:
-        raise SimRankError(f"unknown SimRank method {method!r}")
+    cache_instance: Optional[OperatorCache] = None
+    if isinstance(cache, OperatorCache):
+        cache_instance = cache
+        cache = str(cache.directory)
+    # These knobs had None for their legacy default, so an explicit None
+    # means "default", not an override.  (top_k=None stays explicit: it
+    # is the documented "no pruning" request — same value as the config
+    # default here, but the warning should still fire.)
+    executor = UNSET if executor is None else executor
+    num_workers = UNSET if num_workers is None else num_workers
+    cache = UNSET if cache is None else cache
+    cache_max_bytes = UNSET if cache_max_bytes is None else cache_max_bytes
+    config = merge_deprecated_kwargs(config, {
+        "method": ("method", method),
+        "decay": ("decay", decay),
+        "epsilon": ("epsilon", epsilon),
+        "top_k": ("top_k", top_k),
+        "row_normalize": ("row_normalize", row_normalize),
+        "exact_size_limit": ("exact_size_limit", exact_size_limit),
+        "backend": ("backend", backend),
+        "executor": ("executor", executor),
+        "num_workers": ("workers", num_workers),
+        "cache": ("cache_dir", cache),
+        "cache_max_bytes": ("cache_max_bytes", cache_max_bytes),
+    }, api_hint="config=SimRankConfig(...)")
+    return _simrank_operator(graph, config, cache_instance)
 
-    resolved = method
-    if method == "auto":
-        resolved = "series" if graph.num_nodes <= exact_size_limit else "localpush"
-    resolved_backend: Optional[str] = None
-    if resolved == "localpush":
-        resolved_backend, _ = resolve_execution(backend, executor,
-                                                graph.num_nodes)
-    cache_epsilon = None if resolved == "exact" else epsilon
 
-    cache_store = _resolve_cache(cache, cache_max_bytes)
+def _simrank_operator(graph: Graph, config: SimRankConfig,
+                      cache_instance: Optional[OperatorCache] = None
+                      ) -> SimRankOperator:
+    """Config-driven core of :func:`simrank_operator`."""
+    resolved = config.resolved_method(graph.num_nodes)
+    key_fields = config.cache_key_fields(graph.num_nodes)
+
+    cache_store = cache_instance
+    if cache_store is not None:
+        if config.cache_max_bytes is not None:
+            cache_store.max_bytes = config.cache_max_bytes
+    elif config.cache_dir is not None:
+        cache_store = get_operator_cache(config.cache_dir,
+                                         max_bytes=config.cache_max_bytes)
+
     key: Optional[str] = None
     fingerprint: Optional[str] = None
     timer = Timer()
     timer.start()
     if cache_store is not None:
         fingerprint = graph_fingerprint(graph)
-        key = cache_store.key_for(
-            graph, method=resolved, decay=decay, epsilon=cache_epsilon,
-            top_k=top_k, row_normalize=row_normalize, backend=resolved_backend)
-        cached = cache_store.lookup(
-            graph, method=resolved, decay=decay, epsilon=cache_epsilon,
-            top_k=top_k, row_normalize=row_normalize,
-            backend=resolved_backend, fingerprint=fingerprint)
+        key = cache_store.key_for_fields(graph, key_fields)
+        cached = cache_store.lookup(graph, fingerprint=fingerprint,
+                                    **key_fields)
         if cached is not None:
             cached.precompute_seconds = timer.stop()
             return cached
 
     localpush_backend: Optional[str] = None
     if resolved == "exact":
-        dense = exact_simrank(graph, decay=decay)
+        dense = exact_simrank(graph, decay=config.decay)
         matrix = sp.csr_matrix(dense)
     elif resolved == "series":
-        dense = linearized_simrank(graph, decay=decay, tolerance=epsilon / 10.0)
-        dense[dense < epsilon / 10.0] = 0.0
+        dense = linearized_simrank(graph, decay=config.decay,
+                                   tolerance=config.epsilon / 10.0)
+        dense[dense < config.epsilon / 10.0] = 0.0
         matrix = sp.csr_matrix(dense)
     else:
         # For the aggregation operator we keep sub-threshold residual mass
         # (a strict accuracy improvement) and let top-k do the pruning; the
         # unified core additionally streams the top-k prune into the push
         # loop (stream_top_k) so the full estimate never materialises.
-        result = localpush_simrank(graph, decay=decay, epsilon=epsilon,
-                                   prune=top_k is None,
+        result = localpush_simrank(graph, decay=config.decay,
+                                   epsilon=config.epsilon,
+                                   prune=config.top_k is None,
                                    absorb_residual=True,
-                                   backend=backend,
-                                   executor=executor,
-                                   num_workers=num_workers,
-                                   stream_top_k=top_k)
+                                   backend=config.backend,
+                                   executor=config.executor,
+                                   num_workers=config.workers,
+                                   stream_top_k=config.top_k)
         matrix = result.matrix
         localpush_backend = result.backend
 
-    if top_k is not None:
-        matrix = topk_simrank(matrix, top_k)
-    if row_normalize:
+    if config.top_k is not None:
+        matrix = topk_simrank(matrix, config.top_k)
+    if config.row_normalize:
         matrix = sparse_row_normalize(matrix)
     matrix.sort_indices()
 
     operator = SimRankOperator(
         matrix=matrix,
         method=resolved,
-        decay=decay,
-        epsilon=cache_epsilon,
-        top_k=top_k,
+        decay=config.decay,
+        epsilon=key_fields["epsilon"],
+        top_k=config.top_k,
         precompute_seconds=timer.stop(),
         backend=localpush_backend,
-        row_normalize=row_normalize,
+        row_normalize=config.row_normalize,
     )
     if cache_store is not None and key is not None:
         cache_store.store(key, operator, fingerprint=fingerprint)

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Dict, Mapping
 
 from repro.errors import TrainingError
 
@@ -43,6 +43,22 @@ class TrainConfig:
     def with_overrides(self, **changes: object) -> "TrainConfig":
         """A copy of the config with the given fields replaced."""
         return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-serialisable); inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "TrainConfig":
+        """Reconstruct a validated config from :meth:`to_dict` output."""
+        if not isinstance(data, Mapping):
+            raise TrainingError(
+                f"TrainConfig.from_dict expects a mapping, got {type(data).__name__}")
+        unknown = set(data) - {f.name for f in fields(cls)}
+        if unknown:
+            raise TrainingError(
+                f"unknown TrainConfig field(s): {', '.join(sorted(unknown))}")
+        return cls(**dict(data))
 
 
 # Reasonable defaults for quick experiments / tests on the synthetic graphs.

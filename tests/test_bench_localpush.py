@@ -14,6 +14,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.config import SimRankConfig
+
 _BENCH_PATH = (Path(__file__).resolve().parent.parent / "benchmarks"
                / "bench_localpush.py")
 _spec = importlib.util.spec_from_file_location("bench_localpush", _BENCH_PATH)
@@ -35,6 +37,8 @@ def _valid_record() -> dict:
         "seed": 0,
         "cpu_count": 4,
         "num_workers": 4,
+        "config": SimRankConfig(method="localpush", epsilon=0.1, decay=0.6,
+                                workers=4).to_dict(),
         "backends": {"dict": {"seconds": 5.0, "num_pushes": 90, "nnz": 900},
                      "core": {"seconds": 0.5, "num_pushes": 100, "nnz": 1000,
                               "speedup_vs_dict": 10.0,
@@ -96,6 +100,24 @@ class TestRecordSchema:
         del record["backends"]["dict"]
         with pytest.raises(bench.RecordSchemaError, match="dict"):
             bench.validate_record(record)
+
+    def test_config_must_round_trip_as_simrank_config(self):
+        record = _valid_record()
+        record["config"]["num_workers"] = 4  # not a SimRankConfig field
+        with pytest.raises(bench.RecordSchemaError, match="config"):
+            bench.validate_record(record)
+        record = _valid_record()
+        record["config"]["epsilon"] = -1.0  # fails validation
+        with pytest.raises(bench.RecordSchemaError, match="config"):
+            bench.validate_record(record)
+
+    def test_config_records_the_resolved_run_parameters(self):
+        record = _valid_record()
+        config = SimRankConfig.from_dict(record["config"])
+        assert config.method == "localpush"
+        assert config.epsilon == record["epsilon"]
+        assert config.decay == record["decay"]
+        assert config.workers == record["num_workers"]
 
     def test_validation_does_not_mutate(self):
         record = _valid_record()

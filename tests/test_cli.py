@@ -1,10 +1,12 @@
-"""Tests for the training CLI."""
+"""Tests for the training CLI (a thin shell over RunSpec + repro.api)."""
 
 import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, build_runspec, main
+from repro.config import RunSpec, SimRankConfig
+from repro.training.config import TrainConfig
 
 
 class TestParser:
@@ -12,6 +14,15 @@ class TestParser:
         args = build_parser().parse_args([])
         assert args.model == "sigma"
         assert args.dataset == "texas"
+
+    def test_training_defaults_sourced_from_trainconfig(self):
+        """The numbers live once, on TrainConfig — the parser inherits."""
+        args = build_parser().parse_args([])
+        reference = TrainConfig()
+        assert args.lr == reference.learning_rate
+        assert args.weight_decay == reference.weight_decay
+        assert args.epochs == reference.max_epochs
+        assert args.patience == reference.patience
 
     def test_rejects_unknown_model(self):
         with pytest.raises(SystemExit):
@@ -23,6 +34,40 @@ class TestParser:
         assert args.model == "glognn"
         assert args.delta == 0.3
         assert args.top_k == 16
+
+
+class TestBuildRunSpec:
+    def test_sigma_flags_fold_into_one_config(self, tmp_path):
+        args = build_parser().parse_args([
+            "--model", "sigma", "--dataset", "chameleon", "--repeats", "2",
+            "--epsilon", "0.05", "--top-k", "16",
+            "--simrank-executor", "thread",
+            "--simrank-cache-dir", str(tmp_path)])
+        spec = build_runspec(args)
+        assert isinstance(spec, RunSpec)
+        assert spec.model == "sigma" and spec.dataset == "chameleon"
+        assert spec.repeats == 2
+        assert spec.simrank == SimRankConfig(
+            epsilon=0.05, top_k=16, executor="thread",
+            cache_dir=str(tmp_path))
+        assert "top_k" not in spec.overrides
+
+    def test_sigma_defaults_are_the_paper_settings(self):
+        spec = build_runspec(build_parser().parse_args([]))
+        assert spec.simrank.top_k == 32 and spec.simrank.epsilon == 0.1
+
+    def test_baseline_keeps_top_k_as_model_override(self):
+        args = build_parser().parse_args(
+            ["--model", "pprgo", "--top-k", "16", "--hidden", "32"])
+        spec = build_runspec(args)
+        assert spec.simrank is None
+        assert spec.overrides == {"hidden": 32, "top_k": 16}
+
+    def test_train_config_carries_cli_values(self):
+        args = build_parser().parse_args(["--lr", "0.1", "--patience", "7"])
+        spec = build_runspec(args)
+        assert spec.train.learning_rate == 0.1
+        assert spec.train.patience == 7
 
 
 class TestMain:

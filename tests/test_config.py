@@ -1,0 +1,420 @@
+"""Suite for the config layer (`repro.config`).
+
+Covers the acceptance criteria of the config-object API redesign:
+
+* ``SimRankConfig`` / ``RunSpec`` round-trip through ``to_dict`` /
+  ``from_dict`` and reject unknown fields and invalid values.
+* ``SimRankConfig.from_cli_args`` is in parity with the CLI flags: every
+  mapped flag exists on the parser and lands in the right field.
+* **Old-kwargs ↔ config equivalence**: the deprecated keyword paths on
+  ``simrank_operator`` and the SIGMA models build identical operators
+  *and identical on-disk cache keys* (warm caches from the pre-config
+  era keep hitting), with a ``DeprecationWarning`` raised exactly once
+  per deprecated keyword.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    CACHE_KEY_FIELDS,
+    SIGMA_DEFAULT_SIMRANK,
+    RunSpec,
+    SimRankConfig,
+)
+from repro.errors import ConfigError, TrainingError
+from repro.simrank.cache import get_operator_cache
+from repro.simrank.topk import simrank_operator
+from repro.training.config import TrainConfig
+
+
+def _deprecation_messages(records):
+    return [str(record.message) for record in records
+            if issubclass(record.category, DeprecationWarning)]
+
+
+class TestSimRankConfigValidation:
+    def test_defaults_are_valid(self):
+        config = SimRankConfig()
+        assert config.method == "auto"
+        assert config.epsilon == 0.1
+        assert config.top_k is None
+
+    @pytest.mark.parametrize("bad", [
+        {"method": "magic"},
+        {"decay": 0.0},
+        {"decay": 1.0},
+        {"epsilon": 0.0},
+        {"epsilon": -0.1},
+        {"top_k": 0},
+        {"top_k": -4},
+        {"top_k": True},
+        {"exact_size_limit": -1},
+        {"backend": "gpu"},
+        {"executor": "fiber"},
+        {"workers": 0},
+        {"cache_max_bytes": 0},
+        {"cache_max_bytes": -5},
+        {"epsilon": "abc"},
+        {"decay": None},
+        {"top_k": "many"},
+        {"cache_dir": 42},
+    ])
+    def test_invalid_fields_raise(self, bad):
+        with pytest.raises(ConfigError):
+            SimRankConfig(**bad)
+
+    def test_config_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            SimRankConfig(cache_max_bytes=-1)
+
+    def test_coercion(self, tmp_path):
+        config = SimRankConfig(decay="0.5", epsilon="0.2", top_k=8.0,
+                               workers=2.0, cache_dir=tmp_path)
+        assert config.decay == 0.5 and isinstance(config.decay, float)
+        assert config.top_k == 8 and isinstance(config.top_k, int)
+        assert config.workers == 2 and isinstance(config.workers, int)
+        assert config.cache_dir == str(tmp_path)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SimRankConfig().epsilon = 0.5
+
+
+class TestSimRankConfigCopies:
+    def test_with_overrides_returns_validated_copy(self):
+        base = SimRankConfig()
+        tight = base.with_overrides(epsilon=0.01, top_k=16)
+        assert tight.epsilon == 0.01 and tight.top_k == 16
+        assert base.epsilon == 0.1 and base.top_k is None
+
+    def test_with_overrides_rejects_unknown_fields(self):
+        with pytest.raises(ConfigError, match="num_workers"):
+            SimRankConfig().with_overrides(num_workers=4)
+
+    def test_with_overrides_revalidates(self):
+        with pytest.raises(ConfigError):
+            SimRankConfig().with_overrides(epsilon=-1.0)
+
+
+class TestSimRankConfigSerialisation:
+    def test_round_trip(self, tmp_path):
+        config = SimRankConfig(method="localpush", decay=0.7, epsilon=0.05,
+                               top_k=16, row_normalize=True, backend="sharded",
+                               executor="process", workers=3,
+                               cache_dir=str(tmp_path), cache_max_bytes=1 << 20)
+        assert SimRankConfig.from_dict(config.to_dict()) == config
+
+    def test_to_dict_is_json_serialisable(self):
+        import json
+
+        json.dumps(SimRankConfig().to_dict())
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigError, match="num_workers"):
+            SimRankConfig.from_dict({"num_workers": 4})
+
+    def test_from_dict_validates(self):
+        with pytest.raises(ConfigError):
+            SimRankConfig.from_dict({"epsilon": -1.0})
+
+
+class TestCacheKeyFields:
+    def test_field_set_is_canonical(self):
+        fields = SimRankConfig().cache_key_fields(num_nodes=500)
+        assert tuple(fields) == CACHE_KEY_FIELDS
+
+    def test_auto_resolves_by_size(self):
+        config = SimRankConfig(exact_size_limit=100)
+        assert config.cache_key_fields(50)["method"] == "series"
+        assert config.cache_key_fields(101)["method"] == "localpush"
+
+    def test_exact_method_drops_epsilon(self):
+        fields = SimRankConfig(method="exact").cache_key_fields(50)
+        assert fields["epsilon"] is None
+        assert fields["backend"] is None
+
+    def test_backend_label_resolved_for_localpush(self):
+        config = SimRankConfig(method="localpush", backend="auto")
+        assert config.cache_key_fields(100)["backend"] == "dict"
+        assert config.cache_key_fields(1000)["backend"] == "vectorized"
+        assert config.cache_key_fields(5000)["backend"] == "sharded"
+
+    def test_executor_and_workers_never_enter_the_key(self):
+        plain = SimRankConfig(method="localpush", backend="vectorized")
+        pooled = plain.with_overrides(executor="process", workers=8)
+        assert plain.cache_key_fields(1000) == pooled.cache_key_fields(1000)
+
+
+class TestFromCliArgs:
+    def test_every_mapped_flag_exists_on_the_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([])
+        for attr in SimRankConfig.CLI_FLAG_FIELDS:
+            assert hasattr(args, attr), f"parser is missing --{attr}"
+
+    def test_flag_parity(self, tmp_path):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "--simrank-method", "localpush", "--decay", "0.7",
+            "--epsilon", "0.05", "--top-k", "16",
+            "--simrank-backend", "sharded", "--simrank-executor", "thread",
+            "--simrank-workers", "3", "--simrank-cache-dir", str(tmp_path),
+            "--simrank-cache-max-bytes", "4096",
+        ])
+        config = SimRankConfig.from_cli_args(args)
+        assert config == SimRankConfig(
+            method="localpush", decay=0.7, epsilon=0.05, top_k=16,
+            backend="sharded", executor="thread", workers=3,
+            cache_dir=str(tmp_path), cache_max_bytes=4096)
+
+    def test_unset_flags_inherit_from_base(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["--epsilon", "0.05"])
+        config = SimRankConfig.from_cli_args(args, base=SIGMA_DEFAULT_SIMRANK)
+        assert config.epsilon == 0.05
+        assert config.top_k == SIGMA_DEFAULT_SIMRANK.top_k == 32
+
+
+class TestTrainConfigSerialisation:
+    def test_round_trip(self):
+        config = TrainConfig(learning_rate=0.02, weight_decay=1e-3,
+                             patience=7, max_epochs=50)
+        assert TrainConfig.from_dict(config.to_dict()) == config
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TrainingError, match="momentum_decay"):
+            TrainConfig.from_dict({"momentum_decay": 0.9})
+
+
+class TestRunSpec:
+    def test_defaults(self):
+        spec = RunSpec()
+        assert spec.model == "sigma" and spec.dataset == "texas"
+        assert spec.train == TrainConfig()
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigError, match="transformer"):
+            RunSpec(model="transformer")
+
+    def test_model_name_normalised(self):
+        assert RunSpec(model="SIGMA").model == "sigma"
+
+    def test_simrank_only_for_sigma_models(self):
+        with pytest.raises(ConfigError, match="glognn"):
+            RunSpec(model="glognn", simrank=SimRankConfig())
+        RunSpec(model="sigma_iterative", simrank=SimRankConfig())  # fine
+
+    @pytest.mark.parametrize("bad", [
+        {"repeats": 0},
+        {"scale_factor": 0.0},
+        {"overrides": "hidden=16"},
+        {"simrank": "localpush"},
+    ])
+    def test_invalid_fields_raise(self, bad):
+        with pytest.raises(ConfigError):
+            RunSpec(**bad)
+
+    def test_round_trip_with_nested_configs(self):
+        spec = RunSpec(model="sigma", dataset="chameleon",
+                       overrides={"hidden": 16},
+                       train=TrainConfig(max_epochs=20, patience=5),
+                       simrank=SimRankConfig(epsilon=0.05, top_k=8),
+                       seed=7, repeats=2, scale_factor=0.5)
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_is_json_serialisable(self):
+        import json
+
+        json.dumps(RunSpec(simrank=SimRankConfig(top_k=8)).to_dict())
+
+    def test_simrank_inside_overrides_round_trips(self):
+        """__post_init__ permits the config inside overrides; that shape
+        must serialise and reconstruct too."""
+        import json
+
+        spec = RunSpec(model="sigma",
+                       overrides={"hidden": 16,
+                                  "simrank": SimRankConfig(top_k=8)})
+        payload = spec.to_dict()
+        json.dumps(payload)
+        rebuilt = RunSpec.from_dict(payload)
+        assert rebuilt.overrides["simrank"] == SimRankConfig(top_k=8)
+        assert rebuilt == spec
+
+    def test_with_overrides(self):
+        spec = RunSpec().with_overrides(dataset="cornell", repeats=3)
+        assert spec.dataset == "cornell" and spec.repeats == 3
+        with pytest.raises(ConfigError):
+            RunSpec().with_overrides(epochs=10)
+
+
+# ---------------------------------------------------------------------- #
+# Old-kwargs ↔ config equivalence (the redesign's acceptance criterion)
+# ---------------------------------------------------------------------- #
+class TestOperatorKwargEquivalence:
+    CONFIG = SimRankConfig(method="localpush", epsilon=0.1, top_k=8,
+                           backend="vectorized")
+    LEGACY = dict(method="localpush", epsilon=0.1, top_k=8,
+                  backend="vectorized")
+
+    def test_identical_operator(self, small_heterophilous_graph):
+        via_config = simrank_operator(small_heterophilous_graph, self.CONFIG)
+        with pytest.warns(DeprecationWarning):
+            via_kwargs = simrank_operator(small_heterophilous_graph,
+                                          **self.LEGACY)
+        assert via_config.method == via_kwargs.method
+        assert via_config.backend == via_kwargs.backend
+        assert np.array_equal(via_config.matrix.indptr, via_kwargs.matrix.indptr)
+        assert np.array_equal(via_config.matrix.indices, via_kwargs.matrix.indices)
+        assert np.array_equal(via_config.matrix.data, via_kwargs.matrix.data)
+
+    def test_warning_raised_exactly_once_per_kwarg(self, small_heterophilous_graph):
+        with warnings.catch_warnings(record=True) as records:
+            warnings.simplefilter("always")
+            simrank_operator(small_heterophilous_graph, **self.LEGACY)
+        messages = _deprecation_messages(records)
+        assert len(messages) == len(self.LEGACY)
+        for name in self.LEGACY:
+            matching = [m for m in messages if f"'{name}='" in m]
+            assert len(matching) == 1, f"expected one warning for {name}"
+
+    def test_identical_cache_key_warm_hit(self, small_heterophilous_graph,
+                                          tmp_path):
+        """A cache written by the deprecated path is served to the config
+        path as an *exact* hit (same key on disk), and vice versa."""
+        cache = get_operator_cache(tmp_path / "operators")
+        with pytest.warns(DeprecationWarning):
+            cold = simrank_operator(small_heterophilous_graph,
+                                    cache=str(cache.directory), **self.LEGACY)
+        assert not cold.cache_hit and cache.stores == 1
+
+        warm = simrank_operator(
+            small_heterophilous_graph,
+            self.CONFIG.with_overrides(cache_dir=str(cache.directory)))
+        assert warm.cache_hit
+        assert cache.exact_hits == 1 and cache.reuse_hits == 0
+
+    def test_key_for_matches_cache_key_fields(self, small_heterophilous_graph,
+                                              tmp_path):
+        """The legacy keyword key derivation and the config derivation
+        hash to the same on-disk key."""
+        cache = get_operator_cache(tmp_path / "keys")
+        n = small_heterophilous_graph.num_nodes
+        legacy_key = cache.key_for(
+            small_heterophilous_graph, method="localpush", decay=0.6,
+            epsilon=0.1, top_k=8, row_normalize=False, backend="vectorized")
+        config_key = cache.key_for_fields(
+            small_heterophilous_graph, self.CONFIG.cache_key_fields(n))
+        assert legacy_key == config_key
+
+    def test_mixing_config_and_kwargs_is_an_error(self, small_heterophilous_graph):
+        """The mixing rejection surfaces as ConfigError — and *before* any
+        deprecation warning, so a warnings-as-errors filter cannot mask it."""
+        with warnings.catch_warnings(record=True) as records:
+            warnings.simplefilter("always")
+            with pytest.raises(ConfigError, match="deprecated"):
+                simrank_operator(small_heterophilous_graph, self.CONFIG,
+                                 epsilon=0.2)
+        assert not _deprecation_messages(records)
+
+
+class TestModelKwargEquivalence:
+    def test_sigma_identical_operator_and_warning_counts(
+            self, small_heterophilous_graph):
+        from repro.models.sigma import SIGMA
+
+        config = SimRankConfig(method="localpush", epsilon=0.1, top_k=8)
+        via_config = SIGMA(small_heterophilous_graph, hidden=8,
+                           simrank=config, rng=0)
+        with warnings.catch_warnings(record=True) as records:
+            warnings.simplefilter("always")
+            via_kwargs = SIGMA(small_heterophilous_graph, hidden=8,
+                               simrank_method="localpush", epsilon=0.1,
+                               top_k=8, rng=0)
+        messages = _deprecation_messages(records)
+        assert len(messages) == 3  # one per deprecated keyword
+        assert via_config.simrank_config == via_kwargs.simrank_config
+        assert np.array_equal(via_config.simrank.matrix.toarray(),
+                              via_kwargs.simrank.matrix.toarray())
+
+    def test_sigma_iterative_shim(self, small_heterophilous_graph):
+        from repro.models.sigma_iterative import SIGMAIterative
+
+        config = SimRankConfig(method="localpush", epsilon=0.1, top_k=8)
+        via_config = SIGMAIterative(small_heterophilous_graph, hidden=8,
+                                    num_layers=1, simrank=config, rng=0)
+        with pytest.warns(DeprecationWarning):
+            via_kwargs = SIGMAIterative(small_heterophilous_graph, hidden=8,
+                                        num_layers=1,
+                                        simrank_method="localpush",
+                                        epsilon=0.1, top_k=8, rng=0)
+        assert via_config.simrank_config == via_kwargs.simrank_config
+        assert np.array_equal(via_config.simrank.matrix.toarray(),
+                              via_kwargs.simrank.matrix.toarray())
+
+    def test_sigma_mixing_config_and_kwargs_is_an_error(
+            self, small_heterophilous_graph):
+        from repro.models.sigma import SIGMA
+
+        with pytest.raises(ConfigError, match="deprecated"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                SIGMA(small_heterophilous_graph, hidden=8,
+                      simrank=SimRankConfig(top_k=8), top_k=16, rng=0)
+
+    def test_sigma_default_config_matches_paper_settings(
+            self, small_heterophilous_graph):
+        from repro.models.sigma import SIGMA
+
+        model = SIGMA(small_heterophilous_graph, hidden=8, rng=0)
+        assert model.simrank_config == SIGMA_DEFAULT_SIMRANK
+        assert model.simrank_config.top_k == 32
+        assert model.simrank_config.epsilon == 0.1
+
+    def test_explicit_top_k_none_still_means_no_pruning(
+            self, small_heterophilous_graph):
+        """Legacy ``SIGMA(top_k=None)`` disabled pruning (default was 32);
+        the shim must preserve that, not swallow the None."""
+        from repro.models.sigma import SIGMA
+
+        with pytest.warns(DeprecationWarning):
+            model = SIGMA(small_heterophilous_graph, hidden=8, top_k=None,
+                          rng=0)
+        assert model.simrank_config.top_k is None
+        assert model.simrank.top_k is None
+
+    def test_explicit_none_pool_knobs_do_not_warn(
+            self, small_heterophilous_graph):
+        """The pool/cache knobs had None for their legacy default, so an
+        explicit None is 'default', not a deprecated override."""
+        from repro.models.sigma import SIGMA
+
+        with warnings.catch_warnings(record=True) as records:
+            warnings.simplefilter("always")
+            model = SIGMA(small_heterophilous_graph, hidden=8,
+                          simrank_executor=None, simrank_workers=None,
+                          simrank_cache_dir=None, rng=0)
+        assert not _deprecation_messages(records)
+        assert model.simrank_config == SIGMA_DEFAULT_SIMRANK
+
+
+class TestErrorCompatibility:
+    def test_config_error_is_a_simrank_error(self, tiny_graph):
+        """Pre-config callers wrapped simrank_operator in
+        ``except SimRankError``; config validation must stay catchable."""
+        from repro.errors import SimRankError
+
+        with pytest.raises(SimRankError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                simrank_operator(tiny_graph, method="magic")
+        with pytest.raises(SimRankError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                simrank_operator(tiny_graph, top_k=0)

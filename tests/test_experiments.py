@@ -7,6 +7,7 @@ to be wired correctly.
 
 import pytest
 
+from repro.config import SimRankConfig
 from repro.errors import ExperimentError
 from repro.experiments import common
 from repro.experiments import (
@@ -46,9 +47,10 @@ class TestCommonUtilities:
     def test_tune_hyperparameters_returns_grid_entry(self, small_dataset):
         chosen = common.tune_hyperparameters(
             "sigma", small_dataset, grid=[{"delta": 0.3}, {"delta": 0.7}],
-            config=SMOKE_CONFIG, base_overrides={"top_k": 8, "hidden": 16})
+            config=SMOKE_CONFIG, base_overrides={"simrank": SimRankConfig(top_k=8),
+                            "hidden": 16})
         assert chosen["delta"] in (0.3, 0.7)
-        assert chosen["top_k"] == 8
+        assert chosen["simrank"].top_k == 8
 
     def test_tune_single_candidate_short_circuits(self, small_dataset):
         chosen = common.tune_hyperparameters("linkx", small_dataset)

@@ -10,6 +10,7 @@ same-class nodes).
 import numpy as np
 import pytest
 
+from repro.config import SimRankConfig
 from repro import (
     TrainConfig,
     Trainer,
@@ -58,8 +59,9 @@ class TestEndToEnd:
         dataset = load_dataset("genius", seed=0, scale_factor=0.3, cache=False)
         push = localpush_simrank(dataset.graph, epsilon=0.1, absorb_residual=True)
         assert push.matrix.nnz > dataset.graph.num_nodes  # informative off-diagonals
-        model = create_model("sigma", dataset.graph, rng=0, top_k=16,
-                             simrank_method="localpush")
+        model = create_model("sigma", dataset.graph, rng=0,
+                             simrank=SimRankConfig(method="localpush",
+                                                   top_k=16))
         result = Trainer(model, CONFIG).fit(dataset.split(0))
         assert result.test_accuracy > 0.5  # two balanced classes: above chance
 

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.config import SimRankConfig
 from repro.models.registry import create_model, default_hyperparameters, list_models
 from repro.nn.losses import softmax_cross_entropy
 
@@ -23,8 +24,8 @@ FAST_OVERRIDES = {
     "linkx": {"hidden": 16},
     "glognn": {"hidden": 16, "k_hops": 2, "norm_layers": 1},
     "pprgo": {"hidden": 16, "top_k": 8},
-    "sigma": {"hidden": 16, "top_k": 8},
-    "sigma_iterative": {"hidden": 16, "top_k": 8},
+    "sigma": {"hidden": 16, "simrank": SimRankConfig(top_k=8)},
+    "sigma_iterative": {"hidden": 16, "simrank": SimRankConfig(top_k=8)},
 }
 
 

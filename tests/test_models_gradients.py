@@ -9,6 +9,7 @@ the full cross-entropy loss on a tiny graph.
 import numpy as np
 import pytest
 
+from repro.config import SimRankConfig
 from repro.models.acmgcn import ACMGCN
 from repro.models.gat import GAT
 from repro.models.gcnii import GCNII
@@ -69,7 +70,7 @@ class TestModelGradients:
         check_model_gradients(model, labels)
 
     def test_sigma(self, tiny_graph, labels):
-        model = SIGMA(tiny_graph, hidden=4, top_k=4, dropout=0.0, rng=0,
+        model = SIGMA(tiny_graph, hidden=4, simrank=SimRankConfig(top_k=4), dropout=0.0, rng=0,
                       learn_alpha=True)
         check_model_gradients(model, labels)
 

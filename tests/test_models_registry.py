@@ -1,10 +1,18 @@
 """Tests for the model registry."""
 
+import inspect
+
 import pytest
 
+from repro.config import SimRankConfig
 from repro.errors import ModelError
 from repro.models import SIGMA, GCN
-from repro.models.registry import create_model, default_hyperparameters, list_models
+from repro.models.registry import (
+    _REGISTRY,
+    create_model,
+    default_hyperparameters,
+    list_models,
+)
 
 
 class TestRegistry:
@@ -14,7 +22,8 @@ class TestRegistry:
         assert "glognn" in list_models()
 
     def test_create_model_returns_correct_class(self, small_heterophilous_graph):
-        model = create_model("sigma", small_heterophilous_graph, rng=0, top_k=8)
+        model = create_model("sigma", small_heterophilous_graph, rng=0,
+                             simrank=SimRankConfig(top_k=8))
         assert isinstance(model, SIGMA)
         model = create_model("GCN", small_heterophilous_graph, rng=0)
         assert isinstance(model, GCN)
@@ -28,16 +37,47 @@ class TestRegistry:
             default_hyperparameters("transformer")
 
     def test_defaults_are_copies(self):
-        first = default_hyperparameters("sigma")
+        first = default_hyperparameters("mixhop")
         first["hidden"] = 9999
-        second = default_hyperparameters("sigma")
+        second = default_hyperparameters("mixhop")
         assert second["hidden"] != 9999
 
     def test_overrides_replace_defaults(self, small_heterophilous_graph):
         model = create_model("sigma", small_heterophilous_graph, rng=0,
-                             hidden=24, top_k=8)
+                             hidden=24, simrank=SimRankConfig(top_k=8))
         assert model.hidden == 24
 
     def test_every_registered_model_has_defaults(self):
         for name in list_models():
             assert isinstance(default_hyperparameters(name), dict)
+
+
+class TestNoDuplicateDefaults:
+    """Registry entries hold paper-table *overrides only*: a key whose
+    value equals the model ``__init__`` default would be a silently
+    diverging duplicate the moment either side changes."""
+
+    @pytest.mark.parametrize("name", sorted(_REGISTRY))
+    def test_registry_entries_are_genuine_overrides(self, name):
+        signature = inspect.signature(_REGISTRY[name].__init__)
+        for key, value in default_hyperparameters(name).items():
+            assert key in signature.parameters, (
+                f"{name}: registry key {key!r} is not an __init__ parameter")
+            default = signature.parameters[key].default
+            assert default is inspect.Parameter.empty or default != value, (
+                f"{name}: registry key {key!r} duplicates the __init__ "
+                f"default {default!r} — delete it from _DEFAULTS")
+
+    def test_sigma_models_carry_no_operator_kwargs(self):
+        """The SIGMA operator settings live in SIGMA_DEFAULT_SIMRANK, not
+        as loose registry kwargs that would re-enter the six-layer relay."""
+        for name in ("sigma", "sigma_iterative"):
+            assert not any(key.startswith("simrank") or key in ("epsilon", "top_k")
+                           for key in default_hyperparameters(name))
+
+    def test_registry_defaults_match_direct_construction(
+            self, small_heterophilous_graph):
+        via_registry = create_model("sigma", small_heterophilous_graph, rng=0)
+        direct = SIGMA(small_heterophilous_graph, rng=0)
+        assert via_registry.simrank_config == direct.simrank_config
+        assert via_registry.hidden == direct.hidden

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.config import SimRankConfig
 from repro.errors import ModelError
 from repro.models.sigma import SIGMA
 from repro.models.sigma_iterative import SIGMAIterative
@@ -17,14 +18,14 @@ def graph(small_heterophilous_graph):
 
 class TestSIGMAConstruction:
     def test_precompute_time_recorded(self, graph):
-        model = SIGMA(graph, hidden=16, top_k=8, rng=0)
+        model = SIGMA(graph, hidden=16, simrank=SimRankConfig(top_k=8), rng=0)
         assert model.timing.precompute > 0.0
         assert model.simrank is not None
         assert model.simrank.top_k == 8
 
     def test_equation_six_update(self, graph):
         """The forward pass implements Z = (1-α)·S·H + α·H before the head."""
-        model = SIGMA(graph, hidden=16, top_k=8, rng=0, learn_alpha=False, alpha=0.3,
+        model = SIGMA(graph, hidden=16, simrank=SimRankConfig(top_k=8), rng=0, learn_alpha=False, alpha=0.3,
                       dropout=0.0)
         model.eval()
         logits = model.forward()
@@ -34,12 +35,12 @@ class TestSIGMAConstruction:
         np.testing.assert_allclose(logits, model.head(manual))
 
     def test_alpha_fixed_when_not_learnable(self, graph):
-        model = SIGMA(graph, hidden=16, top_k=8, rng=0, learn_alpha=False, alpha=0.25)
+        model = SIGMA(graph, hidden=16, simrank=SimRankConfig(top_k=8), rng=0, learn_alpha=False, alpha=0.25)
         assert model.alpha == pytest.approx(0.25)
         assert all(p is not model._alpha_param for p in model.parameters())
 
     def test_alpha_learnable_changes_with_training(self, graph):
-        model = SIGMA(graph, hidden=16, top_k=8, rng=0, learn_alpha=True, dropout=0.0)
+        model = SIGMA(graph, hidden=16, simrank=SimRankConfig(top_k=8), rng=0, learn_alpha=True, dropout=0.0)
         initial_alpha = model.alpha
         optimizer = Adam(model.parameters(), lr=0.05)
         for _ in range(30):
@@ -72,27 +73,27 @@ class TestSIGMAAblations:
         assert logits.shape == (graph.num_nodes, graph.num_classes)
 
     def test_without_features_uses_delta_zero(self, graph):
-        model = SIGMA(graph, hidden=16, top_k=8, use_features=False, rng=0)
+        model = SIGMA(graph, hidden=16, simrank=SimRankConfig(top_k=8), use_features=False, rng=0)
         assert model.effective_delta == 0.0
         assert model.mlp_features is None
 
     def test_without_adjacency_uses_delta_one(self, graph):
-        model = SIGMA(graph, hidden=16, top_k=8, use_adjacency=False, rng=0)
+        model = SIGMA(graph, hidden=16, simrank=SimRankConfig(top_k=8), use_adjacency=False, rng=0)
         assert model.effective_delta == 1.0
         assert model.mlp_adjacency is None
 
     def test_simrank_adj_operator_differs_and_is_normalized(self, graph):
         """The S·A ablation produces a different, row-normalised operator."""
-        local = SIGMA(graph, hidden=16, top_k=None, operator_mode="simrank_adj", rng=0)
-        global_ = SIGMA(graph, hidden=16, top_k=None, operator_mode="simrank", rng=0)
+        local = SIGMA(graph, hidden=16, simrank=SimRankConfig(top_k=None), operator_mode="simrank_adj", rng=0)
+        global_ = SIGMA(graph, hidden=16, simrank=SimRankConfig(top_k=None), operator_mode="simrank", rng=0)
         local_op = local.propagation.operator
         sums = np.asarray(local_op.sum(axis=1)).ravel()
         np.testing.assert_allclose(sums[sums > 0], 1.0)
         assert (local_op != global_.propagation.operator).nnz > 0
 
     def test_ablations_give_different_predictions(self, graph):
-        full = SIGMA(graph, hidden=16, top_k=8, rng=0, dropout=0.0)
-        no_simrank = SIGMA(graph, hidden=16, top_k=8, rng=0, use_simrank=False,
+        full = SIGMA(graph, hidden=16, simrank=SimRankConfig(top_k=8), rng=0, dropout=0.0)
+        no_simrank = SIGMA(graph, hidden=16, simrank=SimRankConfig(top_k=8), rng=0, use_simrank=False,
                            dropout=0.0)
         full.eval()
         no_simrank.eval()
@@ -101,13 +102,13 @@ class TestSIGMAAblations:
 
 class TestSIGMAEmbeddings:
     def test_embeddings_shape(self, graph):
-        model = SIGMA(graph, hidden=16, top_k=8, rng=0)
+        model = SIGMA(graph, hidden=16, simrank=SimRankConfig(top_k=8), rng=0)
         embeddings = model.embeddings()
         assert embeddings.shape == (graph.num_nodes, 16)
 
     def test_grouping_tendency_after_training(self, graph):
         """After training, same-class embeddings are more similar on average."""
-        model = SIGMA(graph, hidden=16, top_k=8, rng=0, dropout=0.0)
+        model = SIGMA(graph, hidden=16, simrank=SimRankConfig(top_k=8), rng=0, dropout=0.0)
         optimizer = Adam(model.parameters(), lr=0.02)
         for _ in range(60):
             optimizer.zero_grad()
@@ -131,7 +132,7 @@ class TestSIGMAEmbeddings:
 
 class TestSIGMAIterative:
     def test_forward_shape(self, graph):
-        model = SIGMAIterative(graph, hidden=16, num_layers=2, top_k=8, rng=0)
+        model = SIGMAIterative(graph, hidden=16, num_layers=2, simrank=SimRankConfig(top_k=8), rng=0)
         assert model.forward().shape == (graph.num_nodes, graph.num_classes)
 
     def test_layer_count_validated(self, graph):
@@ -139,7 +140,7 @@ class TestSIGMAIterative:
             SIGMAIterative(graph, num_layers=0)
 
     def test_backward_populates_gradients(self, graph):
-        model = SIGMAIterative(graph, hidden=16, num_layers=2, top_k=8, rng=0)
+        model = SIGMAIterative(graph, hidden=16, num_layers=2, simrank=SimRankConfig(top_k=8), rng=0)
         model.zero_grad()
         logits = model.forward()
         _, grad = softmax_cross_entropy(logits, graph.labels)

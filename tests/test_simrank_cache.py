@@ -6,6 +6,10 @@ Covers the persistent SimRank operator cache of
 invalidation, corruption eviction, and the end-to-end acceptance check —
 a warm cache makes a repeated Fig. 5 run skip LocalPush precompute,
 asserted via the shared cache-hit counter.
+
+The suite drives the pipeline through the supported config API
+(``SimRankConfig`` with ``cache_dir``); the ``_operator`` helper maps the
+historical keyword spellings of the assertions onto it.
 """
 
 import json
@@ -14,6 +18,7 @@ import zipfile
 import numpy as np
 import pytest
 
+from repro.config import SIGMA_DEFAULT_SIMRANK, SimRankConfig
 from repro.datasets.synthetic import SyntheticGraphConfig, generate_synthetic_graph
 from repro.experiments import fig5_scalability, table3_complexity
 from repro.experiments.common import QUICK_EXPERIMENT_CONFIG
@@ -27,6 +32,19 @@ from repro.simrank.cache import (
 from repro.simrank.topk import simrank_operator
 
 
+def _operator(graph, *, cache=None, cache_max_bytes=None, num_workers=None,
+              **fields):
+    """``simrank_operator`` via the config API, with a cache handle."""
+    if num_workers is not None:
+        fields["workers"] = num_workers
+    config = SimRankConfig(**fields)
+    if cache is not None:
+        directory = cache.directory if isinstance(cache, OperatorCache) else cache
+        config = config.with_overrides(cache_dir=str(directory),
+                                       cache_max_bytes=cache_max_bytes)
+    return simrank_operator(graph, config)
+
+
 @pytest.fixture()
 def graph() -> Graph:
     config = SyntheticGraphConfig(
@@ -37,7 +55,9 @@ def graph() -> Graph:
 
 @pytest.fixture()
 def cache(tmp_path) -> OperatorCache:
-    return OperatorCache(tmp_path / "operators")
+    # Via the registry so the instance the pipeline resolves from
+    # ``cache_dir`` is this one (shared counters).
+    return get_operator_cache(tmp_path / "operators")
 
 
 class TestGraphFingerprint:
@@ -85,12 +105,12 @@ class TestRoundTrip:
     def test_miss_store_hit(self, graph, cache):
         kwargs = dict(method="localpush", epsilon=0.1, top_k=8,
                       backend="sharded", cache=cache)
-        cold = simrank_operator(graph, **kwargs)
+        cold = _operator(graph, **kwargs)
         assert not cold.cache_hit
         assert (cache.misses, cache.stores, cache.hits) == (1, 1, 0)
         assert len(cache) == 1
 
-        warm = simrank_operator(graph, **kwargs)
+        warm = _operator(graph, **kwargs)
         assert warm.cache_hit
         assert cache.hits == 1
         assert warm.method == cold.method == "localpush"
@@ -102,52 +122,52 @@ class TestRoundTrip:
 
     def test_cache_accepts_directory_path(self, graph, tmp_path):
         directory = tmp_path / "by-path"
-        cold = simrank_operator(graph, method="localpush", epsilon=0.1,
+        cold = _operator(graph, method="localpush", epsilon=0.1,
                                 top_k=4, cache=directory)
-        warm = simrank_operator(graph, method="localpush", epsilon=0.1,
+        warm = _operator(graph, method="localpush", epsilon=0.1,
                                 top_k=4, cache=str(directory))
         assert not cold.cache_hit and warm.cache_hit
         assert get_operator_cache(directory).hits == 1
 
     def test_worker_count_shares_one_entry(self, graph, cache):
         """num_workers is excluded from the key: sharded is deterministic."""
-        cold = simrank_operator(graph, method="localpush", epsilon=0.1, top_k=8,
+        cold = _operator(graph, method="localpush", epsilon=0.1, top_k=8,
                                 backend="sharded", num_workers=1, cache=cache)
-        warm = simrank_operator(graph, method="localpush", epsilon=0.1, top_k=8,
+        warm = _operator(graph, method="localpush", epsilon=0.1, top_k=8,
                                 backend="sharded", num_workers=4, cache=cache)
         assert not cold.cache_hit and warm.cache_hit
         assert len(cache) == 1
 
     def test_different_epsilon_is_a_miss(self, graph, cache):
-        simrank_operator(graph, method="localpush", epsilon=0.1, top_k=8,
+        _operator(graph, method="localpush", epsilon=0.1, top_k=8,
                          cache=cache)
-        second = simrank_operator(graph, method="localpush", epsilon=0.05,
+        second = _operator(graph, method="localpush", epsilon=0.05,
                                   top_k=8, cache=cache)
         assert not second.cache_hit
         assert cache.hits == 0 and cache.stores == 2
 
     def test_row_normalize_is_keyed_and_verified(self, graph, cache):
-        raw = simrank_operator(graph, method="localpush", epsilon=0.1,
+        raw = _operator(graph, method="localpush", epsilon=0.1,
                                top_k=8, cache=cache)
-        normalized = simrank_operator(graph, method="localpush", epsilon=0.1,
+        normalized = _operator(graph, method="localpush", epsilon=0.1,
                                       top_k=8, row_normalize=True, cache=cache)
         assert not normalized.cache_hit  # separate key, no false hit
         assert normalized.row_normalize and not raw.row_normalize
-        warm = simrank_operator(graph, method="localpush", epsilon=0.1,
+        warm = _operator(graph, method="localpush", epsilon=0.1,
                                 top_k=8, row_normalize=True, cache=cache)
         assert warm.cache_hit and warm.row_normalize
         sums = np.asarray(warm.matrix.sum(axis=1)).ravel()
         np.testing.assert_allclose(sums[sums > 0], 1.0)
 
     def test_series_method_round_trips(self, graph, cache):
-        cold = simrank_operator(graph, method="series", epsilon=0.1, cache=cache)
-        warm = simrank_operator(graph, method="series", epsilon=0.1, cache=cache)
+        cold = _operator(graph, method="series", epsilon=0.1, cache=cache)
+        warm = _operator(graph, method="series", epsilon=0.1, cache=cache)
         assert warm.cache_hit
         assert warm.method == "series" and warm.backend is None
         np.testing.assert_allclose(warm.matrix.toarray(), cold.matrix.toarray())
 
     def test_clear_empties_the_directory(self, graph, cache):
-        simrank_operator(graph, method="localpush", epsilon=0.1, top_k=4,
+        _operator(graph, method="localpush", epsilon=0.1, top_k=4,
                          cache=cache)
         assert cache.clear() == 1
         assert len(cache) == 0
@@ -162,7 +182,7 @@ class TestInvalidationAndCorruption:
         return paths[0]
 
     def test_version_mismatch_evicts_and_recomputes(self, graph, cache):
-        simrank_operator(graph, cache=cache, **self.KWARGS)
+        _operator(graph, cache=cache, **self.KWARGS)
         path = self._entry_path(cache)
         # Rewrite the stored metadata with a stale format version, keeping
         # the arrays intact — exactly what an old-format file looks like.
@@ -173,14 +193,14 @@ class TestInvalidationAndCorruption:
         arrays["meta"] = np.asarray(json.dumps(meta))
         np.savez_compressed(path, **arrays)
 
-        refreshed = simrank_operator(graph, cache=cache, **self.KWARGS)
+        refreshed = _operator(graph, cache=cache, **self.KWARGS)
         assert not refreshed.cache_hit
         assert cache.evictions == 1
         # The stale file was replaced by a fresh one that now hits.
-        assert simrank_operator(graph, cache=cache, **self.KWARGS).cache_hit
+        assert _operator(graph, cache=cache, **self.KWARGS).cache_hit
 
     def test_metadata_mismatch_evicts(self, graph, cache):
-        simrank_operator(graph, cache=cache, **self.KWARGS)
+        _operator(graph, cache=cache, **self.KWARGS)
         path = self._entry_path(cache)
         with np.load(path, allow_pickle=False) as payload:
             arrays = {name: payload[name] for name in payload.files}
@@ -189,42 +209,42 @@ class TestInvalidationAndCorruption:
         arrays["meta"] = np.asarray(json.dumps(meta))
         np.savez_compressed(path, **arrays)
 
-        refreshed = simrank_operator(graph, cache=cache, **self.KWARGS)
+        refreshed = _operator(graph, cache=cache, **self.KWARGS)
         assert not refreshed.cache_hit
         assert cache.evictions == 1
 
     def test_truncated_file_evicts_and_recomputes(self, graph, cache):
-        cold = simrank_operator(graph, cache=cache, **self.KWARGS)
+        cold = _operator(graph, cache=cache, **self.KWARGS)
         path = self._entry_path(cache)
         path.write_bytes(path.read_bytes()[:20])  # no longer a valid zip
 
-        refreshed = simrank_operator(graph, cache=cache, **self.KWARGS)
+        refreshed = _operator(graph, cache=cache, **self.KWARGS)
         assert not refreshed.cache_hit
         assert cache.evictions == 1
         np.testing.assert_allclose(refreshed.matrix.toarray(),
                                    cold.matrix.toarray())
-        assert simrank_operator(graph, cache=cache, **self.KWARGS).cache_hit
+        assert _operator(graph, cache=cache, **self.KWARGS).cache_hit
 
     def test_garbage_bytes_evict(self, graph, cache):
-        simrank_operator(graph, cache=cache, **self.KWARGS)
+        _operator(graph, cache=cache, **self.KWARGS)
         path = self._entry_path(cache)
         path.write_bytes(b"this is not an npz archive")
-        assert simrank_operator(graph, cache=cache, **self.KWARGS).cache_hit is False
+        assert _operator(graph, cache=cache, **self.KWARGS).cache_hit is False
         assert cache.evictions == 1
 
     def test_missing_array_evicts(self, graph, cache):
-        simrank_operator(graph, cache=cache, **self.KWARGS)
+        _operator(graph, cache=cache, **self.KWARGS)
         path = self._entry_path(cache)
         with np.load(path, allow_pickle=False) as payload:
             arrays = {name: payload[name] for name in payload.files}
         del arrays["indices"]
         np.savez_compressed(path, **arrays)
-        assert simrank_operator(graph, cache=cache, **self.KWARGS).cache_hit is False
+        assert _operator(graph, cache=cache, **self.KWARGS).cache_hit is False
         assert cache.evictions == 1
 
     def test_stored_file_is_a_plain_zip(self, graph, cache):
         """The on-disk entry stays inspectable with stock tooling."""
-        simrank_operator(graph, cache=cache, **self.KWARGS)
+        _operator(graph, cache=cache, **self.KWARGS)
         with zipfile.ZipFile(self._entry_path(cache)) as archive:
             names = set(archive.namelist())
         assert {"data.npy", "indices.npy", "indptr.npy",
@@ -240,13 +260,12 @@ class TestExperimentIntegration:
     def test_fig5_warm_cache_skips_precompute(self, tmp_path):
         directory = tmp_path / "fig5-cache"
         cache = get_operator_cache(directory)
+        simrank = SIGMA_DEFAULT_SIMRANK.with_overrides(cache_dir=str(directory))
 
-        cold = fig5_scalability.run(simrank_cache_dir=str(directory),
-                                    **self.FIG5_KWARGS)
+        cold = fig5_scalability.run(simrank=simrank, **self.FIG5_KWARGS)
         assert cache.hits == 0 and cache.stores == 1
 
-        warm = fig5_scalability.run(simrank_cache_dir=str(directory),
-                                    **self.FIG5_KWARGS)
+        warm = fig5_scalability.run(simrank=simrank, **self.FIG5_KWARGS)
         # The repeated run was served entirely from the cache …
         assert cache.hits == 1
         assert cache.stores == 1  # … and did not recompute anything.
@@ -258,7 +277,7 @@ class TestExperimentIntegration:
     def test_table3_measured_precompute_uses_cache(self, tmp_path):
         directory = tmp_path / "table3-cache"
         kwargs = dict(scale_factor=0.05, measure_precompute=True,
-                      simrank_cache_dir=str(directory))
+                      simrank=SimRankConfig(cache_dir=str(directory)))
         table3_complexity.run("pokec", **kwargs)
         table3_complexity.run("pokec", **kwargs)
         assert get_operator_cache(directory).hits == 1
@@ -290,11 +309,11 @@ class TestCacheStress:
         graph = generate_synthetic_graph(SyntheticGraphConfig(
             num_nodes=2000, num_classes=3, num_features=4, average_degree=6.0,
             homophily=0.3, name="cache-large"), seed=3)
-        cache = OperatorCache(tmp_path / "large")
+        cache = get_operator_cache(tmp_path / "large")
         kwargs = dict(method="localpush", epsilon=0.1, top_k=16,
                       backend="sharded", cache=cache)
-        cold = simrank_operator(graph, **kwargs)
-        warm = simrank_operator(graph, **kwargs)
+        cold = _operator(graph, **kwargs)
+        warm = _operator(graph, **kwargs)
         assert warm.cache_hit
         assert np.array_equal(warm.matrix.data, cold.matrix.data)
         assert warm.precompute_seconds < cold.precompute_seconds

@@ -14,11 +14,26 @@ Covers the two policies added on top of the PR-2 round-trip cache:
 import numpy as np
 import pytest
 
+from repro.config import SimRankConfig
 from repro.datasets.synthetic import SyntheticGraphConfig, generate_synthetic_graph
+from repro.errors import ConfigError
 from repro.graphs.graph import Graph
 from repro.graphs.sparse import top_k_per_row
 from repro.simrank.cache import OperatorCache, get_operator_cache
 from repro.simrank.topk import simrank_operator
+
+
+def _operator(graph, *, cache=None, cache_max_bytes=None, num_workers=None,
+              **fields):
+    """``simrank_operator`` via the config API, with a cache handle."""
+    if num_workers is not None:
+        fields["workers"] = num_workers
+    config = SimRankConfig(**fields)
+    if cache is not None:
+        directory = cache.directory if isinstance(cache, OperatorCache) else cache
+        config = config.with_overrides(cache_dir=str(directory),
+                                       cache_max_bytes=cache_max_bytes)
+    return simrank_operator(graph, config)
 
 
 @pytest.fixture()
@@ -31,7 +46,9 @@ def graph() -> Graph:
 
 @pytest.fixture()
 def cache(tmp_path) -> OperatorCache:
-    return OperatorCache(tmp_path / "operators")
+    # Via the registry so the instance the pipeline resolves from
+    # ``cache_dir`` is this one (shared counters).
+    return get_operator_cache(tmp_path / "operators")
 
 
 def _entry_bytes(cache: OperatorCache) -> int:
@@ -41,59 +58,59 @@ def _entry_bytes(cache: OperatorCache) -> int:
 
 class TestLRUEviction:
     def test_stores_over_the_cap_evict_oldest(self, graph, cache):
-        first = simrank_operator(graph, method="localpush", epsilon=0.2,
+        first = _operator(graph, method="localpush", epsilon=0.2,
                                  top_k=8, cache=cache)
         assert not first.cache_hit
         cache.max_bytes = _entry_bytes(cache) + 16  # room for exactly one
         # A tighter request cannot reuse the looser entry: genuine
         # miss → store → the byte cap evicts the ε=0.2 entry.
-        simrank_operator(graph, method="localpush", epsilon=0.1, top_k=8,
+        _operator(graph, method="localpush", epsilon=0.1, top_k=8,
                          cache=cache)
         assert len(cache) == 1
         assert cache.lru_evictions == 1
-        assert simrank_operator(graph, method="localpush", epsilon=0.1,
+        assert _operator(graph, method="localpush", epsilon=0.1,
                                 top_k=8, cache=cache).cache_hit
         # The evicted ε=0.2/k=8 file is gone: a k=16 request at ε=0.2
         # cannot be served by the surviving k=8 entry either.
-        refetch = simrank_operator(graph, method="localpush", epsilon=0.2,
+        refetch = _operator(graph, method="localpush", epsilon=0.2,
                                    top_k=16, cache=cache)
         assert not refetch.cache_hit
 
     def test_exact_hits_refresh_recency(self, graph, cache):
         # Stored tightest-last so every store is a genuine miss.
-        simrank_operator(graph, method="localpush", epsilon=0.2, top_k=8,
+        _operator(graph, method="localpush", epsilon=0.2, top_k=8,
                          cache=cache)  # A
-        simrank_operator(graph, method="localpush", epsilon=0.1, top_k=8,
+        _operator(graph, method="localpush", epsilon=0.1, top_k=8,
                          cache=cache)  # B
         size_two = _entry_bytes(cache)
         # Touch A so B becomes least recently used.
-        assert simrank_operator(graph, method="localpush", epsilon=0.2,
+        assert _operator(graph, method="localpush", epsilon=0.2,
                                 top_k=8, cache=cache).cache_hit
         cache.max_bytes = size_two * 5 // 4  # room for two entries, not three
-        simrank_operator(graph, method="localpush", epsilon=0.05, top_k=8,
+        _operator(graph, method="localpush", epsilon=0.05, top_k=8,
                          cache=cache)  # C — evicts B, not A
         assert cache.lru_evictions == 1
         assert len(cache) == 2
         hits_before = cache.exact_hits
-        assert simrank_operator(graph, method="localpush", epsilon=0.2,
+        assert _operator(graph, method="localpush", epsilon=0.2,
                                 top_k=8, cache=cache).cache_hit
         assert cache.exact_hits == hits_before + 1
 
     def test_single_oversized_entry_is_retained(self, graph, cache):
         cache.max_bytes = 1  # smaller than any entry
-        cold = simrank_operator(graph, method="localpush", epsilon=0.1,
+        cold = _operator(graph, method="localpush", epsilon=0.1,
                                 top_k=8, cache=cache)
         assert not cold.cache_hit
         assert len(cache) == 1  # the just-stored entry survives the cap
-        assert simrank_operator(graph, method="localpush", epsilon=0.1,
+        assert _operator(graph, method="localpush", epsilon=0.1,
                                 top_k=8, cache=cache).cache_hit
 
     def test_corruption_evictions_counted_separately(self, graph, cache):
-        simrank_operator(graph, method="localpush", epsilon=0.1, top_k=8,
+        _operator(graph, method="localpush", epsilon=0.1, top_k=8,
                          cache=cache)
         path = next(cache.directory.glob("simrank-*.npz"))
         path.write_bytes(b"garbage")
-        refreshed = simrank_operator(graph, method="localpush", epsilon=0.1,
+        refreshed = _operator(graph, method="localpush", epsilon=0.1,
                                      top_k=8, cache=cache)
         assert not refreshed.cache_hit
         assert cache.evictions == 1
@@ -112,21 +129,21 @@ class TestLRUEviction:
         with pytest.raises(ValueError):
             get_operator_cache(cache.directory, max_bytes=-5)
         with pytest.raises(ValueError):
-            simrank_operator(graph, method="localpush", epsilon=0.1, top_k=8,
+            _operator(graph, method="localpush", epsilon=0.1, top_k=8,
                              cache=cache, cache_max_bytes=-1)
 
     def test_cap_reaches_shared_instance_through_pipeline(self, graph, tmp_path):
         directory = tmp_path / "capped"
-        simrank_operator(graph, method="localpush", epsilon=0.1, top_k=8,
+        _operator(graph, method="localpush", epsilon=0.1, top_k=8,
                          cache=str(directory), cache_max_bytes=123456)
         assert get_operator_cache(directory).max_bytes == 123456
 
 
 class TestCrossEpsilonReuse:
     def test_tighter_epsilon_serves_looser_request(self, graph, cache):
-        cold = simrank_operator(graph, method="localpush", epsilon=0.05,
+        cold = _operator(graph, method="localpush", epsilon=0.05,
                                 top_k=8, cache=cache)
-        warm = simrank_operator(graph, method="localpush", epsilon=0.1,
+        warm = _operator(graph, method="localpush", epsilon=0.1,
                                 top_k=8, cache=cache)
         assert warm.cache_hit
         assert cache.reuse_hits == 1 and cache.exact_hits == 0
@@ -138,18 +155,18 @@ class TestCrossEpsilonReuse:
                                       cold.matrix.toarray())
 
     def test_looser_epsilon_never_serves_tighter_request(self, graph, cache):
-        simrank_operator(graph, method="localpush", epsilon=0.2, top_k=8,
+        _operator(graph, method="localpush", epsilon=0.2, top_k=8,
                          cache=cache)
-        second = simrank_operator(graph, method="localpush", epsilon=0.05,
+        second = _operator(graph, method="localpush", epsilon=0.05,
                                   top_k=8, cache=cache)
         assert not second.cache_hit
         assert cache.reuse_hits == 0
         assert cache.stores == 2
 
     def test_larger_k_serves_smaller_k_after_reprune(self, graph, cache):
-        cold = simrank_operator(graph, method="localpush", epsilon=0.1,
+        cold = _operator(graph, method="localpush", epsilon=0.1,
                                 top_k=16, cache=cache)
-        warm = simrank_operator(graph, method="localpush", epsilon=0.1,
+        warm = _operator(graph, method="localpush", epsilon=0.1,
                                 top_k=8, cache=cache)
         assert warm.cache_hit and cache.reuse_hits == 1
         assert warm.top_k == 8 and warm.reuse_source_top_k == 16
@@ -159,17 +176,17 @@ class TestCrossEpsilonReuse:
                                       expected.toarray())
 
     def test_smaller_k_never_serves_larger_k(self, graph, cache):
-        simrank_operator(graph, method="localpush", epsilon=0.1, top_k=8,
+        _operator(graph, method="localpush", epsilon=0.1, top_k=8,
                          cache=cache)
-        second = simrank_operator(graph, method="localpush", epsilon=0.1,
+        second = _operator(graph, method="localpush", epsilon=0.1,
                                   top_k=16, cache=cache)
         assert not second.cache_hit
         assert cache.reuse_hits == 0
 
     def test_full_matrix_reuse_refloors_the_prune(self, graph, cache):
-        simrank_operator(graph, method="localpush", epsilon=0.05,
+        _operator(graph, method="localpush", epsilon=0.05,
                          top_k=None, cache=cache)
-        warm = simrank_operator(graph, method="localpush", epsilon=0.1,
+        warm = _operator(graph, method="localpush", epsilon=0.1,
                                 top_k=None, cache=cache)
         assert warm.cache_hit and cache.reuse_hits == 1
         offdiag = warm.matrix.copy().tolil()
@@ -181,20 +198,20 @@ class TestCrossEpsilonReuse:
         assert (warm.matrix.diagonal() > 0).all()
 
     def test_topk_entry_never_serves_full_matrix_request(self, graph, cache):
-        simrank_operator(graph, method="localpush", epsilon=0.05, top_k=8,
+        _operator(graph, method="localpush", epsilon=0.05, top_k=8,
                          cache=cache)
-        second = simrank_operator(graph, method="localpush", epsilon=0.1,
+        second = _operator(graph, method="localpush", epsilon=0.1,
                                   top_k=None, cache=cache)
         assert not second.cache_hit
 
     def test_row_normalize_must_match(self, graph, cache):
-        simrank_operator(graph, method="localpush", epsilon=0.05, top_k=16,
+        _operator(graph, method="localpush", epsilon=0.05, top_k=16,
                          cache=cache)
-        normalized = simrank_operator(graph, method="localpush", epsilon=0.1,
+        normalized = _operator(graph, method="localpush", epsilon=0.1,
                                       top_k=8, row_normalize=True,
                                       cache=cache)
         assert not normalized.cache_hit  # raw entries never serve normalized
-        warm = simrank_operator(graph, method="localpush", epsilon=0.1,
+        warm = _operator(graph, method="localpush", epsilon=0.1,
                                 top_k=4, row_normalize=True, cache=cache)
         assert warm.cache_hit and cache.reuse_hits == 1
         sums = np.asarray(warm.matrix.sum(axis=1)).ravel()
@@ -202,12 +219,12 @@ class TestCrossEpsilonReuse:
 
     def test_reuse_prefers_the_closest_dominating_entry(self, graph, cache):
         # Stored loosest-first so both are genuine stores.
-        simrank_operator(graph, method="localpush", epsilon=0.08, top_k=8,
+        _operator(graph, method="localpush", epsilon=0.08, top_k=8,
                          cache=cache)
-        simrank_operator(graph, method="localpush", epsilon=0.02, top_k=8,
+        _operator(graph, method="localpush", epsilon=0.02, top_k=8,
                          cache=cache)
         assert cache.stores == 2
-        warm = simrank_operator(graph, method="localpush", epsilon=0.1,
+        warm = _operator(graph, method="localpush", epsilon=0.1,
                                 top_k=8, cache=cache)
         assert warm.cache_hit
         assert warm.reuse_source_epsilon == 0.08  # largest ε′ ≤ ε wins
@@ -216,18 +233,18 @@ class TestCrossEpsilonReuse:
         other = generate_synthetic_graph(SyntheticGraphConfig(
             num_nodes=120, num_classes=3, num_features=4, average_degree=6.0,
             homophily=0.3, name="cache-policy-sbm"), seed=1)
-        simrank_operator(graph, method="localpush", epsilon=0.05, top_k=8,
+        _operator(graph, method="localpush", epsilon=0.05, top_k=8,
                          cache=cache)
-        second = simrank_operator(other, method="localpush", epsilon=0.1,
+        second = _operator(other, method="localpush", epsilon=0.1,
                                   top_k=8, cache=cache)
         assert not second.cache_hit
 
     def test_executor_choice_hits_the_same_key_exactly(self, graph, cache):
         """The key excludes the executor: a run with a different executor
         (same request) is an exact hit, not a reuse hit."""
-        cold = simrank_operator(graph, method="localpush", epsilon=0.1,
+        cold = _operator(graph, method="localpush", epsilon=0.1,
                                 top_k=8, executor="serial", cache=cache)
-        warm = simrank_operator(graph, method="localpush", epsilon=0.1,
+        warm = _operator(graph, method="localpush", epsilon=0.1,
                                 top_k=8, executor="process", num_workers=2,
                                 cache=cache)
         assert warm.cache_hit
@@ -236,13 +253,13 @@ class TestCrossEpsilonReuse:
                                       cold.matrix.toarray())
 
     def test_counters_are_consistent(self, graph, cache):
-        simrank_operator(graph, method="localpush", epsilon=0.05, top_k=8,
+        _operator(graph, method="localpush", epsilon=0.05, top_k=8,
                          cache=cache)  # miss + store
-        simrank_operator(graph, method="localpush", epsilon=0.05, top_k=8,
+        _operator(graph, method="localpush", epsilon=0.05, top_k=8,
                          cache=cache)  # exact hit
-        simrank_operator(graph, method="localpush", epsilon=0.1, top_k=8,
+        _operator(graph, method="localpush", epsilon=0.1, top_k=8,
                          cache=cache)  # reuse hit
-        simrank_operator(graph, method="localpush", epsilon=0.01, top_k=8,
+        _operator(graph, method="localpush", epsilon=0.01, top_k=8,
                          cache=cache)  # miss + store
         assert cache.exact_hits == 1
         assert cache.reuse_hits == 1

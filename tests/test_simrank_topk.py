@@ -1,10 +1,17 @@
-"""Tests for top-k pruning and the SimRank aggregation operator."""
+"""Tests for top-k pruning and the SimRank aggregation operator.
+
+``simrank_operator`` is exercised through its supported calling
+convention — a :class:`repro.config.SimRankConfig` — while the
+deprecated keyword path is covered by the equivalence suite in
+``tests/test_config.py``.
+"""
 
 import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.errors import SimRankError
+from repro.config import SimRankConfig
+from repro.errors import ConfigError
 from repro.simrank.exact import linearized_simrank
 from repro.simrank.topk import simrank_operator, topk_simrank
 
@@ -13,7 +20,6 @@ class TestTopkSimrank:
     def test_keeps_at_most_k_plus_diagonal(self, small_heterophilous_graph):
         scores = linearized_simrank(small_heterophilous_graph, num_iterations=6)
         pruned = topk_simrank(scores, 8)
-        n = small_heterophilous_graph.num_nodes
         row_counts = np.diff(pruned.indptr)
         assert (row_counts <= 9).all()  # k entries plus possibly the diagonal
 
@@ -31,49 +37,57 @@ class TestTopkSimrank:
 
 class TestSimRankOperator:
     def test_auto_uses_series_for_small_graphs(self, small_heterophilous_graph):
-        operator = simrank_operator(small_heterophilous_graph, method="auto", top_k=16)
+        operator = simrank_operator(small_heterophilous_graph,
+                                    SimRankConfig(top_k=16))
         assert operator.method == "series"
 
     def test_auto_uses_localpush_for_large_graphs(self, small_heterophilous_graph):
-        operator = simrank_operator(small_heterophilous_graph, method="auto",
-                                    top_k=16, exact_size_limit=10)
+        operator = simrank_operator(
+            small_heterophilous_graph,
+            SimRankConfig(top_k=16, exact_size_limit=10))
         assert operator.method == "localpush"
 
     def test_top_k_limits_entries(self, small_heterophilous_graph):
-        operator = simrank_operator(small_heterophilous_graph, top_k=8)
+        operator = simrank_operator(small_heterophilous_graph,
+                                    SimRankConfig(top_k=8))
         assert operator.average_entries_per_node <= 9.0
 
     def test_no_topk_keeps_more_entries(self, small_heterophilous_graph):
-        pruned = simrank_operator(small_heterophilous_graph, top_k=4)
-        full = simrank_operator(small_heterophilous_graph, top_k=None)
+        pruned = simrank_operator(small_heterophilous_graph,
+                                  SimRankConfig(top_k=4))
+        full = simrank_operator(small_heterophilous_graph, SimRankConfig())
         assert full.nnz >= pruned.nnz
 
     def test_row_normalize_option(self, small_heterophilous_graph):
-        operator = simrank_operator(small_heterophilous_graph, top_k=8, row_normalize=True)
+        operator = simrank_operator(
+            small_heterophilous_graph,
+            SimRankConfig(top_k=8, row_normalize=True))
         sums = np.asarray(operator.matrix.sum(axis=1)).ravel()
         np.testing.assert_allclose(sums[sums > 0], 1.0)
 
     def test_methods_agree_roughly(self, small_heterophilous_graph):
         """Series and LocalPush approximate the same matrix (Theorem III.2)."""
-        series = simrank_operator(small_heterophilous_graph, method="series",
-                                  epsilon=0.05).matrix.toarray()
-        push = simrank_operator(small_heterophilous_graph, method="localpush",
-                                epsilon=0.05).matrix.toarray()
+        series = simrank_operator(
+            small_heterophilous_graph,
+            SimRankConfig(method="series", epsilon=0.05)).matrix.toarray()
+        push = simrank_operator(
+            small_heterophilous_graph,
+            SimRankConfig(method="localpush", epsilon=0.05)).matrix.toarray()
         assert np.abs(series - push).max() < 0.1
 
     def test_exact_method(self, tiny_graph):
-        operator = simrank_operator(tiny_graph, method="exact")
+        operator = simrank_operator(tiny_graph, SimRankConfig(method="exact"))
         assert operator.method == "exact"
         np.testing.assert_allclose(operator.matrix.diagonal(), 1.0)
 
     def test_records_precompute_time(self, tiny_graph):
-        operator = simrank_operator(tiny_graph, top_k=4)
+        operator = simrank_operator(tiny_graph, SimRankConfig(top_k=4))
         assert operator.precompute_seconds >= 0.0
 
     def test_invalid_method(self, tiny_graph):
-        with pytest.raises(SimRankError):
-            simrank_operator(tiny_graph, method="magic")
+        with pytest.raises(ConfigError):
+            simrank_operator(tiny_graph, SimRankConfig(method="magic"))
 
     def test_invalid_top_k(self, tiny_graph):
-        with pytest.raises(SimRankError):
-            simrank_operator(tiny_graph, top_k=0)
+        with pytest.raises(ConfigError):
+            simrank_operator(tiny_graph, SimRankConfig(top_k=0))

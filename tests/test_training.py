@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.config import SimRankConfig
 from repro.errors import TrainingError
 from repro.models.registry import create_model
 from repro.training.config import FAST_CONFIG, TrainConfig
@@ -109,7 +110,8 @@ class TestTrainer:
         assert result.num_epochs < 200
 
     def test_timing_breakdown_present(self, small_dataset):
-        model = create_model("sigma", small_dataset.graph, rng=0, hidden=16, top_k=8)
+        model = create_model("sigma", small_dataset.graph, rng=0, hidden=16,
+                             simrank=SimRankConfig(top_k=8))
         result = Trainer(model, FAST_CONFIG).fit(small_dataset.split(0))
         assert result.timing.precompute > 0.0
         assert result.timing.training > 0.0
