@@ -2,11 +2,11 @@
 
 from conftest import run_once
 
-from repro.experiments.fig1_aggregation_maps import run
+from repro.experiments import run_experiment
 
 
 def test_bench_fig1_aggregation_maps(benchmark):
-    result = run_once(benchmark, run, "texas", num_centers=10)
+    result = run_once(benchmark, run_experiment, "fig1", "texas", num_centers=10, print_result=False)
     ppr_mass = result.mean_same_label_mass("ppr")
     simrank_mass = result.mean_same_label_mass("simrank")
     assert 0.0 <= ppr_mass <= 1.0

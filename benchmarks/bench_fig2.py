@@ -2,11 +2,11 @@
 
 from conftest import run_once
 
-from repro.experiments.fig2_score_densities import run
+from repro.experiments import run_experiment
 
 
 def test_bench_fig2_score_densities(benchmark):
-    result = run_once(benchmark, run, datasets=("texas",), scale_factor=1.0, bins=20)
+    result = run_once(benchmark, run_experiment, "fig2", datasets=("texas",), scale_factor=1.0, bins=20, print_result=False)
     histogram = result.histograms["texas"]
     centres, density = histogram["intra"]
     assert len(centres) == 20

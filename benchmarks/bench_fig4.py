@@ -2,13 +2,13 @@
 
 from conftest import BENCH_CONFIG, run_once
 
-from repro.experiments.fig4_convergence import run
+from repro.experiments import run_experiment
 
 
 def test_bench_fig4_convergence(benchmark):
-    result = run_once(benchmark, run, datasets=("penn94",),
+    result = run_once(benchmark, run_experiment, "fig4", datasets=("penn94",),
                       models=("linkx", "glognn", "sigma"),
-                      scale_factor=0.5, config=BENCH_CONFIG, seed=0)
+                      scale_factor=0.5, config=BENCH_CONFIG, seed=0, print_result=False)
     assert len(result.curves) == 3
     for curve in result.curves:
         assert curve.times.size == curve.accuracies.size > 0

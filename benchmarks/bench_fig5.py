@@ -2,12 +2,12 @@
 
 from conftest import BENCH_CONFIG, run_once
 
-from repro.experiments.fig5_scalability import run
+from repro.experiments import run_experiment
 
 
 def test_bench_fig5_scalability(benchmark):
-    result = run_once(benchmark, run, base_dataset="pokec", num_sizes=3, shrink=2.0,
-                      base_scale=0.25, config=BENCH_CONFIG, seed=0)
+    result = run_once(benchmark, run_experiment, "fig5", base_dataset="pokec", num_sizes=3, shrink=2.0,
+                      base_scale=0.25, config=BENCH_CONFIG, seed=0, print_result=False)
     sigma_series = result.series("sigma")
     glognn_series = result.series("glognn")
     assert len(sigma_series) == len(glognn_series) == 3

@@ -2,12 +2,12 @@
 
 from conftest import BENCH_CONFIG, run_once
 
-from repro.experiments.fig6_epsilon_topk import run
+from repro.experiments import run_experiment
 
 
 def test_bench_fig6_epsilon_topk(benchmark):
-    result = run_once(benchmark, run, "pokec", epsilons=(0.05, 0.1), top_ks=(8, 32),
-                      num_repeats=1, scale_factor=0.25, config=BENCH_CONFIG, seed=0)
+    result = run_once(benchmark, run_experiment, "fig6", "pokec", epsilons=(0.05, 0.1), top_ks=(8, 32),
+                      num_repeats=1, scale_factor=0.25, config=BENCH_CONFIG, seed=0, print_result=False)
     assert len(result.cells) == 4
     # Tighter epsilon costs at least as much precomputation as the loose one.
     assert result.precompute(0.05, 32) >= result.precompute(0.1, 32) * 0.5

@@ -2,12 +2,12 @@
 
 from conftest import BENCH_CONFIG, run_once
 
-from repro.experiments.fig7_topk_tradeoff import run
+from repro.experiments import run_experiment
 
 
 def test_bench_fig7_topk_tradeoff(benchmark):
-    result = run_once(benchmark, run, "pokec", top_ks=(4, 16, 64),
-                      num_repeats=1, scale_factor=0.25, config=BENCH_CONFIG, seed=0)
+    result = run_once(benchmark, run_experiment, "fig7", "pokec", top_ks=(4, 16, 64),
+                      num_repeats=1, scale_factor=0.25, config=BENCH_CONFIG, seed=0, print_result=False)
     assert len(result.points) == 3
     ks = [k for k, _ in result.accuracy_series()]
     assert ks == [4, 16, 64]

@@ -2,12 +2,12 @@
 
 from conftest import BENCH_CONFIG, run_once
 
-from repro.experiments.fig8_grouping import run
+from repro.experiments import run_experiment
 
 
 def test_bench_fig8_grouping(benchmark):
-    result = run_once(benchmark, run, datasets=("texas", "pubmed"),
-                      scale_factor=0.5, config=BENCH_CONFIG, num_pairs=5000, seed=0)
+    result = run_once(benchmark, run_experiment, "fig8", datasets=("texas", "pubmed"),
+                      scale_factor=0.5, config=BENCH_CONFIG, num_pairs=5000, seed=0, print_result=False)
     assert len(result.stats) == 2
     for stats in result.stats:
         # Same-class embeddings are more similar than cross-class embeddings.

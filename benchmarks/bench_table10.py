@@ -2,12 +2,12 @@
 
 from conftest import BENCH_CONFIG, run_once
 
-from repro.experiments.table10_alpha import run
+from repro.experiments import run_experiment
 
 
 def test_bench_table10_alpha(benchmark):
-    result = run_once(benchmark, run, datasets=("penn94", "snap-patents"),
-                      num_repeats=1, scale_factor=0.5, config=BENCH_CONFIG, seed=0)
+    result = run_once(benchmark, run_experiment, "table10", datasets=("penn94", "snap-patents"),
+                      num_repeats=1, scale_factor=0.5, config=BENCH_CONFIG, seed=0, print_result=False)
     assert set(result.alphas) == {"penn94", "snap-patents"}
     for alpha in result.alphas.values():
         assert 0.0 < alpha < 1.0

@@ -2,12 +2,12 @@
 
 from conftest import BENCH_CONFIG, run_once
 
-from repro.experiments.table11_iterative import run
+from repro.experiments import run_experiment
 
 
 def test_bench_table11_iterative(benchmark):
-    result = run_once(benchmark, run, datasets=("arxiv-year",), layers=(1, 2),
-                      num_repeats=1, scale_factor=0.5, config=BENCH_CONFIG, seed=0)
+    result = run_once(benchmark, run_experiment, "table11", datasets=("arxiv-year",), layers=(1, 2),
+                      num_repeats=1, scale_factor=0.5, config=BENCH_CONFIG, seed=0, print_result=False)
     assert set(result.accuracies) == {"gcn-1", "sigma-1", "gcn-2", "sigma-2"}
     # SimRank-rewired propagation beats plain GCN on the heterophilous graph.
     assert result.sigma_beats_gcn_everywhere(depth=1)

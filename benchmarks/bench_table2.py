@@ -2,12 +2,12 @@
 
 from conftest import run_once
 
-from repro.experiments.table2_simrank_stats import run
+from repro.experiments import run_experiment
 
 
 def test_bench_table2_simrank_stats(benchmark):
-    result = run_once(benchmark, run, datasets=("texas", "chameleon"),
-                      scale_factor=0.5, num_pairs=5000)
+    result = run_once(benchmark, run_experiment, "table2", datasets=("texas", "chameleon"),
+                      scale_factor=0.5, num_pairs=5000, print_result=False)
     assert set(result.stats) == {"texas", "chameleon"}
     # The paper's claim: intra-class pairs score higher than inter-class pairs.
     assert result.all_separations_positive

@@ -2,11 +2,11 @@
 
 from conftest import run_once
 
-from repro.experiments.table3_complexity import run
+from repro.experiments import run_experiment
 
 
 def test_bench_table3_complexity(benchmark):
-    result = run_once(benchmark, run, "pokec", scale_factor=0.25)
+    result = run_once(benchmark, run_experiment, "table3", "pokec", scale_factor=0.25, print_result=False)
     models = [entry.model for entry in result.entries]
     assert "SIGMA" in models and "GloGNN" in models
     # SIGMA's O(k n f) aggregation is the cheapest once the graph is large.

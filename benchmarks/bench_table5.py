@@ -7,15 +7,14 @@ not dominated by the local GCN baseline and lands in the top tier.
 
 from conftest import BENCH_CONFIG, run_once
 
-from repro.experiments.table5_accuracy import run
+from repro.experiments import run_experiment
 
 
 def test_bench_table5_accuracy(benchmark):
-    result = run_once(
-        benchmark, run,
+    result = run_once(benchmark, run_experiment, "table5",
         datasets=("chameleon", "arxiv-year"),
         models=("mlp", "gcn", "linkx", "glognn", "sigma"),
-        num_repeats=2, scale_factor=0.5, config=BENCH_CONFIG, tune=False, seed=0)
+        num_repeats=2, scale_factor=0.5, config=BENCH_CONFIG, tune=False, seed=0, print_result=False)
     ranks = result.ranks()
     assert set(ranks) == {"mlp", "gcn", "linkx", "glognn", "sigma"}
     # SIGMA should rank in the upper half of this five-model comparison.

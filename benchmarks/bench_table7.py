@@ -2,13 +2,13 @@
 
 from conftest import BENCH_CONFIG, run_once
 
-from repro.experiments.table7_learning_time import run
+from repro.experiments import run_experiment
 
 
 def test_bench_table7_learning_time(benchmark):
-    result = run_once(benchmark, run, datasets=("arxiv-year", "pokec"),
+    result = run_once(benchmark, run_experiment, "table7", datasets=("arxiv-year", "pokec"),
                       models=("linkx", "glognn", "sigma"),
-                      num_repeats=1, scale_factor=0.5, config=BENCH_CONFIG, seed=0)
+                      num_repeats=1, scale_factor=0.5, config=BENCH_CONFIG, seed=0, print_result=False)
     rows = result.rows()
     assert len(rows) == 6
     # SIGMA's one-shot aggregation is cheaper than GloGNN's iterative one.

@@ -2,12 +2,12 @@
 
 from conftest import BENCH_CONFIG, run_once
 
-from repro.experiments.table8_ablation import run
+from repro.experiments import run_experiment
 
 
 def test_bench_table8_ablation(benchmark):
-    result = run_once(benchmark, run, datasets=("arxiv-year",),
-                      num_repeats=1, scale_factor=0.5, config=BENCH_CONFIG, seed=0)
+    result = run_once(benchmark, run_experiment, "table8", datasets=("arxiv-year",),
+                      num_repeats=1, scale_factor=0.5, config=BENCH_CONFIG, seed=0, print_result=False)
     assert "sigma" in result.accuracies and "sigma w/o S" in result.accuracies
     # Removing the adjacency embedding hurts most, as in the paper.
     drop_without_a = result.average_drop("sigma w/o A", "sigma")

@@ -2,12 +2,12 @@
 
 from conftest import BENCH_CONFIG, run_once
 
-from repro.experiments.table9_delta import run
+from repro.experiments import run_experiment
 
 
 def test_bench_table9_delta(benchmark):
-    result = run_once(benchmark, run, datasets=("penn94",), deltas=(0.1, 0.5, 0.9),
-                      num_repeats=1, scale_factor=0.5, config=BENCH_CONFIG, seed=0)
+    result = run_once(benchmark, run_experiment, "table9", datasets=("penn94",), deltas=(0.1, 0.5, 0.9),
+                      num_repeats=1, scale_factor=0.5, config=BENCH_CONFIG, seed=0, print_result=False)
     assert len(result.rows()) == 3
     best = result.best_delta("penn94")
     assert best in (0.1, 0.5, 0.9)

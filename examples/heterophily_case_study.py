@@ -15,7 +15,7 @@ categories.  The script
 from __future__ import annotations
 
 from repro import TrainConfig, Trainer, create_model, load_dataset
-from repro.experiments.fig1_aggregation_maps import run as run_fig1
+from repro.experiments import run_experiment
 from repro.graphs import node_homophily
 from repro.simrank import exact_simrank, simrank_class_statistics
 
@@ -35,7 +35,8 @@ def main() -> None:
     print(f"   inter-class SimRank: {stats.inter_mean:.3f} ± {stats.inter_std:.3f}\n")
 
     print("3) aggregation mass on same-label nodes (PPR vs SimRank)")
-    fig1 = run_fig1("chameleon", num_centers=8, seed=0)
+    fig1 = run_experiment("fig1", "chameleon", num_centers=8, seed=0,
+                          print_result=False)
     print(f"   PPR    : {fig1.mean_same_label_mass('ppr'):.3f}")
     print(f"   SimRank: {fig1.mean_same_label_mass('simrank'):.3f}\n")
 

@@ -42,7 +42,7 @@ from __future__ import annotations
 import argparse
 
 from repro.config import SIGMA_DEFAULT_SIMRANK
-from repro.experiments.fig5_scalability import run as run_fig5
+from repro.experiments import run_experiment
 from repro.experiments.common import format_table
 
 
@@ -61,8 +61,9 @@ def main() -> None:
     simrank = SIGMA_DEFAULT_SIMRANK.with_overrides(
         executor=args.executor, workers=args.workers,
         cache_dir=args.cache_dir)
-    result = run_fig5(base_dataset="pokec", num_sizes=4, shrink=2.0,
-                      base_scale=0.5, seed=0, simrank=simrank)
+    result = run_experiment("fig5", base_dataset="pokec", num_sizes=4,
+                            shrink=2.0, base_scale=0.5, seed=0,
+                            simrank=simrank, print_result=False)
     print("learning time across graph sizes")
     print(format_table(result.rows()))
     print("\nSIGMA speed-up over GloGNN by graph size:")

@@ -37,7 +37,7 @@ from repro.errors import (
     SimRankError,
     TrainingError,
 )
-from repro.config import RunSpec, SimRankConfig
+from repro.config import ExperimentSpec, RunSpec, SimRankConfig
 from repro.graphs import Graph, node_homophily
 from repro.datasets import Dataset, Split, list_datasets, load_dataset
 from repro.simrank import (
@@ -64,6 +64,7 @@ __all__ = [
     "ExperimentError",
     "SimRankConfig",
     "RunSpec",
+    "ExperimentSpec",
     "RunResult",
     "api",
     "Graph",

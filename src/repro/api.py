@@ -11,6 +11,10 @@ free to be refactored between releases.
   name plus overrides or from a :class:`repro.config.RunSpec`.
 * :func:`run` — execute a :class:`RunSpec` end to end (load dataset,
   build, train over the splits) and return a :class:`RunResult`.
+* :func:`run_experiment` — run a registered declarative experiment (an
+  :class:`repro.config.ExperimentSpec` grid of ``RunSpec`` cells plus a
+  reduction) through the sweep engine, with executor fan-out and a
+  resumable :class:`repro.experiments.store.ArtifactStore`.
 
 Example
 -------
@@ -28,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.config import SIMRANK_MODELS, RunSpec, SimRankConfig
+from repro.config import SIMRANK_MODELS, ExperimentSpec, RunSpec, SimRankConfig
 from repro.errors import ConfigError
 from repro.graphs.graph import Graph
 
@@ -115,5 +119,28 @@ def run(spec: RunSpec) -> RunResult:
     return RunResult(spec=spec, summary=summary)
 
 
-__all__ = ["precompute", "build_model", "run", "RunResult",
-           "RunSpec", "SimRankConfig"]
+def run_experiment(name: str, *args: object, **kwargs: object) -> object:
+    """Run a registered declarative experiment and return its result.
+
+    Thin facade over :func:`repro.experiments.run_experiment` (imported
+    lazily — the experiment modules build on this module).  ``*args`` and
+    unknown keywords go to the experiment's spec builder; the engine
+    options (``scale_factor``, ``train``, ``executor``, ``workers``,
+    ``store``, ``resume``, ``force``, ``spec``, ``print_result``) apply
+    uniformly to every experiment.
+    """
+    from repro.experiments import run_experiment as _run_experiment
+
+    return _run_experiment(name, *args, **kwargs)
+
+
+def list_experiments() -> list:
+    """All registered experiment definitions (lazy facade)."""
+    from repro.experiments import list_experiments as _list_experiments
+
+    return _list_experiments()
+
+
+__all__ = ["precompute", "build_model", "run", "run_experiment",
+           "list_experiments", "RunResult", "RunSpec", "SimRankConfig",
+           "ExperimentSpec"]

@@ -5,6 +5,12 @@ into a :class:`repro.config.RunSpec` (:func:`build_runspec`) — with the
 SimRank flags collected by :meth:`repro.config.SimRankConfig.from_cli_args`
 — and executed by :func:`repro.api.run`.
 
+The ``experiment`` subcommand exposes the declarative experiment
+registry (one :class:`repro.config.ExperimentSpec` per paper artefact):
+``python -m repro.cli experiment --list`` /
+``python -m repro.cli experiment fig6 --scale-factor 0.25`` delegate to
+:mod:`repro.experiments.runner` (also installed as ``repro-experiment``).
+
 Training-loop defaults (``--lr``, ``--weight-decay``, ``--epochs``,
 ``--patience``) are sourced from :class:`repro.training.config.TrainConfig`
 so the numbers live in exactly one place.
@@ -13,6 +19,7 @@ Examples
 --------
 ``python -m repro.cli --model sigma --dataset chameleon``
 ``python -m repro.cli --model glognn --dataset pokec --scale-factor 0.25 --repeats 2``
+``python -m repro.cli experiment fig6 --scale-factor 0.25 --store artifacts/``
 """
 
 from __future__ import annotations
@@ -41,7 +48,10 @@ _TRAIN_DEFAULTS = TrainConfig()
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        description="Train a heterophilous GNN (SIGMA or a baseline) on a benchmark.")
+        description="Train a heterophilous GNN (SIGMA or a baseline) on a "
+                    "benchmark. Use the 'experiment' subcommand "
+                    "(python -m repro.cli experiment --list) to regenerate "
+                    "a registered paper artefact instead.")
     parser.add_argument("--model", default="sigma", choices=list_models(),
                         help="model name (default: sigma)")
     parser.add_argument("--dataset", default="texas",
@@ -142,6 +152,15 @@ def build_runspec(args: argparse.Namespace) -> RunSpec:
 
 
 def main(argv: Optional[list[str]] = None) -> int:
+    if argv is None:
+        import sys
+
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] == "experiment":
+        from repro.experiments.runner import main as experiment_main
+
+        return experiment_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.model not in SIMRANK_MODELS:

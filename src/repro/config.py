@@ -34,10 +34,12 @@ stay warm.
 
 from __future__ import annotations
 
+import itertools
 import os
 import warnings
 from dataclasses import asdict, dataclass, field, fields, replace
-from typing import TYPE_CHECKING, Any, ClassVar, Dict, Mapping, Optional, Tuple
+from typing import (TYPE_CHECKING, Any, ClassVar, Dict, List, Mapping,
+                    Optional, Sequence, Tuple)
 
 from repro.errors import ConfigError
 
@@ -494,6 +496,214 @@ class RunSpec:
         return cls(**payload)
 
 
+def grid_product(axes: Mapping[str, Sequence[object]]) -> Tuple[Dict[str, object], ...]:
+    """Cartesian product of grid axes as a tuple of cell-override dicts.
+
+    The first axis varies slowest (outermost loop), matching the nested
+    ``for`` loops the legacy experiment modules used, so a ported grid
+    enumerates its cells in the historical order::
+
+        grid_product({"model": ("a", "b"), "dataset": ("x", "y")})
+        # ({'model': 'a', 'dataset': 'x'}, {'model': 'a', 'dataset': 'y'},
+        #  {'model': 'b', 'dataset': 'x'}, {'model': 'b', 'dataset': 'y'})
+    """
+    _require(isinstance(axes, Mapping),
+             f"grid_product expects a mapping of axes, got {type(axes).__name__}")
+    names = list(axes)
+    values = [list(axes[name]) for name in names]
+    return tuple(dict(zip(names, combo)) for combo in itertools.product(*values))
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One expanded cell of an :class:`ExperimentSpec` grid.
+
+    ``overrides`` is the raw grid entry that produced the cell, ``spec``
+    the fully resolved :class:`RunSpec` and ``params`` the merged extra
+    parameters (spec-level defaults plus cell overrides) consumed by the
+    experiment's cell runner.
+    """
+
+    index: int
+    overrides: Dict[str, object]
+    spec: RunSpec
+    params: Dict[str, object]
+
+
+#: RunSpec fields a grid entry may set directly (everything else goes
+#: through the ``overrides.`` / ``train.`` / ``simrank.`` prefixes or must
+#: be a declared extra parameter).
+CELL_SPEC_FIELDS: Tuple[str, ...] = (
+    "model", "dataset", "seed", "repeats", "scale_factor")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one experiment: a grid of runs + a reduction.
+
+    An experiment is a *grid of cells over a base* :class:`RunSpec`: every
+    grid entry is a mapping whose keys address either a RunSpec field
+    (``model``, ``dataset``, ``seed``, ``repeats``, ``scale_factor``), a
+    model hyper-parameter (``overrides.<name>``), a training field
+    (``train.<name>``), a SimRank operator field (``simrank.<name>``) or a
+    *declared* extra parameter (a key of :attr:`params` — anything else is
+    a :class:`repro.errors.ConfigError`, so a knob can never be silently
+    dropped).  :meth:`cells` expands the grid into validated
+    :class:`ExperimentCell` objects.  The default grid ``({},)`` is a
+    single base cell; an explicitly *empty* grid runs zero cells (an
+    empty axis in :func:`grid_product` sweeps nothing, exactly like the
+    empty legacy ``for`` loop it replaces — it never falls back to an
+    un-requested base run).
+
+    ``params`` are extra knobs handed to the experiment's *cell runner*
+    (e.g. the number of sampled pairs of Table II); they participate in
+    the :class:`repro.experiments.store.ArtifactStore` cell key.
+    ``reduction`` knobs are consumed only by the reduction function (e.g.
+    Fig. 2's histogram bin count) and deliberately stay *out* of the cell
+    key so experiments sharing cell work (Fig. 2 reuses Table II's cells)
+    hit each other's artefacts.
+
+    Smoke scaling is a spec transform, not a per-module keyword:
+    ``spec.with_base(scale_factor=0.25)`` scales every cell and
+    ``spec.with_train(QUICK_EXPERIMENT_CONFIG)`` swaps the training
+    protocol, because cells inherit both from ``base``.
+    """
+
+    name: str
+    base: RunSpec
+    title: str = ""
+    grid: Tuple[Dict[str, object], ...] = field(default_factory=lambda: ({},))
+    params: Dict[str, object] = field(default_factory=dict)
+    reduction: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        coerce = object.__setattr__
+        _require(isinstance(self.name, str) and bool(self.name),
+                 f"experiment name must be a non-empty string, got {self.name!r}")
+        coerce(self, "name", self.name.lower())
+        _require(isinstance(self.title, str),
+                 f"title must be a string, got {self.title!r}")
+        _require(isinstance(self.base, RunSpec),
+                 f"base must be a RunSpec, got {type(self.base).__name__}")
+        _require(not isinstance(self.grid, (str, bytes))
+                 and isinstance(self.grid, Sequence),
+                 f"grid must be a sequence of mappings, got {self.grid!r}")
+        entries = []
+        for entry in self.grid:
+            _require(isinstance(entry, Mapping),
+                     f"every grid entry must be a mapping, got {entry!r}")
+            _require(all(isinstance(key, str) for key in entry),
+                     f"grid entry keys must be strings, got {entry!r}")
+            entries.append(dict(entry))
+        coerce(self, "grid", tuple(entries))
+        for label in ("params", "reduction"):
+            value = getattr(self, label)
+            _require(isinstance(value, Mapping)
+                     and all(isinstance(key, str) for key in value),
+                     f"{label} must be a mapping with string keys, got {value!r}")
+            coerce(self, label, dict(value))
+        self.cells()  # expand eagerly: a malformed grid fails at construction
+
+    # ------------------------------------------------------------------ #
+    # Grid expansion
+    # ------------------------------------------------------------------ #
+    def _expand(self, index: int, entry: Mapping[str, object]) -> ExperimentCell:
+        direct: Dict[str, object] = {}
+        overrides = dict(self.base.overrides)
+        simrank = self.base.simrank
+        train = self.base.train
+        params = dict(self.params)
+        for key, value in entry.items():
+            if key in CELL_SPEC_FIELDS:
+                direct[key] = value
+            elif key.startswith("overrides."):
+                overrides[key[len("overrides."):]] = value
+            elif key.startswith("train."):
+                train = train.with_overrides(**{key[len("train."):]: value})
+            elif key.startswith("simrank."):
+                _require(simrank is not None,
+                         f"grid entry sets {key!r} but the base RunSpec has "
+                         f"no SimRankConfig")
+                simrank = simrank.with_overrides(**{key[len("simrank."):]: value})
+            elif key in params:
+                params[key] = value
+            else:
+                raise ConfigError(
+                    f"unknown cell key {key!r} in experiment {self.name!r}: "
+                    f"not a RunSpec field, not an 'overrides.'/'train.'/"
+                    f"'simrank.' path, and not a declared parameter "
+                    f"({', '.join(sorted(self.params)) or 'none declared'})")
+        # A base SimRankConfig applies only to the cells that run a SIGMA
+        # model: a grid mixing SIGMA with baselines (fig5's sigma/glognn
+        # sweep) inherits the operator config on the SIGMA cells and none
+        # on the baselines, exactly as the pre-spec modules behaved.  An
+        # explicit ``simrank.`` key on a baseline cell stays an error.
+        model = str(direct.get("model", self.base.model)).lower()
+        if (simrank is not None and model not in SIMRANK_MODELS
+                and not any(key.startswith("simrank.") for key in entry)):
+            simrank = None
+        spec = self.base.with_overrides(overrides=overrides, simrank=simrank,
+                                        train=train, **direct)
+        return ExperimentCell(index=index, overrides=dict(entry), spec=spec,
+                              params=params)
+
+    def cells(self) -> List[ExperimentCell]:
+        """Expand the grid into validated cells (empty grid = zero cells)."""
+        return [self._expand(index, entry)
+                for index, entry in enumerate(self.grid)]
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.grid)
+
+    # ------------------------------------------------------------------ #
+    # Transforms / serialisation
+    # ------------------------------------------------------------------ #
+    def with_overrides(self, **changes: object) -> "ExperimentSpec":
+        """A validated copy with the given *spec fields* replaced."""
+        unknown = set(changes) - {f.name for f in fields(self)}
+        _require(not unknown,
+                 f"unknown ExperimentSpec field(s): {', '.join(sorted(unknown))}")
+        return replace(self, **changes)
+
+    def with_base(self, **changes: object) -> "ExperimentSpec":
+        """A copy whose base :class:`RunSpec` has ``changes`` applied.
+
+        This is the shared scaling/seeding story: cells inherit the base,
+        so ``with_base(scale_factor=0.25)`` scales the whole experiment.
+        """
+        return replace(self, base=self.base.with_overrides(**changes))
+
+    def with_train(self, train: "TrainConfig") -> "ExperimentSpec":
+        """A copy with the training protocol of every cell replaced."""
+        return self.with_base(train=train)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "title": self.title,
+            "base": self.base.to_dict(),
+            "grid": [dict(entry) for entry in self.grid],
+            "params": dict(self.params),
+            "reduction": dict(self.reduction),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ExperimentSpec":
+        _require(isinstance(data, Mapping),
+                 f"ExperimentSpec.from_dict expects a mapping, "
+                 f"got {type(data).__name__}")
+        unknown = set(data) - {f.name for f in fields(cls)}
+        _require(not unknown,
+                 f"unknown ExperimentSpec field(s): {', '.join(sorted(unknown))}")
+        payload = dict(data)
+        if payload.get("base") is not None and not isinstance(payload["base"], RunSpec):
+            payload["base"] = RunSpec.from_dict(payload["base"])
+        if payload.get("grid") is not None:
+            payload["grid"] = tuple(dict(entry) for entry in payload["grid"])
+        return cls(**payload)
+
+
 __all__ = [
     "DEFAULT_DECAY",
     "SIMRANK_METHODS",
@@ -501,10 +711,14 @@ __all__ = [
     "SIMRANK_EXECUTORS",
     "SIMRANK_MODELS",
     "CACHE_KEY_FIELDS",
+    "CELL_SPEC_FIELDS",
     "UNSET",
     "SimRankConfig",
     "SIGMA_DEFAULT_SIMRANK",
     "RunSpec",
+    "ExperimentCell",
+    "ExperimentSpec",
+    "grid_product",
     "merge_deprecated_kwargs",
     "merge_optional_deprecated_kwargs",
     "merge_experiment_simrank_kwargs",

@@ -44,4 +44,17 @@ class TrainingError(ReproError):
 
 
 class ExperimentError(ReproError):
-    """Raised when an experiment configuration is invalid."""
+    """Raised when an experiment request is invalid.
+
+    Covers the declarative experiment layer end to end: unknown experiment
+    names, unsupported builder keywords (a knob that cannot apply is a hard
+    error, never silently dropped), malformed grids at execution time and
+    invalid sweep-engine options (executor, workers).
+    """
+
+
+class ArtifactError(ExperimentError):
+    """Raised when an :class:`repro.experiments.store.ArtifactStore`
+    directory cannot be used (unwritable path, malformed artifact file
+    that cannot be evicted).  Corrupt *cell* entries are never an error —
+    they are evicted and recomputed like operator-cache corruption."""

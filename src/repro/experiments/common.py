@@ -11,22 +11,24 @@ from repro.models.registry import create_model
 from repro.training.config import TrainConfig
 from repro.training.trainer import Trainer
 
-# Training configuration mirroring the paper's protocol (Adam, early stopping).
-DEFAULT_EXPERIMENT_CONFIG = TrainConfig(
-    learning_rate=0.01,
+# Training configuration mirroring the paper's protocol: derived from the
+# library-wide TrainConfig defaults so the shared numbers (learning rate,
+# epoch budget, optimizer, min_epochs) live in exactly one place.  The two
+# overridden values are *intentional* paper-protocol divergences from the
+# library defaults — weight decay 1e-3 (vs 5e-4) and patience 60 (vs 50)
+# per the Table VI experiment sweep — pinned by the divergence test in
+# tests/test_experiments.py.
+DEFAULT_EXPERIMENT_CONFIG = TrainConfig().with_overrides(
     weight_decay=1e-3,
-    max_epochs=300,
     patience=60,
     track_test_history=False,
 )
 
-# Reduced configuration used by the pytest-benchmark harness and smoke tests.
-QUICK_EXPERIMENT_CONFIG = TrainConfig(
-    learning_rate=0.01,
-    weight_decay=1e-3,
+# Reduced configuration used by the pytest-benchmark harness and smoke
+# tests: the paper protocol with a shorter epoch budget.
+QUICK_EXPERIMENT_CONFIG = DEFAULT_EXPERIMENT_CONFIG.with_overrides(
     max_epochs=60,
     patience=25,
-    track_test_history=False,
 )
 
 # Small validation-based search grids, standing in for the paper's Table VI

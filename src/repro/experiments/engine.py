@@ -1,0 +1,312 @@
+"""Sweep engine: execute an :class:`~repro.config.ExperimentSpec` grid.
+
+The engine is the single execution path behind every experiment — the
+``repro-experiment`` CLI, the ``module.run()`` deprecation shims and the
+benchmarks all funnel into :func:`execute`:
+
+1. expand the spec into cells (:meth:`ExperimentSpec.cells`);
+2. serve finished cells from the :class:`repro.experiments.store.
+   ArtifactStore` when one is configured (``resume``; ``force``
+   recomputes), so a killed sweep restarts where it died;
+3. run the remaining cells through the experiment's cell runner under
+   ``executor="serial" | "thread" | "process"`` — the executor names and
+   default pool size are shared with the LocalPush engine core
+   (:mod:`repro.simrank.engine`), and because every cell is a pure
+   function of its ``(RunSpec, params)``, results are identical for
+   every executor and worker count;
+4. persist each fresh record, fold all records through the experiment's
+   reduction, and append a versioned run artefact embedding the resolved
+   spec.
+
+The default cell runner, :func:`evaluation_cell`, executes the cell's
+``RunSpec`` through :func:`repro.api.run` — a grid experiment whose cells
+are plain training runs needs no runner of its own.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (ProcessPoolExecutor, ThreadPoolExecutor,
+                                as_completed)
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import ExperimentCell, ExperimentSpec
+from repro.errors import ExperimentError
+from repro.experiments.registry import ExperimentDefinition, build_spec, get_experiment
+from repro.experiments.store import ArtifactStore, get_artifact_store
+# Shared executor vocabulary and pool sizing of the LocalPush engine core.
+from repro.simrank.engine import EXECUTORS, default_num_workers
+
+
+def summary_record(summary: "EvaluationSummary") -> Dict[str, object]:
+    """Full-precision JSON record of one repeated-evaluation summary.
+
+    Unlike ``EvaluationSummary.as_row()`` nothing is rounded here: the
+    reductions must reproduce the legacy modules' numbers (ranking ties
+    included) exactly from the stored record.
+    """
+    return {
+        "model": summary.model,
+        "dataset": summary.dataset,
+        "accuracies": [float(value) for value in summary.accuracies],
+        "mean_accuracy": summary.mean_accuracy,
+        "std_accuracy": summary.std_accuracy,
+        "mean_learning_time": summary.mean_learning_time,
+        "mean_precompute_time": summary.mean_precompute_time,
+        "mean_aggregation_time": summary.mean_aggregation_time,
+    }
+
+
+def evaluation_cell(cell: ExperimentCell) -> Dict[str, object]:
+    """Default cell runner: execute the cell's ``RunSpec`` end to end."""
+    from repro.api import run
+
+    return summary_record(run(cell.spec).summary)
+
+
+def _execute_cell(cell_runner: Callable[[ExperimentCell], dict],
+                  cell: ExperimentCell) -> Tuple[dict, float]:
+    """Run one cell under a timer (module-level: process-pool picklable)."""
+    start = time.perf_counter()
+    record = cell_runner(cell)
+    return record, time.perf_counter() - start
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One executed (or resumed) cell: its record plus provenance."""
+
+    cell: ExperimentCell
+    record: Dict[str, object]
+    seconds: float = 0.0
+    cached: bool = False
+    key: Optional[str] = None
+
+    @property
+    def index(self) -> int:
+        return self.cell.index
+
+    @property
+    def spec(self):
+        return self.cell.spec
+
+    @property
+    def params(self) -> Dict[str, object]:
+        return self.cell.params
+
+
+@dataclass
+class ExperimentRun:
+    """Outcome of :func:`execute`: the reduced result plus the sweep log."""
+
+    spec: ExperimentSpec
+    result: object
+    outcomes: List[CellOutcome] = field(default_factory=list)
+    executor: str = "serial"
+    workers: Optional[int] = None
+    seconds: float = 0.0
+
+    @property
+    def cells_executed(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.cached)
+
+    @property
+    def cells_resumed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    def to_record(self) -> Dict[str, object]:
+        """Versioned run record with the resolved spec embedded (the
+        ``bench_localpush.py`` record pattern, generalized)."""
+        rows = self.result.rows() if hasattr(self.result, "rows") else []
+        return {
+            "experiment": self.spec.name,
+            "title": self.spec.title,
+            "created_unix": time.time(),
+            "spec": self.spec.to_dict(),
+            "executor": self.executor,
+            "workers": self.workers,
+            "seconds": self.seconds,
+            "cells_executed": self.cells_executed,
+            "cells_resumed": self.cells_resumed,
+            "cells": [{
+                "index": outcome.index,
+                "key": outcome.key,
+                "overrides": outcome.cell.overrides,
+                "seconds": outcome.seconds,
+                "cached": outcome.cached,
+                "record": outcome.record,
+            } for outcome in self.outcomes],
+            "rows": rows,
+        }
+
+
+def _run_pending(pending: Sequence[ExperimentCell],
+                 cell_runner: Callable[[ExperimentCell], dict],
+                 executor: str, workers: Optional[int],
+                 on_complete: Callable[[ExperimentCell, dict, float], None]
+                 ) -> Dict[int, Tuple[dict, float]]:
+    """Execute ``pending`` cells, returning ``{cell index: (record, s)}``.
+
+    ``on_complete`` fires (in the calling thread) as each cell finishes —
+    the store persists cells incrementally there, so a sweep killed or
+    raising mid-run keeps everything already completed and resumes from
+    the unfinished cells.
+    """
+    if executor not in EXECUTORS:
+        raise ExperimentError(
+            f"unknown experiment executor {executor!r}; "
+            f"expected one of {EXECUTORS}")
+    if workers is not None and workers < 1:
+        raise ExperimentError(f"workers must be a positive integer, "
+                              f"got {workers!r}")
+    results: Dict[int, Tuple[dict, float]] = {}
+    if executor == "serial" or len(pending) <= 1:
+        for cell in pending:
+            record, seconds = _execute_cell(cell_runner, cell)
+            results[cell.index] = (record, seconds)
+            on_complete(cell, record, seconds)
+        return results
+    pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
+    num_workers = min(workers or default_num_workers(), len(pending))
+    with pool_cls(max_workers=num_workers) as pool:
+        futures = {pool.submit(_execute_cell, cell_runner, cell): cell
+                   for cell in pending}
+        for future in as_completed(futures):
+            cell = futures[future]
+            record, seconds = future.result()
+            results[cell.index] = (record, seconds)
+            on_complete(cell, record, seconds)
+    return results
+
+
+def execute(spec: ExperimentSpec, *,
+            definition: Optional[ExperimentDefinition] = None,
+            executor: str = "serial", workers: Optional[int] = None,
+            store: Optional[ArtifactStore | str] = None,
+            resume: bool = True, force: bool = False) -> ExperimentRun:
+    """Execute ``spec`` cell by cell and reduce to the paper artefact.
+
+    ``definition`` defaults to the registry entry under ``spec.name``.
+    With a ``store``, finished cells are served from disk when ``resume``
+    is true (``force`` recomputes and overwrites them), every fresh cell
+    is persisted as it completes, and a run artefact is appended.
+    """
+    if not isinstance(spec, ExperimentSpec):
+        raise ExperimentError(
+            f"execute expects an ExperimentSpec, got {type(spec).__name__}")
+    definition = definition or get_experiment(spec.name)
+    cell_runner = definition.cell or evaluation_cell
+    if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
+        store = get_artifact_store(store)
+
+    started = time.perf_counter()
+    cells = spec.cells()
+    keys: Dict[int, Optional[str]] = {}
+    resumed: Dict[int, dict] = {}
+    pending: List[ExperimentCell] = []
+    for cell in cells:
+        key = store.key_for(cell, cell_runner) if store is not None else None
+        keys[cell.index] = key
+        if store is not None and resume and not force:
+            record = store.load_cell(key, cell, cell_runner)
+            if record is not None:
+                resumed[cell.index] = record
+                continue
+        pending.append(cell)
+
+    def persist(cell: ExperimentCell, record: dict, seconds: float) -> None:
+        # Incremental: each completed cell lands on disk immediately, so a
+        # sweep killed mid-run resumes from exactly the unfinished cells.
+        if store is not None:
+            store.store_cell(keys[cell.index], cell, cell_runner, record,
+                             experiment=spec.name, seconds=seconds)
+
+    executed = _run_pending(pending, cell_runner, executor, workers, persist)
+
+    outcomes: List[CellOutcome] = []
+    for cell in cells:
+        if cell.index in resumed:
+            outcomes.append(CellOutcome(cell=cell, record=resumed[cell.index],
+                                        cached=True, key=keys[cell.index]))
+            continue
+        record, seconds = executed[cell.index]
+        outcomes.append(CellOutcome(cell=cell, record=record, seconds=seconds,
+                                    cached=False, key=keys[cell.index]))
+
+    result = definition.reduce(spec, outcomes)
+    run = ExperimentRun(spec=spec, result=result, outcomes=outcomes,
+                        executor=executor, workers=workers,
+                        seconds=time.perf_counter() - started)
+    if store is not None:
+        store.append_artifact(spec.name, run.to_record())
+    return run
+
+
+def run_experiment(name: str, *args: object, scale_factor: Optional[float] = None,
+                   train: Optional["TrainConfig"] = None,
+                   executor: str = "serial", workers: Optional[int] = None,
+                   store: Optional[ArtifactStore | str] = None,
+                   resume: bool = True, force: bool = False,
+                   spec: Optional[ExperimentSpec] = None,
+                   print_result: bool = True, **overrides: object) -> object:
+    """Run a registered experiment and return its result object.
+
+    ``*args``/``**overrides`` are handed to the experiment's spec builder
+    (unknown ones are a hard :class:`ExperimentError`); ``spec=`` runs a
+    pre-built spec instead.  ``scale_factor`` and ``train`` are applied as
+    spec transforms, so they reach *every* experiment by construction —
+    no experiment can silently ignore them.
+    """
+    definition = get_experiment(name)
+    if spec is None:
+        spec = build_spec(name, *args, **overrides)
+    elif args or overrides:
+        raise ExperimentError(
+            "pass either a pre-built spec or builder arguments, not both")
+    if scale_factor is not None:
+        spec = spec.with_base(scale_factor=scale_factor)
+    if train is not None:
+        spec = spec.with_train(train)
+    run = execute(spec, definition=definition, executor=executor,
+                  workers=workers, store=store, resume=resume, force=force)
+    if print_result:
+        from repro.experiments.common import format_table
+
+        rows = run.result.rows() if hasattr(run.result, "rows") else []
+        print(f"== {definition.name} ==")
+        print(format_table(rows))
+    return run.result
+
+
+def legacy_run(name: str) -> Callable[..., object]:
+    """A deprecated ``module.run(**legacy)`` shim delegating to the registry.
+
+    The returned function accepts the historical ``run()`` arguments
+    (they are the spec builder's signature), emits exactly one
+    :class:`DeprecationWarning`, and returns the same result object the
+    declarative path produces — pinned bit/row-identical by the
+    equivalence tests.
+    """
+
+    from repro.experiments.registry import EXPERIMENT_MODULES
+
+    module = EXPERIMENT_MODULES.get(name, name).rsplit(".", 1)[-1]
+
+    def run(*args: object, **kwargs: object) -> object:
+        import warnings
+
+        warnings.warn(
+            f"{module}.run() is deprecated; use "
+            f"repro.experiments.run_experiment({name!r}, ...) or the "
+            f"'repro-experiment {name}' CLI instead",
+            DeprecationWarning, stacklevel=2)
+        return run_experiment(name, *args, print_result=False, **kwargs)
+
+    run.__doc__ = (f"Deprecated: run experiment {name!r} through the "
+                   f"registry (one DeprecationWarning per call).")
+    return run
+
+
+__all__ = ["CellOutcome", "ExperimentRun", "evaluation_cell",
+           "summary_record", "execute", "run_experiment", "legacy_run"]

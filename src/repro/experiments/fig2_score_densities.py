@@ -4,6 +4,12 @@ Produces, for each dataset, histogram densities of SimRank scores for
 intra-class and inter-class node pairs.  The paper plots these as KDE
 curves; here the densities are returned as arrays (and printed as a compact
 text summary) so they can be plotted with any tool.
+
+Declaratively this spec *shares Table II's cells*: same grid, same cell
+runner (:func:`repro.experiments.table2_simrank_stats.class_stats_cell`),
+only the reduction differs (the histogram bin count lives in
+``spec.reduction``, which never enters the cell key) — so running Fig. 2
+against a store warmed by Table II recomputes nothing.
 """
 
 from __future__ import annotations
@@ -13,7 +19,17 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.experiments.table2_simrank_stats import DEFAULT_DATASETS, run as run_table2
+from repro.config import ExperimentSpec
+from repro.experiments import table2_simrank_stats
+from repro.experiments.engine import legacy_run, run_experiment
+from repro.experiments.registry import experiment
+from repro.experiments.table2_simrank_stats import (
+    DEFAULT_DATASETS,
+    class_stats_cell,
+    stats_from_record,
+)
+
+TITLE = "Fig. 2 — SimRank score distributions by pair type"
 
 
 @dataclass
@@ -36,20 +52,33 @@ class Fig2Result:
         return rows
 
 
-def run(datasets: Sequence[str] = DEFAULT_DATASETS, *, scale_factor: float = 1.0,
-        bins: int = 40, seed: int = 0) -> Fig2Result:
-    """Compute the Fig. 2 densities (reusing the Table II computation)."""
-    table2 = run_table2(datasets, scale_factor=scale_factor, seed=seed)
+def spec(datasets: Sequence[str] = DEFAULT_DATASETS, *, scale_factor: float = 1.0,
+         bins: int = 40, seed: int = 0) -> ExperimentSpec:
+    """Table II's cell grid with a histogram reduction on top."""
+    base = table2_simrank_stats.spec(datasets, scale_factor=scale_factor,
+                                     seed=seed)
+    return base.with_overrides(name="fig2", title=TITLE,
+                               reduction={"bins": bins})
+
+
+@experiment("fig2", title=TITLE, spec=spec, cell=class_stats_cell)
+def _reduce(spec: ExperimentSpec, cells) -> Fig2Result:
+    bins = int(spec.reduction["bins"])
     result = Fig2Result()
-    for name, stat in table2.stats.items():
-        result.histograms[name] = stat.histogram(bins=bins)
+    for outcome in cells:
+        stat = stats_from_record(outcome.record)
+        result.histograms[outcome.spec.dataset] = stat.histogram(bins=bins)
     return result
+
+
+#: Deprecated shim — the historical ``run()`` arguments are the builder's.
+run = legacy_run("fig2")
 
 
 def main() -> None:  # pragma: no cover - CLI entry point
     from repro.experiments.common import format_table
 
-    result = run()
+    result = run_experiment("fig2", print_result=False)
     print("Fig. 2 — SimRank score distributions (histogram mode per pair type)")
     print(format_table(result.rows()))
 

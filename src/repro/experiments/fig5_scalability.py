@@ -6,20 +6,26 @@ a log axis, observing near-linear scaling for both methods and a growing
 speed-up of SIGMA over GloGNN.  This experiment does the same with the
 synthetic pokec generator, varying the node count so the edge count follows
 a geometric grid.
+
+Declaratively: a (size level × model) grid; the cell runner generates the
+synthetic graph at ``base.scale_factor / shrink**level``, so the shared
+``scale_factor`` transform (``repro-experiment fig5 --scale-factor 0.5``)
+rescales the whole grid — the flag can no longer be silently dropped the
+way the pre-registry dispatch did for this module.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
-from repro.api import build_model
 from repro.config import (
     SIGMA_DEFAULT_SIMRANK,
-    SIMRANK_MODELS,
     UNSET,
+    ExperimentCell,
+    ExperimentSpec,
+    RunSpec,
     SimRankConfig,
     merge_experiment_simrank_kwargs,
 )
@@ -28,8 +34,11 @@ from repro.datasets.registry import get_spec
 from repro.datasets.splits import stratified_splits
 from repro.datasets.synthetic import generate_synthetic_graph
 from repro.experiments.common import QUICK_EXPERIMENT_CONFIG, format_table
+from repro.experiments.engine import run_experiment
+from repro.experiments.registry import experiment
 from repro.training.config import TrainConfig
-from repro.training.trainer import Trainer
+
+TITLE = "Fig. 5 — scalability of SIGMA and GloGNN with graph size"
 
 
 @dataclass
@@ -68,60 +77,105 @@ class Fig5Result:
         return [(edges, glognn[edges] / sigma[edges]) for edges in shared if sigma[edges] > 0]
 
 
-def run(*, base_dataset: str = "pokec", num_sizes: int = 4, shrink: float = 2.0,
-        models: Sequence[str] = ("sigma", "glognn"),
-        config: Optional[TrainConfig] = None, seed: int = 0,
-        base_scale: float = 1.0,
-        simrank: Optional[SimRankConfig] = None,
-        simrank_backend: object = UNSET,
-        simrank_executor: object = UNSET,
-        simrank_workers: object = UNSET,
-        simrank_cache_dir: object = UNSET) -> Fig5Result:
-    """Measure learning time across a geometric grid of graph sizes.
+@lru_cache(maxsize=4)
+def _sized_dataset(base_dataset: str, scale: float, seed: int) -> Dataset:
+    """One size level's synthetic dataset, shared by every model cell.
 
-    The largest size is the base dataset at ``base_scale``; each subsequent
-    size divides the node count by ``shrink`` (edges shrink roughly
-    proportionally, matching the paper's geometric grid of edge counts).
-    ``simrank`` configures the SIGMA variants' LocalPush precompute — the
-    precompute column of this figure is exactly what the unified core
-    accelerates — including the ``(backend, executor, workers)`` plan and
-    the persistent operator cache (a warm ``cache_dir`` makes repeated
-    runs skip precompute entirely; the column then measures the cache
-    load).  The pre-config keywords (``simrank_backend=`` …) remain as
-    deprecated shims.
+    Generation is deterministic in ``(dataset, scale, seed)``, so the memo
+    only removes the duplicate work of the per-model cells at one level —
+    results are identical with or without it (cells stay pure).
     """
+    graph_config = get_spec(base_dataset).build_config(scale)
+    graph = generate_synthetic_graph(graph_config, seed=seed)
+    splits = stratified_splits(graph.labels, num_splits=1, seed=seed + 1)
+    return Dataset(graph=graph, splits=splits,
+                   name=f"{base_dataset}@{scale:.3f}")
+
+
+def scalability_cell(cell: ExperimentCell) -> Dict[str, object]:
+    """Generate the level's graph, train one model, record the timings."""
+    from repro.api import build_model
+    from repro.training.trainer import Trainer
+
+    spec = cell.spec
+    scale = spec.scale_factor / (float(cell.params["shrink"])
+                                 ** int(cell.params["level"]))
+    dataset = _sized_dataset(spec.dataset, scale, spec.seed)
+    graph = dataset.graph
+    # spec.simrank is already None on the baseline cells (the grid
+    # expansion drops the base config for non-SIGMA models).
+    model = build_model(spec.model, graph, rng=spec.seed, simrank=spec.simrank)
+    trained = Trainer(model, spec.train).fit(dataset.split(0))
+    return {
+        "model": spec.model,
+        "num_nodes": int(graph.num_nodes),
+        "num_edges": int(graph.num_edges),
+        "precompute_seconds": float(trained.timing.precompute),
+        "learning_seconds": float(trained.learning_time),
+    }
+
+
+def spec(*, base_dataset: str = "pokec", num_sizes: int = 4, shrink: float = 2.0,
+         models: Sequence[str] = ("sigma", "glognn"),
+         config: Optional[TrainConfig] = None, seed: int = 0,
+         base_scale: float = 1.0,
+         simrank: Optional[SimRankConfig] = None) -> ExperimentSpec:
+    """Learning time across a geometric grid of graph sizes.
+
+    The largest size is the base dataset at ``base_scale`` (the spec's
+    shared ``scale_factor``); each subsequent level divides the node
+    count by ``shrink``.  ``simrank`` configures the SIGMA cells'
+    LocalPush precompute — the precompute column of this figure is
+    exactly what the unified core accelerates.
+    """
+    base = RunSpec(model="sigma", dataset=base_dataset,
+                   train=config or QUICK_EXPERIMENT_CONFIG, simrank=simrank,
+                   seed=seed, scale_factor=base_scale)
+    entries = [{"level": level, "model": model}
+               for level in range(num_sizes) for model in models]
+    return ExperimentSpec(name="fig5", title=TITLE, base=base,
+                          grid=tuple(entries),
+                          params={"level": 0, "shrink": shrink})
+
+
+@experiment("fig5", title=TITLE, spec=spec, cell=scalability_cell)
+def _reduce(spec: ExperimentSpec, cells) -> Fig5Result:
+    result = Fig5Result()
+    for outcome in cells:
+        result.points.append(ScalabilityPoint(
+            model=str(outcome.record["model"]),
+            num_nodes=int(outcome.record["num_nodes"]),
+            num_edges=int(outcome.record["num_edges"]),
+            precompute_seconds=float(outcome.record["precompute_seconds"]),
+            learning_seconds=float(outcome.record["learning_seconds"]),
+        ))
+    return result
+
+
+def run(*args, simrank: Optional[SimRankConfig] = None,
+        simrank_backend: object = UNSET, simrank_executor: object = UNSET,
+        simrank_workers: object = UNSET, simrank_cache_dir: object = UNSET,
+        **kwargs) -> Fig5Result:
+    """Deprecated shim: run the registered ``fig5`` experiment."""
+    import warnings
+
+    warnings.warn(
+        "fig5_scalability.run() is deprecated; use "
+        "repro.experiments.run_experiment('fig5', ...) or the "
+        "'repro-experiment fig5' CLI instead",
+        DeprecationWarning, stacklevel=2)
     # Legacy keywords fold into the model-default config so the shim
     # reproduces the old behaviour (top-k 32 etc.) exactly.
     simrank = merge_experiment_simrank_kwargs(
         simrank, simrank_backend=simrank_backend,
         simrank_executor=simrank_executor, simrank_workers=simrank_workers,
         simrank_cache_dir=simrank_cache_dir, default=SIGMA_DEFAULT_SIMRANK)
-    config = config or QUICK_EXPERIMENT_CONFIG
-    spec = get_spec(base_dataset)
-    result = Fig5Result()
-    for level in range(num_sizes):
-        scale = base_scale / (shrink**level)
-        graph_config = spec.build_config(scale)
-        graph = generate_synthetic_graph(graph_config, seed=seed)
-        splits = stratified_splits(graph.labels, num_splits=1, seed=seed + 1)
-        dataset = Dataset(graph=graph, splits=splits, name=f"{base_dataset}@{scale:.3f}")
-        for model_name in models:
-            operator_config = simrank if model_name in SIMRANK_MODELS else None
-            model = build_model(model_name, graph, rng=seed,
-                                simrank=operator_config)
-            trained = Trainer(model, config).fit(dataset.split(0))
-            result.points.append(ScalabilityPoint(
-                model=model_name,
-                num_nodes=graph.num_nodes,
-                num_edges=graph.num_edges,
-                precompute_seconds=trained.timing.precompute,
-                learning_seconds=trained.learning_time,
-            ))
-    return result
+    return run_experiment("fig5", *args, print_result=False, simrank=simrank,
+                          **kwargs)
 
 
 def main() -> None:  # pragma: no cover - CLI entry point
-    result = run()
+    result = run_experiment("fig5", print_result=False)
     print("Fig. 5 — scalability of SIGMA and GloGNN across graph sizes")
     print(format_table(result.rows()))
     for edges, ratio in result.speedup_trend():

@@ -5,6 +5,11 @@ SimRank operator and records SIGMA's accuracy and precomputation time,
 reproducing the paper's finding that ε = 0.1 with k ∈ {16, 32} is the sweet
 spot: tighter ε or much larger k barely improve accuracy but inflate the
 precomputation / aggregation cost.
+
+Declaratively: a (ε × k) grid of ``RunSpec`` cells over one base SIGMA
+run — every cell is keyed separately in the operator cache *and* in the
+experiment :class:`~repro.experiments.store.ArtifactStore`, so repeated
+sweeps skip both the precompute and the finished cells.
 """
 
 from __future__ import annotations
@@ -15,16 +20,21 @@ from typing import Dict, List, Optional, Sequence
 from repro.config import (
     SIGMA_DEFAULT_SIMRANK,
     UNSET,
+    ExperimentSpec,
+    RunSpec,
     SimRankConfig,
+    grid_product,
     merge_experiment_simrank_kwargs,
 )
-from repro.datasets.registry import load_dataset
 from repro.experiments.common import DEFAULT_EXPERIMENT_CONFIG, format_table
+from repro.experiments.engine import run_experiment
+from repro.experiments.registry import experiment
 from repro.training.config import TrainConfig
-from repro.training.evaluation import repeated_evaluation
 
 DEFAULT_EPSILONS = (0.01, 0.05, 0.1)
 DEFAULT_TOP_KS = (4, 16, 64, 256)
+
+TITLE = "Fig. 6 — effect of the error threshold ε and top-k"
 
 
 @dataclass
@@ -50,53 +60,68 @@ class Fig6Result:
         raise KeyError(f"no cell for epsilon={epsilon}, top_k={top_k}")
 
 
-def run(dataset_name: str = "pokec", *, epsilons: Sequence[float] = DEFAULT_EPSILONS,
-        top_ks: Sequence[int] = DEFAULT_TOP_KS, num_repeats: int = 1,
-        scale_factor: float = 1.0, config: Optional[TrainConfig] = None,
-        seed: int = 0, final_layers: int = 2,
-        simrank: Optional[SimRankConfig] = None,
-        simrank_backend: object = UNSET,
-        simrank_executor: object = UNSET,
-        simrank_workers: object = UNSET,
-        simrank_cache_dir: object = UNSET) -> Fig6Result:
-    """Sweep (ε, k) for SIGMA on ``dataset_name``.
+def spec(dataset_name: str = "pokec", *,
+         epsilons: Sequence[float] = DEFAULT_EPSILONS,
+         top_ks: Sequence[int] = DEFAULT_TOP_KS, num_repeats: int = 1,
+         scale_factor: float = 1.0, config: Optional[TrainConfig] = None,
+         seed: int = 0, final_layers: int = 2,
+         simrank: Optional[SimRankConfig] = None) -> ExperimentSpec:
+    """The declarative (ε × k) sweep for SIGMA on ``dataset_name``.
 
     ``simrank`` is the *base* operator configuration shared by every
     cell — the LocalPush ``(backend, executor, workers)`` plan and the
     persistent cache directory; each grid cell overrides only its
-    ``(epsilon, top_k)``.  Every cell is keyed separately in the cache
-    *and* a warm cache can serve looser cells from tighter ones by
-    cross-ε/k reuse, so repeated runs skip the whole precompute sweep.
-    The pre-config keywords (``simrank_backend=`` …) remain as deprecated
-    shims.
+    ``(epsilon, top_k)``.
     """
+    base_simrank = (simrank if simrank is not None
+                    else SIGMA_DEFAULT_SIMRANK).with_overrides(method="localpush")
+    base = RunSpec(model="sigma", dataset=dataset_name,
+                   overrides={"final_layers": final_layers},
+                   train=config or DEFAULT_EXPERIMENT_CONFIG,
+                   simrank=base_simrank, seed=seed, repeats=num_repeats,
+                   scale_factor=scale_factor)
+    return ExperimentSpec(
+        name="fig6", title=TITLE, base=base,
+        grid=grid_product({"simrank.epsilon": epsilons,
+                           "simrank.top_k": top_ks}))
+
+
+@experiment("fig6", title=TITLE, spec=spec)
+def _reduce(spec: ExperimentSpec, cells) -> Fig6Result:
+    result = Fig6Result(dataset=spec.base.dataset)
+    for outcome in cells:
+        result.cells.append({
+            "epsilon": outcome.spec.simrank.epsilon,
+            "top_k": outcome.spec.simrank.top_k,
+            "accuracy": round(100 * outcome.record["mean_accuracy"], 2),
+            "precompute": round(outcome.record["mean_precompute_time"], 3),
+            "learn": round(outcome.record["mean_learning_time"], 3),
+        })
+    return result
+
+
+def run(*args, simrank: Optional[SimRankConfig] = None,
+        simrank_backend: object = UNSET, simrank_executor: object = UNSET,
+        simrank_workers: object = UNSET, simrank_cache_dir: object = UNSET,
+        **kwargs) -> Fig6Result:
+    """Deprecated shim: run the registered ``fig6`` experiment."""
+    import warnings
+
+    warnings.warn(
+        "fig6_epsilon_topk.run() is deprecated; use "
+        "repro.experiments.run_experiment('fig6', ...) or the "
+        "'repro-experiment fig6' CLI instead",
+        DeprecationWarning, stacklevel=2)
     simrank = merge_experiment_simrank_kwargs(
         simrank, simrank_backend=simrank_backend,
         simrank_executor=simrank_executor, simrank_workers=simrank_workers,
         simrank_cache_dir=simrank_cache_dir)
-    base = simrank if simrank is not None else SIGMA_DEFAULT_SIMRANK
-    config = config or DEFAULT_EXPERIMENT_CONFIG
-    dataset = load_dataset(dataset_name, seed=seed, scale_factor=scale_factor)
-    result = Fig6Result(dataset=dataset_name)
-    for epsilon in epsilons:
-        for top_k in top_ks:
-            cell = base.with_overrides(method="localpush", epsilon=epsilon,
-                                       top_k=top_k)
-            summary = repeated_evaluation(
-                "sigma", dataset, num_repeats=num_repeats, config=config,
-                seed=seed, simrank=cell, final_layers=final_layers)
-            result.cells.append({
-                "epsilon": epsilon,
-                "top_k": top_k,
-                "accuracy": round(100 * summary.mean_accuracy, 2),
-                "precompute": round(summary.mean_precompute_time, 3),
-                "learn": round(summary.mean_learning_time, 3),
-            })
-    return result
+    return run_experiment("fig6", *args, print_result=False, simrank=simrank,
+                          **kwargs)
 
 
 def main() -> None:  # pragma: no cover - CLI entry point
-    result = run()
+    result = run_experiment("fig6", print_result=False)
     print(f"Fig. 6 — effect of ε and top-k on {result.dataset}")
     print(format_table(result.rows()))
 

@@ -3,7 +3,8 @@
 Fixes ε = 0.1 and sweeps k, recording total runtime (precompute + training)
 and accuracy.  The paper's observation: accuracy saturates around k = 32
 while the runtime keeps growing, motivating the practical choice
-k ∈ {16, 32}.
+k ∈ {16, 32}.  Declaratively: a one-axis ``simrank.top_k`` grid over a
+base SIGMA run.
 """
 
 from __future__ import annotations
@@ -11,13 +12,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.config import SIGMA_DEFAULT_SIMRANK, SimRankConfig
-from repro.datasets.registry import load_dataset
+from repro.config import (
+    SIGMA_DEFAULT_SIMRANK,
+    ExperimentSpec,
+    RunSpec,
+    SimRankConfig,
+    grid_product,
+)
 from repro.experiments.common import DEFAULT_EXPERIMENT_CONFIG, format_table
+from repro.experiments.engine import legacy_run, run_experiment
+from repro.experiments.registry import experiment
 from repro.training.config import TrainConfig
-from repro.training.evaluation import repeated_evaluation
 
 DEFAULT_TOP_KS = (4, 8, 16, 32, 64, 128)
+
+TITLE = "Fig. 7 — accuracy/runtime trade-off over top-k"
 
 
 @dataclass
@@ -42,36 +51,43 @@ class Fig7Result:
         return min(eligible) if eligible else int(self.points[-1]["top_k"])
 
 
-def run(dataset_name: str = "pokec", *, top_ks: Sequence[int] = DEFAULT_TOP_KS,
-        epsilon: float = 0.1, num_repeats: int = 1, scale_factor: float = 1.0,
-        config: Optional[TrainConfig] = None, seed: int = 0,
-        final_layers: int = 2,
-        simrank: Optional[SimRankConfig] = None) -> Fig7Result:
-    """Sweep k at fixed ε and record accuracy and total runtime.
+def spec(dataset_name: str = "pokec", *, top_ks: Sequence[int] = DEFAULT_TOP_KS,
+         epsilon: float = 0.1, num_repeats: int = 1, scale_factor: float = 1.0,
+         config: Optional[TrainConfig] = None, seed: int = 0,
+         final_layers: int = 2,
+         simrank: Optional[SimRankConfig] = None) -> ExperimentSpec:
+    """Sweep k at fixed ε: ``simrank`` is the base operator configuration;
+    each sweep point overrides only its ``top_k``."""
+    base_simrank = (simrank if simrank is not None
+                    else SIGMA_DEFAULT_SIMRANK).with_overrides(epsilon=epsilon)
+    base = RunSpec(model="sigma", dataset=dataset_name,
+                   overrides={"final_layers": final_layers},
+                   train=config or DEFAULT_EXPERIMENT_CONFIG,
+                   simrank=base_simrank, seed=seed, repeats=num_repeats,
+                   scale_factor=scale_factor)
+    return ExperimentSpec(name="fig7", title=TITLE, base=base,
+                          grid=grid_product({"simrank.top_k": top_ks}))
 
-    ``simrank`` is the base operator configuration; each sweep point
-    overrides only its ``top_k`` (and the fixed ``epsilon``).
-    """
-    base = simrank if simrank is not None else SIGMA_DEFAULT_SIMRANK
-    config = config or DEFAULT_EXPERIMENT_CONFIG
-    dataset = load_dataset(dataset_name, seed=seed, scale_factor=scale_factor)
-    result = Fig7Result(dataset=dataset_name)
-    for top_k in top_ks:
-        summary = repeated_evaluation(
-            "sigma", dataset, num_repeats=num_repeats, config=config, seed=seed,
-            simrank=base.with_overrides(epsilon=epsilon, top_k=top_k),
-            final_layers=final_layers)
+
+@experiment("fig7", title=TITLE, spec=spec)
+def _reduce(spec: ExperimentSpec, cells) -> Fig7Result:
+    result = Fig7Result(dataset=spec.base.dataset)
+    for outcome in cells:
         result.points.append({
-            "top_k": top_k,
-            "accuracy": round(100 * summary.mean_accuracy, 2),
-            "runtime": round(summary.mean_learning_time, 3),
-            "aggregation": round(summary.mean_aggregation_time, 3),
+            "top_k": outcome.spec.simrank.top_k,
+            "accuracy": round(100 * outcome.record["mean_accuracy"], 2),
+            "runtime": round(outcome.record["mean_learning_time"], 3),
+            "aggregation": round(outcome.record["mean_aggregation_time"], 3),
         })
     return result
 
 
+#: Deprecated shim — the historical ``run()`` arguments are the builder's.
+run = legacy_run("fig7")
+
+
 def main() -> None:  # pragma: no cover - CLI entry point
-    result = run()
+    result = run_experiment("fig7", print_result=False)
     print(f"Fig. 7 — accuracy/runtime trade-off over top-k on {result.dataset}")
     print(format_table(result.rows()))
     print(f"accuracy saturates at k = {result.saturation_k()}")

@@ -6,6 +6,11 @@ rows.  The quantitative counterpart computed here is the *grouping ratio*:
 mean cosine similarity of embedding pairs within a class divided by the mean
 similarity across classes — values well above one indicate the grouping
 effect of Theorem III.4.
+
+Declaratively: a dataset grid with a custom cell runner.  Each cell seeds
+its own pair-sampling RNG from the spec seed (the pre-spec module threaded
+one RNG through all datasets, making later datasets depend on earlier
+ones; per-cell seeding is what makes cells independent and resumable).
 """
 
 from __future__ import annotations
@@ -15,12 +20,15 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.config import ExperimentCell, ExperimentSpec, RunSpec
 from repro.datasets.registry import SMALL_DATASETS, load_dataset
 from repro.experiments.common import DEFAULT_EXPERIMENT_CONFIG, format_table
-from repro.models.registry import create_model
+from repro.experiments.engine import legacy_run, run_experiment
+from repro.experiments.registry import experiment
 from repro.training.config import TrainConfig
-from repro.training.trainer import Trainer
 from repro.utils.rng import ensure_rng
+
+TITLE = "Fig. 8 — grouping effect of the SIGMA embeddings"
 
 
 @dataclass
@@ -68,31 +76,66 @@ def _pairwise_cosine_stats(embeddings: np.ndarray, labels: np.ndarray,
             float(inter.mean()) if inter.size else 0.0)
 
 
-def run(datasets: Sequence[str] = tuple(SMALL_DATASETS), *,
-        scale_factor: float = 1.0, config: Optional[TrainConfig] = None,
-        num_pairs: int = 20000, seed: int = 0) -> Fig8Result:
-    """Train SIGMA and compute grouping statistics of its embeddings ``Z``."""
-    config = config or DEFAULT_EXPERIMENT_CONFIG
-    rng = ensure_rng(seed)
+def grouping_cell(cell: ExperimentCell) -> Dict[str, object]:
+    """Train SIGMA and compute grouping statistics of its embeddings."""
+    from repro.api import build_model
+    from repro.training.trainer import Trainer
+
+    spec = cell.spec
+    dataset = load_dataset(spec.dataset, seed=spec.seed,
+                           scale_factor=spec.scale_factor)
+    model = build_model(spec.model, dataset.graph, rng=spec.seed,
+                        **spec.overrides)
+    Trainer(model, spec.train).fit(dataset.split(0))
+    embeddings = model.embeddings()
+    labels = dataset.graph.labels
+    rng = ensure_rng(spec.seed)
+    intra, inter = _pairwise_cosine_stats(embeddings, labels,
+                                          int(cell.params["num_pairs"]), rng)
+    order = np.argsort(labels)
+    return {
+        "dataset": spec.dataset,
+        "intra_similarity": intra,
+        "inter_similarity": inter,
+        "embeddings": embeddings[order].tolist(),
+        "label_order": [int(i) for i in order],
+    }
+
+
+def spec(datasets: Sequence[str] = tuple(SMALL_DATASETS), *,
+         scale_factor: float = 1.0, config: Optional[TrainConfig] = None,
+         num_pairs: int = 20000, seed: int = 0) -> ExperimentSpec:
+    """Grouping statistics of trained SIGMA embeddings per dataset."""
+    datasets = list(datasets)
+    base = RunSpec(model="sigma", dataset=datasets[0],
+                   train=config or DEFAULT_EXPERIMENT_CONFIG, seed=seed,
+                   scale_factor=scale_factor)
+    return ExperimentSpec(
+        name="fig8", title=TITLE, base=base,
+        grid=tuple({"dataset": name} for name in datasets),
+        params={"num_pairs": num_pairs})
+
+
+@experiment("fig8", title=TITLE, spec=spec, cell=grouping_cell)
+def _reduce(spec: ExperimentSpec, cells) -> Fig8Result:
     result = Fig8Result()
-    for dataset_name in datasets:
-        dataset = load_dataset(dataset_name, seed=seed, scale_factor=scale_factor)
-        model = create_model("sigma", dataset.graph, rng=seed)
-        Trainer(model, config).fit(dataset.split(0))
-        embeddings = model.embeddings()
-        labels = dataset.graph.labels
-        intra, inter = _pairwise_cosine_stats(embeddings, labels, num_pairs, rng)
-        order = np.argsort(labels)
-        result.stats.append(GroupingStats(dataset=dataset_name,
-                                          intra_similarity=intra,
-                                          inter_similarity=inter,
-                                          embeddings=embeddings[order],
-                                          label_order=order))
+    for outcome in cells:
+        result.stats.append(GroupingStats(
+            dataset=str(outcome.record["dataset"]),
+            intra_similarity=float(outcome.record["intra_similarity"]),
+            inter_similarity=float(outcome.record["inter_similarity"]),
+            embeddings=np.asarray(outcome.record["embeddings"], dtype=np.float64),
+            label_order=np.asarray(outcome.record["label_order"], dtype=np.int64),
+        ))
     return result
 
 
+#: Deprecated shim — the historical ``run()`` arguments are the builder's.
+run = legacy_run("fig8")
+
+
 def main() -> None:  # pragma: no cover - CLI entry point
-    result = run()
+    result = run_experiment("fig8", print_result=False)
     print("Fig. 8 — grouping effect of the SIGMA embeddings Z")
     print(format_table(result.rows()))
 

@@ -1,0 +1,140 @@
+"""Decorator-based registry of the paper's experiments.
+
+Every experiment module registers itself with the :func:`experiment`
+decorator::
+
+    def spec(dataset_name="pokec", *, epsilons=..., ...) -> ExperimentSpec:
+        ...build the declarative grid...
+
+    @experiment("fig6", title="Fig. 6 — effect of ε and top-k", spec=spec)
+    def _reduce(spec, cells) -> Fig6Result:
+        ...fold the cell records into the paper artefact...
+
+A registration binds together the three pieces of one experiment:
+
+* the **spec builder** — a function returning the experiment's
+  :class:`repro.config.ExperimentSpec` (its keyword arguments are the
+  experiment's public knobs; calling it with none yields the paper
+  defaults);
+* the optional **cell runner** — ``cell=`` a module-level function
+  ``(ExperimentCell) -> dict`` producing one cell's JSON record
+  (defaults to the sweep engine's ``evaluation_cell``, which executes
+  the cell's ``RunSpec`` through :func:`repro.api.run`);
+* the **reduction** — the decorated function
+  ``(ExperimentSpec, [CellOutcome]) -> result``, rebuilding the
+  experiment's result object from the records.
+
+The registry replaces the old string→module table *and* the
+``inspect.signature`` dispatch: a knob that does not exist is a hard
+:class:`repro.errors.ExperimentError` (:func:`build_spec` wraps the
+builder's ``TypeError``), never silently dropped.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.config import ExperimentSpec
+from repro.errors import ExperimentError
+
+#: name → defining module; imported on demand so ``get_experiment`` works
+#: without eagerly importing all fifteen experiment modules.
+EXPERIMENT_MODULES: Dict[str, str] = {
+    "fig1": "repro.experiments.fig1_aggregation_maps",
+    "table2": "repro.experiments.table2_simrank_stats",
+    "fig2": "repro.experiments.fig2_score_densities",
+    "table3": "repro.experiments.table3_complexity",
+    "table5": "repro.experiments.table5_accuracy",
+    "table7": "repro.experiments.table7_learning_time",
+    "fig4": "repro.experiments.fig4_convergence",
+    "fig5": "repro.experiments.fig5_scalability",
+    "fig6": "repro.experiments.fig6_epsilon_topk",
+    "fig7": "repro.experiments.fig7_topk_tradeoff",
+    "table8": "repro.experiments.table8_ablation",
+    "table9": "repro.experiments.table9_delta",
+    "table10": "repro.experiments.table10_alpha",
+    "fig8": "repro.experiments.fig8_grouping",
+    "table11": "repro.experiments.table11_iterative",
+}
+
+_REGISTRY: Dict[str, "ExperimentDefinition"] = {}
+
+
+@dataclass(frozen=True)
+class ExperimentDefinition:
+    """One registered experiment: spec builder + cell runner + reduction."""
+
+    name: str
+    title: str
+    builder: Callable[..., ExperimentSpec]
+    reduce: Callable[..., object]
+    cell: Optional[Callable[..., dict]] = None
+    description: str = field(default="")
+
+    def default_spec(self) -> ExperimentSpec:
+        """The paper-default spec (the builder called with no arguments)."""
+        return self.builder()
+
+
+def experiment(name: str, *, title: str,
+               spec: Callable[..., ExperimentSpec],
+               cell: Optional[Callable[..., dict]] = None,
+               description: str = "") -> Callable:
+    """Register the decorated reduction under ``name`` (see module doc)."""
+
+    def decorator(reduce_fn: Callable[..., object]) -> Callable[..., object]:
+        key = name.lower()
+        _REGISTRY[key] = ExperimentDefinition(
+            name=key, title=title, builder=spec, reduce=reduce_fn, cell=cell,
+            description=description or (spec.__doc__ or "").strip().split("\n")[0])
+        return reduce_fn
+
+    return decorator
+
+
+def get_experiment(name: str) -> ExperimentDefinition:
+    """The registered definition for ``name`` (importing its module)."""
+    key = name.lower()
+    if key not in EXPERIMENT_MODULES:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; available: "
+            f"{', '.join(sorted(EXPERIMENT_MODULES))}")
+    if key not in _REGISTRY:
+        importlib.import_module(EXPERIMENT_MODULES[key])
+    if key not in _REGISTRY:  # pragma: no cover - registration bug guard
+        raise ExperimentError(
+            f"module {EXPERIMENT_MODULES[key]} did not register {name!r}")
+    return _REGISTRY[key]
+
+
+def list_experiments() -> List[ExperimentDefinition]:
+    """All registered definitions, sorted by name (imports every module)."""
+    return [get_experiment(name) for name in sorted(EXPERIMENT_MODULES)]
+
+
+def build_spec(name: str, *args: object, **overrides: object) -> ExperimentSpec:
+    """Build ``name``'s spec with the given builder arguments.
+
+    An argument the builder does not accept raises
+    :class:`ExperimentError` — the declarative replacement for the old
+    signature-inspection dispatch that silently dropped unsupported
+    flags.
+    """
+    definition = get_experiment(name)
+    try:
+        spec = definition.builder(*args, **overrides)
+    except TypeError as error:
+        raise ExperimentError(
+            f"invalid arguments for experiment {definition.name!r}: {error}"
+        ) from None
+    if not isinstance(spec, ExperimentSpec):  # pragma: no cover - builder bug
+        raise ExperimentError(
+            f"builder of {definition.name!r} returned "
+            f"{type(spec).__name__}, expected ExperimentSpec")
+    return spec
+
+
+__all__ = ["EXPERIMENT_MODULES", "ExperimentDefinition", "experiment",
+           "get_experiment", "list_experiments", "build_spec"]

@@ -1,79 +1,116 @@
-"""Command-line entry point dispatching to the experiment modules.
+"""Command-line entry point for the declarative experiment registry.
+
+A thin shell over :mod:`repro.experiments.engine`: every experiment is a
+registered :class:`repro.config.ExperimentSpec` (grid of ``RunSpec``
+cells + reduction), and the flags here are spec transforms and sweep
+options — they apply to *every* experiment by construction, so no flag
+can be silently dropped the way the old signature-inspection dispatch
+dropped ``--scale-factor``.
 
 Examples
 --------
 ``repro-experiment --list``
+``repro-experiment --describe fig6``
 ``repro-experiment table5``
-``repro-experiment fig6 --scale-factor 0.25``
+``repro-experiment fig6 --scale-factor 0.25 --quick``
+``repro-experiment fig6 --store artifacts/ --executor thread --workers 2``
+
+The same interface is exposed as ``python -m repro.cli experiment …``.
 """
 
 from __future__ import annotations
 
 import argparse
-import importlib
-import inspect
-from typing import Dict
+import json
+from typing import Optional
 
 from repro.errors import ExperimentError
+from repro.experiments.engine import run_experiment
+from repro.experiments.registry import (
+    EXPERIMENT_MODULES,
+    build_spec,
+    get_experiment,
+    list_experiments,
+)
 
-EXPERIMENTS: Dict[str, str] = {
-    "fig1": "repro.experiments.fig1_aggregation_maps",
-    "table2": "repro.experiments.table2_simrank_stats",
-    "fig2": "repro.experiments.fig2_score_densities",
-    "table3": "repro.experiments.table3_complexity",
-    "table5": "repro.experiments.table5_accuracy",
-    "table7": "repro.experiments.table7_learning_time",
-    "fig4": "repro.experiments.fig4_convergence",
-    "fig5": "repro.experiments.fig5_scalability",
-    "fig6": "repro.experiments.fig6_epsilon_topk",
-    "fig7": "repro.experiments.fig7_topk_tradeoff",
-    "table8": "repro.experiments.table8_ablation",
-    "table9": "repro.experiments.table9_delta",
-    "table10": "repro.experiments.table10_alpha",
-    "fig8": "repro.experiments.fig8_grouping",
-    "table11": "repro.experiments.table11_iterative",
-}
+#: Backward-compatible alias of the name → module table.
+EXPERIMENTS = EXPERIMENT_MODULES
 
 
-def run_experiment(name: str, *, scale_factor: float = 1.0, print_result: bool = True):
-    """Run the experiment registered under ``name`` and return its result."""
-    key = name.lower()
-    if key not in EXPERIMENTS:
-        raise ExperimentError(
-            f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
-        )
-    module = importlib.import_module(EXPERIMENTS[key])
-    accepts_scale = "scale_factor" in inspect.signature(module.run).parameters
-    if scale_factor != 1.0 and accepts_scale:
-        result = module.run(scale_factor=scale_factor)
-    else:
-        result = module.run()
-    if print_result:
-        from repro.experiments.common import format_table
-
-        rows = result.rows() if hasattr(result, "rows") else []
-        print(f"== {key} ==")
-        print(format_table(rows))
-    return result
-
-
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        description="Regenerate a table or figure from the SIGMA paper.")
-    parser.add_argument("experiment", nargs="?", help="experiment id, e.g. table5 or fig6")
-    parser.add_argument("--list", action="store_true", help="list available experiments")
-    parser.add_argument("--scale-factor", type=float, default=1.0,
-                        help="node-count multiplier for quicker runs")
+        prog="repro-experiment",
+        description="Regenerate a table or figure of the SIGMA paper from "
+                    "its registered declarative spec.")
+    parser.add_argument("experiment", nargs="?",
+                        help="experiment id, e.g. table5 or fig6")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("--describe", action="store_true",
+                        help="print the resolved spec as JSON instead of running")
+    parser.add_argument("--scale-factor", type=float, default=None,
+                        help="node-count multiplier for quicker runs "
+                             "(applies to every experiment)")
+    parser.add_argument("--quick", action="store_true",
+                        help="train under the reduced smoke protocol "
+                             "(QUICK_EXPERIMENT_CONFIG)")
+    parser.add_argument("--executor", default="serial",
+                        choices=("serial", "thread", "process"),
+                        help="how the grid cells are executed (results are "
+                             "identical for every executor)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size for the thread/process executors")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="ArtifactStore directory: completed cells and "
+                             "the versioned run artefact persist there, and "
+                             "a re-run resumes from the finished cells")
+    parser.add_argument("--no-resume", dest="resume", action="store_false",
+                        help="ignore stored cells (they are still overwritten)")
+    parser.add_argument("--force", action="store_true",
+                        help="recompute every cell even when stored")
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
 
-    if args.list or not args.experiment:
-        print("available experiments:")
-        for key, module in sorted(EXPERIMENTS.items()):
-            print(f"  {key:10s} -> {module}")
-        return 0
+    try:
+        if args.list or not args.experiment:
+            print("available experiments:")
+            for definition in list_experiments():
+                print(f"  {definition.name:10s} {definition.title}")
+            return 0
 
-    run_experiment(args.experiment, scale_factor=args.scale_factor)
-    return 0
+        # Build the transformed spec once — the describe output IS the
+        # spec the run branch executes, so the two cannot drift.
+        spec = build_spec(args.experiment)
+        if args.scale_factor is not None:
+            spec = spec.with_base(scale_factor=args.scale_factor)
+        if args.quick:
+            from repro.experiments.common import QUICK_EXPERIMENT_CONFIG
+
+            spec = spec.with_train(QUICK_EXPERIMENT_CONFIG)
+
+        if args.describe:
+            definition = get_experiment(args.experiment)
+            from repro.experiments.engine import evaluation_cell
+            from repro.experiments.store import runner_name
+
+            print(json.dumps({
+                "cells": spec.num_cells,
+                "cell_runner": runner_name(definition.cell or evaluation_cell),
+                "spec": spec.to_dict(),
+            }, indent=2, default=str))
+            return 0
+
+        run_experiment(args.experiment, spec=spec, executor=args.executor,
+                       workers=args.workers, store=args.store,
+                       resume=args.resume, force=args.force,
+                       print_result=True)
+        return 0
+    except ExperimentError as error:
+        parser.exit(2, f"error: {error}\n")
 
 
 if __name__ == "__main__":  # pragma: no cover

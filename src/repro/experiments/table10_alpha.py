@@ -4,7 +4,9 @@ SIGMA's update (Eq. (6)) mixes the global aggregation with the local
 embedding through a learnable α initialised at 0.5.  The paper reports the
 value α converges to on each large dataset: smaller values mean the model
 leans more heavily on the global SimRank aggregation (notably on the highly
-heterophilous snap-patents graph).
+heterophilous snap-patents graph).  Declaratively: a dataset grid whose
+custom cell runner trains SIGMA per split and reads the converged
+``model.alpha`` (a quantity :func:`repro.api.run` does not surface).
 """
 
 from __future__ import annotations
@@ -14,11 +16,14 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.config import ExperimentCell, ExperimentSpec, RunSpec
 from repro.datasets.registry import LARGE_DATASETS, load_dataset
 from repro.experiments.common import DEFAULT_EXPERIMENT_CONFIG, format_table
-from repro.models.registry import create_model
+from repro.experiments.engine import legacy_run, run_experiment
+from repro.experiments.registry import experiment
 from repro.training.config import TrainConfig
-from repro.training.trainer import Trainer
+
+TITLE = "Table X — convergent values of the balance factor α"
 
 
 @dataclass
@@ -34,29 +39,58 @@ class Table10Result:
                 for name, alpha in self.alphas.items()]
 
 
-def run(datasets: Sequence[str] = tuple(LARGE_DATASETS), *,
-        num_repeats: int = 2, scale_factor: float = 1.0,
-        config: Optional[TrainConfig] = None, seed: int = 0,
-        final_layers: int = 2) -> Table10Result:
-    """Train SIGMA with a learnable α and report its converged value."""
-    config = config or DEFAULT_EXPERIMENT_CONFIG
+def alpha_cell(cell: ExperimentCell) -> Dict[str, object]:
+    """Train SIGMA with a learnable α on every split; record its mean."""
+    from repro.api import build_model
+    from repro.training.trainer import Trainer
+
+    spec = cell.spec
+    dataset = load_dataset(spec.dataset, seed=spec.seed,
+                           scale_factor=spec.scale_factor)
+    repeats = spec.repeats if spec.repeats is not None else dataset.num_splits
+    values = []
+    for repeat in range(min(repeats, dataset.num_splits)):
+        model = build_model(spec.model, dataset.graph, rng=spec.seed + repeat,
+                            **spec.overrides)
+        Trainer(model, spec.train).fit(dataset.split(repeat))
+        values.append(model.alpha)
+    return {
+        "dataset": spec.dataset,
+        "alpha": float(np.mean(values)),
+        "homophily": float(dataset.metadata.get("measured_homophily",
+                                                float("nan"))),
+    }
+
+
+def spec(datasets: Sequence[str] = tuple(LARGE_DATASETS), *,
+         num_repeats: int = 2, scale_factor: float = 1.0,
+         config: Optional[TrainConfig] = None, seed: int = 0,
+         final_layers: int = 2) -> ExperimentSpec:
+    """The learnable-α sweep over the large datasets."""
+    datasets = list(datasets)
+    base = RunSpec(model="sigma", dataset=datasets[0],
+                   overrides={"learn_alpha": True, "final_layers": final_layers},
+                   train=config or DEFAULT_EXPERIMENT_CONFIG, seed=seed,
+                   repeats=num_repeats, scale_factor=scale_factor)
+    return ExperimentSpec(name="table10", title=TITLE, base=base,
+                          grid=tuple({"dataset": name} for name in datasets))
+
+
+@experiment("table10", title=TITLE, spec=spec, cell=alpha_cell)
+def _reduce(spec: ExperimentSpec, cells) -> Table10Result:
     result = Table10Result()
-    for dataset_name in datasets:
-        dataset = load_dataset(dataset_name, seed=seed, scale_factor=scale_factor)
-        values = []
-        for repeat in range(min(num_repeats, dataset.num_splits)):
-            model = create_model("sigma", dataset.graph, rng=seed + repeat,
-                                 learn_alpha=True, final_layers=final_layers)
-            Trainer(model, config).fit(dataset.split(repeat))
-            values.append(model.alpha)
-        result.alphas[dataset_name] = float(np.mean(values))
-        result.homophily[dataset_name] = float(
-            dataset.metadata.get("measured_homophily", float("nan")))
+    for outcome in cells:
+        result.alphas[outcome.spec.dataset] = float(outcome.record["alpha"])
+        result.homophily[outcome.spec.dataset] = float(outcome.record["homophily"])
     return result
 
 
+#: Deprecated shim — the historical ``run()`` arguments are the builder's.
+run = legacy_run("table10")
+
+
 def main() -> None:  # pragma: no cover - CLI entry point
-    result = run()
+    result = run_experiment("table10", print_result=False)
     print("Table X — converged values of α on the large-scale datasets")
     print(format_table(result.rows()))
 

@@ -9,6 +9,10 @@ things:
   *estimated operation counts*, confirming the ordering the paper argues
   for: SIGMA's ``O(k·n·f)`` aggregation is the smallest term once the graph
   is large (``k·n ≪ m ≤ n²``).
+
+Declaratively: a single analytic cell; ``measure_precompute`` additionally
+grounds the SIGMA row in a measured LocalPush timing under the base
+``RunSpec``'s :class:`~repro.config.SimRankConfig`.
 """
 
 from __future__ import annotations
@@ -16,15 +20,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.api import precompute
 from repro.config import (
     UNSET,
+    ExperimentCell,
+    ExperimentSpec,
+    RunSpec,
     SimRankConfig,
     merge_experiment_simrank_kwargs,
 )
 from repro.datasets.registry import load_dataset
 from repro.experiments.common import format_table
+from repro.experiments.engine import run_experiment
+from repro.experiments.registry import experiment
 from repro.graphs.graph import Graph
+
+TITLE = "Table III — aggregation complexity comparison"
 
 
 @dataclass(frozen=True)
@@ -108,42 +118,95 @@ def complexity_table(graph: Graph, *, hidden: int = 64, num_layers: int = 2,
     return entries
 
 
-def run(dataset_name: str = "pokec", *, scale_factor: float = 1.0, hidden: int = 64,
-        top_k: int = 32, seed: int = 0, measure_precompute: bool = False,
-        epsilon: float = 0.1,
-        simrank: Optional[SimRankConfig] = None,
-        simrank_backend: object = UNSET,
-        simrank_executor: object = UNSET,
-        simrank_workers: object = UNSET,
-        simrank_cache_dir: object = UNSET) -> Table3Result:
-    """Build the complexity table for the requested benchmark graph.
+def complexity_cell(cell: ExperimentCell) -> Dict[str, object]:
+    """Instantiate the analytic table (plus an optional measured timing)."""
+    from repro.api import precompute
 
-    With ``measure_precompute=True`` the table is complemented by the
-    *measured* SIGMA precompute time (LocalPush under the ``simrank``
-    config's ``(backend, executor, workers)`` plan plus top-k pruning),
-    grounding the analytic ``O(k·n·f)`` row in a real timing on the same
-    graph.  With a ``cache_dir`` in the config, the measured precompute
-    of a repeated run collapses to the cache-load time.  The pre-config
-    keywords (``simrank_backend=`` …) remain as deprecated shims.
+    spec = cell.spec
+    dataset = load_dataset(spec.dataset, seed=spec.seed,
+                           scale_factor=spec.scale_factor)
+    entries = complexity_table(dataset.graph, hidden=cell.params["hidden"],
+                               top_k=cell.params["top_k"])
+    record: Dict[str, object] = {
+        "dataset": spec.dataset,
+        "entries": [{
+            "model": entry.model,
+            "aggregation": entry.aggregation,
+            "inference": entry.inference,
+            "estimated_ops": entry.estimated_ops,
+        } for entry in entries],
+        "measured_precompute": {},
+    }
+    if cell.params["measure_precompute"]:
+        base = spec.simrank if spec.simrank is not None else SimRankConfig()
+        operator = precompute(dataset.graph, base.with_overrides(
+            method="localpush", epsilon=cell.params["epsilon"],
+            top_k=cell.params["top_k"]))
+        record["measured_precompute"] = {
+            str(operator.backend or base.backend): operator.precompute_seconds}
+    return record
+
+
+def spec(dataset_name: str = "pokec", *, scale_factor: float = 1.0,
+         hidden: int = 64, top_k: int = 32, seed: int = 0,
+         measure_precompute: bool = False, epsilon: float = 0.1,
+         simrank: Optional[SimRankConfig] = None) -> ExperimentSpec:
+    """The complexity table for the requested benchmark graph.
+
+    With ``measure_precompute=True`` the analytic SIGMA row is
+    complemented by a measured LocalPush timing under ``simrank``'s
+    ``(backend, executor, workers)`` plan; with a ``cache_dir`` in the
+    config a repeated run measures the cache load instead.
     """
+    base = RunSpec(model="sigma", dataset=dataset_name, simrank=simrank,
+                   seed=seed, scale_factor=scale_factor)
+    return ExperimentSpec(
+        name="table3", title=TITLE, base=base,
+        params={"hidden": hidden, "top_k": top_k, "epsilon": epsilon,
+                "measure_precompute": bool(measure_precompute)})
+
+
+@experiment("table3", title=TITLE, spec=spec, cell=complexity_cell)
+def _reduce(spec: ExperimentSpec, cells) -> Table3Result:
+    if not cells:
+        return Table3Result(dataset=spec.base.dataset)
+    outcome = cells[0]
+    result = Table3Result(dataset=outcome.spec.dataset)
+    for entry in outcome.record["entries"]:
+        result.entries.append(ComplexityEntry(
+            model=str(entry["model"]),
+            aggregation=str(entry["aggregation"]),
+            inference=str(entry["inference"]),
+            estimated_ops=float(entry["estimated_ops"]),
+        ))
+    result.measured_precompute = {
+        str(backend): float(seconds)
+        for backend, seconds in outcome.record["measured_precompute"].items()}
+    return result
+
+
+def run(*args, simrank: Optional[SimRankConfig] = None,
+        simrank_backend: object = UNSET, simrank_executor: object = UNSET,
+        simrank_workers: object = UNSET, simrank_cache_dir: object = UNSET,
+        **kwargs) -> Table3Result:
+    """Deprecated shim: run the registered ``table3`` experiment."""
+    import warnings
+
+    warnings.warn(
+        "table3_complexity.run() is deprecated; use "
+        "repro.experiments.run_experiment('table3', ...) or the "
+        "'repro-experiment table3' CLI instead",
+        DeprecationWarning, stacklevel=2)
     simrank = merge_experiment_simrank_kwargs(
         simrank, simrank_backend=simrank_backend,
         simrank_executor=simrank_executor, simrank_workers=simrank_workers,
         simrank_cache_dir=simrank_cache_dir)
-    base = simrank if simrank is not None else SimRankConfig()
-    dataset = load_dataset(dataset_name, seed=seed, scale_factor=scale_factor)
-    entries = complexity_table(dataset.graph, hidden=hidden, top_k=top_k)
-    result = Table3Result(dataset=dataset_name, entries=entries)
-    if measure_precompute:
-        operator = precompute(dataset.graph, base.with_overrides(
-            method="localpush", epsilon=epsilon, top_k=top_k))
-        result.measured_precompute[operator.backend or base.backend] = (
-            operator.precompute_seconds)
-    return result
+    return run_experiment("table3", *args, print_result=False, simrank=simrank,
+                          **kwargs)
 
 
 def main() -> None:  # pragma: no cover - CLI entry point
-    result = run()
+    result = run_experiment("table3", print_result=False)
     print(f"Table III — aggregation complexity, instantiated on {result.dataset}")
     print(format_table(result.rows()))
     print(f"cheapest aggregation: {result.cheapest_model()}")

@@ -6,6 +6,9 @@ construction) and aggregation (time spent inside the graph-aggregation
 operators during training).  The expected shape is the paper's: SIGMA's
 precompute is cheap, its aggregation is far cheaper than GloGNN's iterative
 whole-graph aggregation, and SIGMA has the lowest total learning time.
+
+Declaratively: a (model × dataset) grid of plain ``RunSpec`` cells — the
+sweep engine's default cell runner executes each through ``repro.api.run``.
 """
 
 from __future__ import annotations
@@ -15,13 +18,16 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.api import run as run_spec
-from repro.config import RunSpec
+from repro.config import ExperimentSpec, RunSpec, grid_product
 from repro.datasets.registry import LARGE_DATASETS
 from repro.experiments.common import DEFAULT_EXPERIMENT_CONFIG, format_table
+from repro.experiments.engine import legacy_run, run_experiment
+from repro.experiments.registry import experiment
 from repro.training.config import TrainConfig
 
 DEFAULT_MODELS = ("linkx", "glognn", "sigma")
+
+TITLE = "Table VII — learning-time breakdown on large datasets"
 
 
 @dataclass
@@ -56,37 +62,44 @@ class Table7Result:
         return float(np.mean(ratios)) if ratios else 0.0
 
 
-def run(datasets: Sequence[str] = tuple(LARGE_DATASETS),
-        models: Sequence[str] = DEFAULT_MODELS, *,
-        num_repeats: int = 2, scale_factor: float = 1.0,
-        config: Optional[TrainConfig] = None, seed: int = 0) -> Table7Result:
-    """Measure the Pre./AGG/Learn breakdown for each model and dataset.
+def spec(datasets: Sequence[str] = tuple(LARGE_DATASETS),
+         models: Sequence[str] = DEFAULT_MODELS, *,
+         num_repeats: int = 2, scale_factor: float = 1.0,
+         config: Optional[TrainConfig] = None, seed: int = 0) -> ExperimentSpec:
+    """The Pre./AGG/Learn breakdown grid: one RunSpec per (model, dataset)."""
+    datasets, models = list(datasets), list(models)
+    base = RunSpec(model=models[0], dataset=datasets[0],
+                   train=config or DEFAULT_EXPERIMENT_CONFIG, seed=seed,
+                   repeats=num_repeats, scale_factor=scale_factor)
+    return ExperimentSpec(
+        name="table7", title=TITLE, base=base,
+        grid=grid_product({"model": models, "dataset": datasets}),
+        reduction={"datasets": datasets, "models": models})
 
-    Each (model, dataset) cell is one declarative :class:`RunSpec`
-    executed by :func:`repro.api.run` — the experiment holds no model
-    construction or training logic of its own.
-    """
-    config = config or DEFAULT_EXPERIMENT_CONFIG
-    result = Table7Result(datasets=list(datasets), models=list(models))
-    for model_name in models:
-        result.rows_by_model[model_name] = []
-        for dataset_name in datasets:
-            summary = run_spec(RunSpec(
-                model=model_name, dataset=dataset_name, train=config,
-                seed=seed, repeats=num_repeats,
-                scale_factor=scale_factor)).summary
-            result.rows_by_model[model_name].append({
-                "dataset": dataset_name,
-                "pre": round(summary.mean_precompute_time, 3),
-                "agg": round(summary.mean_aggregation_time, 3),
-                "learn": round(summary.mean_learning_time, 3),
-                "accuracy": round(100 * summary.mean_accuracy, 2),
-            })
+
+@experiment("table7", title=TITLE, spec=spec)
+def _reduce(spec: ExperimentSpec, cells) -> Table7Result:
+    result = Table7Result(datasets=list(spec.reduction["datasets"]),
+                          models=list(spec.reduction["models"]))
+    for model in result.models:
+        result.rows_by_model[model] = []
+    for outcome in cells:
+        result.rows_by_model[outcome.spec.model].append({
+            "dataset": outcome.spec.dataset,
+            "pre": round(outcome.record["mean_precompute_time"], 3),
+            "agg": round(outcome.record["mean_aggregation_time"], 3),
+            "learn": round(outcome.record["mean_learning_time"], 3),
+            "accuracy": round(100 * outcome.record["mean_accuracy"], 2),
+        })
     return result
 
 
+#: Deprecated shim — the historical ``run()`` arguments are the builder's.
+run = legacy_run("table7")
+
+
 def main() -> None:  # pragma: no cover - CLI entry point
-    result = run()
+    result = run_experiment("table7", print_result=False)
     print("Table VII — average learning time (s) on large-scale datasets")
     print(format_table(result.rows()))
     for baseline in result.models:

@@ -11,7 +11,8 @@ Rows reproduced:
 
 The summary statistics are the average and maximum accuracy drop of each
 variant relative to its full model, matching the paper's Avg.↓ / Max.↓
-columns.
+columns.  Declaratively: a (variant × dataset) grid of plain ``RunSpec``
+cells whose ``overrides.*`` keys carry each variant's ablation switches.
 """
 
 from __future__ import annotations
@@ -21,10 +22,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.datasets.registry import LARGE_DATASETS, load_dataset
+from repro.config import ExperimentSpec, RunSpec
+from repro.datasets.registry import LARGE_DATASETS
 from repro.experiments.common import DEFAULT_EXPERIMENT_CONFIG, format_table
+from repro.experiments.engine import legacy_run, run_experiment
+from repro.experiments.registry import experiment
 from repro.training.config import TrainConfig
-from repro.training.evaluation import repeated_evaluation
 
 SIGMA_VARIANTS: Dict[str, Dict[str, object]] = {
     "sigma": {},
@@ -39,6 +42,8 @@ GLOGNN_VARIANTS: Dict[str, Dict[str, object]] = {
     "glognn w/o A": {"use_adjacency": False},
     "glognn w/o X": {"use_features": False},
 }
+
+TITLE = "Table VIII — component study of SIGMA and GloGNN"
 
 
 @dataclass
@@ -75,35 +80,53 @@ class Table8Result:
         return rows
 
 
-def run(datasets: Sequence[str] = tuple(LARGE_DATASETS), *,
-        num_repeats: int = 2, scale_factor: float = 1.0,
-        config: Optional[TrainConfig] = None, seed: int = 0,
-        sigma_overrides: Optional[Dict[str, object]] = None) -> Table8Result:
-    """Evaluate all SIGMA and GloGNN ablation variants."""
-    config = config or DEFAULT_EXPERIMENT_CONFIG
+def spec(datasets: Sequence[str] = tuple(LARGE_DATASETS), *,
+         num_repeats: int = 2, scale_factor: float = 1.0,
+         config: Optional[TrainConfig] = None, seed: int = 0,
+         sigma_overrides: Optional[Dict[str, object]] = None) -> ExperimentSpec:
+    """The ablation grid: every SIGMA and GloGNN variant on every dataset."""
+    datasets = list(datasets)
     sigma_overrides = dict(sigma_overrides or {"final_layers": 2})
-    result = Table8Result(datasets=list(datasets))
 
-    variant_specs: List[tuple[str, str, Dict[str, object]]] = []
+    entries = []
     for label, overrides in SIGMA_VARIANTS.items():
         merged = dict(sigma_overrides)
         merged.update(overrides)
-        variant_specs.append((label, "sigma", merged))
+        for dataset in datasets:
+            entries.append({"label": label, "model": "sigma", "dataset": dataset,
+                            **{f"overrides.{key}": value
+                               for key, value in merged.items()}})
     for label, overrides in GLOGNN_VARIANTS.items():
-        variant_specs.append((label, "glognn", dict(overrides)))
+        for dataset in datasets:
+            entries.append({"label": label, "model": "glognn", "dataset": dataset,
+                            **{f"overrides.{key}": value
+                               for key, value in overrides.items()}})
 
-    for label, model_name, overrides in variant_specs:
-        result.accuracies[label] = {}
-        for dataset_name in datasets:
-            dataset = load_dataset(dataset_name, seed=seed, scale_factor=scale_factor)
-            summary = repeated_evaluation(model_name, dataset, num_repeats=num_repeats,
-                                          config=config, seed=seed, **overrides)
-            result.accuracies[label][dataset_name] = summary.mean_accuracy
+    base = RunSpec(model="sigma", dataset=datasets[0],
+                   train=config or DEFAULT_EXPERIMENT_CONFIG, seed=seed,
+                   repeats=num_repeats, scale_factor=scale_factor)
+    return ExperimentSpec(name="table8", title=TITLE, base=base,
+                          grid=tuple(entries), params={"label": ""},
+                          reduction={"datasets": datasets})
+
+
+@experiment("table8", title=TITLE, spec=spec)
+def _reduce(spec: ExperimentSpec, cells) -> Table8Result:
+    result = Table8Result(datasets=list(spec.reduction["datasets"]))
+    for outcome in cells:
+        label = str(outcome.params["label"])
+        result.accuracies.setdefault(label, {})
+        result.accuracies[label][outcome.spec.dataset] = (
+            outcome.record["mean_accuracy"])
     return result
 
 
+#: Deprecated shim — the historical ``run()`` arguments are the builder's.
+run = legacy_run("table8")
+
+
 def main() -> None:  # pragma: no cover - CLI entry point
-    result = run()
+    result = run_experiment("table8", print_result=False)
     print("Table VIII — component study of SIGMA and GloGNN (accuracy %, drops in points)")
     print(format_table(result.rows()))
 

@@ -2,7 +2,8 @@
 
 Sweeps δ over {0.1, 0.3, 0.5, 0.7, 0.9} on Penn94, arXiv-year and pokec and
 reports the resulting SIGMA accuracy, showing that different datasets prefer
-different balances between feature and adjacency embeddings.
+different balances between feature and adjacency embeddings.  Declaratively:
+a (δ × dataset) grid of plain SIGMA ``RunSpec`` cells.
 """
 
 from __future__ import annotations
@@ -10,13 +11,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.datasets.registry import load_dataset
+from repro.config import ExperimentSpec, RunSpec, grid_product
 from repro.experiments.common import DEFAULT_EXPERIMENT_CONFIG, format_table
+from repro.experiments.engine import legacy_run, run_experiment
+from repro.experiments.registry import experiment
 from repro.training.config import TrainConfig
-from repro.training.evaluation import repeated_evaluation
 
 DEFAULT_DATASETS = ("penn94", "arxiv-year", "pokec")
 DEFAULT_DELTAS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+TITLE = "Table IX — sensitivity to the feature factor δ"
 
 
 @dataclass
@@ -40,27 +44,41 @@ class Table9Result:
         return max(self.deltas, key=lambda delta: self.accuracies[delta][dataset])
 
 
-def run(datasets: Sequence[str] = DEFAULT_DATASETS,
-        deltas: Sequence[float] = DEFAULT_DELTAS, *,
-        num_repeats: int = 2, scale_factor: float = 1.0,
-        config: Optional[TrainConfig] = None, seed: int = 0,
-        final_layers: int = 2) -> Table9Result:
-    """Sweep δ for SIGMA on the requested datasets."""
-    config = config or DEFAULT_EXPERIMENT_CONFIG
-    result = Table9Result(datasets=list(datasets), deltas=list(deltas))
-    for delta in deltas:
-        result.accuracies[delta] = {}
-        for dataset_name in datasets:
-            dataset = load_dataset(dataset_name, seed=seed, scale_factor=scale_factor)
-            summary = repeated_evaluation("sigma", dataset, num_repeats=num_repeats,
-                                          config=config, seed=seed,
-                                          delta=delta, final_layers=final_layers)
-            result.accuracies[delta][dataset_name] = summary.mean_accuracy
+def spec(datasets: Sequence[str] = DEFAULT_DATASETS,
+         deltas: Sequence[float] = DEFAULT_DELTAS, *,
+         num_repeats: int = 2, scale_factor: float = 1.0,
+         config: Optional[TrainConfig] = None, seed: int = 0,
+         final_layers: int = 2) -> ExperimentSpec:
+    """The δ sweep for SIGMA on the requested datasets."""
+    datasets, deltas = list(datasets), list(deltas)
+    base = RunSpec(model="sigma", dataset=datasets[0],
+                   overrides={"final_layers": final_layers},
+                   train=config or DEFAULT_EXPERIMENT_CONFIG, seed=seed,
+                   repeats=num_repeats, scale_factor=scale_factor)
+    return ExperimentSpec(
+        name="table9", title=TITLE, base=base,
+        grid=grid_product({"overrides.delta": deltas, "dataset": datasets}),
+        reduction={"datasets": datasets, "deltas": deltas})
+
+
+@experiment("table9", title=TITLE, spec=spec)
+def _reduce(spec: ExperimentSpec, cells) -> Table9Result:
+    result = Table9Result(datasets=list(spec.reduction["datasets"]),
+                          deltas=list(spec.reduction["deltas"]))
+    for outcome in cells:
+        delta = outcome.spec.overrides["delta"]
+        result.accuracies.setdefault(delta, {})
+        result.accuracies[delta][outcome.spec.dataset] = (
+            outcome.record["mean_accuracy"])
     return result
 
 
+#: Deprecated shim — the historical ``run()`` arguments are the builder's.
+run = legacy_run("table9")
+
+
 def main() -> None:  # pragma: no cover - CLI entry point
-    result = run()
+    result = run_experiment("table9", print_result=False)
     print("Table IX — SIGMA accuracy (%) across feature-factor δ values")
     print(format_table(result.rows()))
     for dataset in result.datasets:

@@ -70,6 +70,32 @@ class TestBuildRunSpec:
         assert spec.train.patience == 7
 
 
+class TestExperimentSubcommand:
+    def test_list(self, capsys):
+        assert main(["experiment", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "available experiments" in output
+        assert "fig6" in output and "table5" in output
+
+    def test_describe(self, capsys):
+        assert main(["experiment", "table3", "--describe"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["name"] == "table3"
+        assert payload["cells"] == 1
+
+    def test_unknown_experiment_exits_with_message(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiment", "nope"])
+        assert excinfo.value.code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_experiment_end_to_end(self, capsys):
+        assert main(["experiment", "table3", "--scale-factor", "0.25"]) == 0
+        output = capsys.readouterr().out
+        assert "== table3 ==" in output
+        assert "SIGMA" in output
+
+
 class TestMain:
     def test_runs_end_to_end(self, capsys):
         exit_code = main(["--model", "mlp", "--dataset", "texas", "--repeats", "1",

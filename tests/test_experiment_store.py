@@ -1,0 +1,176 @@
+"""Unit tests for the resumable experiment ArtifactStore."""
+
+import json
+
+import pytest
+
+from repro.config import ExperimentSpec, RunSpec
+from repro.errors import ArtifactError
+from repro.experiments.store import (
+    STORE_FORMAT_VERSION,
+    ArtifactStore,
+    get_artifact_store,
+    runner_name,
+)
+
+
+def demo_runner(cell):  # pragma: no cover - identity, never executed
+    return {}
+
+
+def other_runner(cell):  # pragma: no cover - identity, never executed
+    return {}
+
+
+@pytest.fixture()
+def spec():
+    return ExperimentSpec(
+        name="demo", base=RunSpec(model="sigma", dataset="texas", repeats=1),
+        grid=({"dataset": "texas"}, {"dataset": "cora"}),
+        params={"num_pairs": 10})
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestKeys:
+    def test_key_deterministic(self, store, spec):
+        cells = spec.cells()
+        assert store.key_for(cells[0], demo_runner) == store.key_for(
+            cells[0], demo_runner)
+
+    def test_key_varies_with_cell(self, store, spec):
+        first, second = spec.cells()
+        assert store.key_for(first, demo_runner) != store.key_for(
+            second, demo_runner)
+
+    def test_key_varies_with_runner(self, store, spec):
+        cell = spec.cells()[0]
+        assert store.key_for(cell, demo_runner) != store.key_for(
+            cell, other_runner)
+
+    def test_key_ignores_experiment_name_and_reduction(self, store, spec):
+        """Two experiments sharing cells (fig2/table2) share records."""
+        relabelled = spec.with_overrides(name="other", reduction={"bins": 9})
+        assert store.key_for(spec.cells()[0], demo_runner) == store.key_for(
+            relabelled.cells()[0], demo_runner)
+
+    def test_runner_name_is_qualified(self):
+        assert runner_name(demo_runner).endswith(
+            "test_experiment_store.demo_runner")
+
+
+class TestCellRoundTrip:
+    def test_store_then_load(self, store, spec):
+        cell = spec.cells()[0]
+        key = store.key_for(cell, demo_runner)
+        store.store_cell(key, cell, demo_runner, {"value": 1.5},
+                         experiment="demo", seconds=0.25)
+        record = store.load_cell(key, cell, demo_runner)
+        assert record == {"value": 1.5}
+        assert (store.hits, store.misses, store.stores) == (1, 0, 1)
+        assert len(store) == 1
+
+    def test_missing_key_is_miss(self, store, spec):
+        cell = spec.cells()[0]
+        assert store.load_cell("0" * 32, cell, demo_runner) is None
+        assert store.misses == 1
+
+    def test_corrupt_record_evicted(self, store, spec):
+        cell = spec.cells()[0]
+        key = store.key_for(cell, demo_runner)
+        store.store_cell(key, cell, demo_runner, {"value": 1}, experiment="demo")
+        store.cell_path(key).write_text("{ not json")
+        assert store.load_cell(key, cell, demo_runner) is None
+        assert store.evictions == 1
+        assert not store.cell_path(key).exists()
+
+    def test_version_mismatch_evicted(self, store, spec):
+        cell = spec.cells()[0]
+        key = store.key_for(cell, demo_runner)
+        store.store_cell(key, cell, demo_runner, {"value": 1}, experiment="demo")
+        payload = json.loads(store.cell_path(key).read_text())
+        payload["version"] = STORE_FORMAT_VERSION + 1
+        store.cell_path(key).write_text(json.dumps(payload))
+        assert store.load_cell(key, cell, demo_runner) is None
+        assert store.evictions == 1
+
+    def test_parameter_mismatch_evicted(self, store, spec):
+        """A hand-edited or colliding file never serves a different cell."""
+        first, second = spec.cells()
+        key = store.key_for(first, demo_runner)
+        store.store_cell(key, first, demo_runner, {"value": 1}, experiment="demo")
+        # Same file requested for a different cell under the same key.
+        assert store.load_cell(key, second, demo_runner) is None
+        assert store.evictions == 1
+
+    def test_runner_mismatch_evicted(self, store, spec):
+        cell = spec.cells()[0]
+        key = store.key_for(cell, demo_runner)
+        store.store_cell(key, cell, demo_runner, {"value": 1}, experiment="demo")
+        assert store.load_cell(key, cell, other_runner) is None
+        assert store.evictions == 1
+
+    def test_clear_removes_everything(self, store, spec):
+        for cell in spec.cells():
+            key = store.key_for(cell, demo_runner)
+            store.store_cell(key, cell, demo_runner, {}, experiment="demo")
+        assert store.clear() == 2
+        assert len(store) == 0
+
+
+class TestManifest:
+    def test_manifest_lists_entries(self, store, spec):
+        cell = spec.cells()[0]
+        key = store.key_for(cell, demo_runner)
+        store.store_cell(key, cell, demo_runner, {"v": 1}, experiment="demo")
+        index = json.loads((store.directory / "experiment-store-index.json")
+                           .read_text())
+        assert key in index["entries"]
+        assert index["entries"][key]["experiment"] == "demo"
+
+    def test_manifest_adopts_foreign_files(self, store, spec, tmp_path):
+        """Records written by another process are reconciled on store."""
+        cells = spec.cells()
+        key0 = store.key_for(cells[0], demo_runner)
+        store.store_cell(key0, cells[0], demo_runner, {}, experiment="demo")
+        (store.directory / "experiment-store-index.json").unlink()
+        key1 = store.key_for(cells[1], demo_runner)
+        store.store_cell(key1, cells[1], demo_runner, {}, experiment="demo")
+        index = json.loads((store.directory / "experiment-store-index.json")
+                           .read_text())
+        assert set(index["entries"]) == {key0, key1}
+
+
+class TestArtifacts:
+    def test_append_accumulates_records(self, store):
+        store.append_artifact("demo", {"rows": [1]})
+        store.append_artifact("demo", {"rows": [2]})
+        records = json.loads(store.artifact_path("demo").read_text())
+        assert [r["rows"] for r in records] == [[1], [2]]
+        assert all(r["artifact_version"] == STORE_FORMAT_VERSION
+                   for r in records)
+
+    def test_corrupt_artifact_preserved_not_overwritten(self, store):
+        store.artifact_path("demo").write_text("{ not a list")
+        store.append_artifact("demo", {"rows": []})
+        assert store.artifact_path("demo").with_suffix(".json.corrupt").exists()
+        records = json.loads(store.artifact_path("demo").read_text())
+        assert len(records) == 1
+
+
+class TestRegistry:
+    def test_get_artifact_store_memoised_per_directory(self, tmp_path):
+        first = get_artifact_store(tmp_path / "a")
+        again = get_artifact_store(tmp_path / "a")
+        other = get_artifact_store(tmp_path / "b")
+        assert first is again
+        assert first is not other
+
+    def test_unwritable_directory_raises(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        with pytest.raises(ArtifactError):
+            ArtifactStore(blocker / "store")
