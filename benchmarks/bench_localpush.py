@@ -27,6 +27,9 @@ multi-core hardware; see ``cpu_count`` in the record).
 
 from __future__ import annotations
 
+# repro-lint: disable-file=R8 — this micro-benchmark measures the engine
+# internals themselves (executor pool, dict oracle, synthetic generator),
+# so importing them is its purpose, not an API leak.
 import argparse
 import json
 import os

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.training.config import TrainConfig
+from repro import TrainConfig
 
 # Training configuration shared by all benchmarks: short but long enough for
 # the relative ordering between models to emerge.

@@ -14,10 +14,10 @@ categories.  The script
 
 from __future__ import annotations
 
-from repro import TrainConfig, Trainer, create_model, load_dataset
+from repro import (TrainConfig, Trainer, create_model, exact_simrank,
+                   load_dataset, simrank_class_statistics)
 from repro.experiments import run_experiment
 from repro.graphs import node_homophily
-from repro.simrank import exact_simrank, simrank_class_statistics
 
 
 def main() -> None:

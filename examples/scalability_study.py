@@ -42,8 +42,7 @@ from __future__ import annotations
 import argparse
 
 from repro.config import SIGMA_DEFAULT_SIMRANK
-from repro.experiments import run_experiment
-from repro.experiments.common import format_table
+from repro.experiments import format_table, run_experiment
 
 
 def main() -> None:

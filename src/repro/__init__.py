@@ -45,6 +45,7 @@ from repro.simrank import (
     linearized_simrank,
     localpush_simrank,
     localpush_simrank_vectorized,
+    simrank_class_statistics,
     simrank_operator,
 )
 from repro.models import SIGMA, create_model, list_models
@@ -77,6 +78,7 @@ __all__ = [
     "linearized_simrank",
     "localpush_simrank",
     "localpush_simrank_vectorized",
+    "simrank_class_statistics",
     "simrank_operator",
     "SIGMA",
     "create_model",

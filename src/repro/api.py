@@ -30,11 +30,15 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.config import SIMRANK_MODELS, ExperimentSpec, RunSpec, SimRankConfig
 from repro.errors import ConfigError
 from repro.graphs.graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.models.base import NodeClassifier
+    from repro.training.evaluation import EvaluationSummary
 
 
 def precompute(graph: Graph,
@@ -53,7 +57,7 @@ def precompute(graph: Graph,
 def build_model(name: Optional[str], graph: Graph, *,
                 spec: Optional[RunSpec] = None,
                 simrank: Optional[SimRankConfig] = None,
-                rng: object = None, **overrides: object):
+                rng: object = None, **overrides: object) -> "NodeClassifier":
     """Construct a registered model on ``graph``.
 
     Either pass ``name`` (plus optional ``simrank`` config and

@@ -64,6 +64,22 @@ SIMRANK_MODELS: Tuple[str, ...] = ("sigma", "sigma_iterative")
 CACHE_KEY_FIELDS: Tuple[str, ...] = (
     "method", "decay", "epsilon", "top_k", "row_normalize", "backend")
 
+#: SimRankConfig fields that deliberately stay OUT of the operator-cache
+#: key.  Every field must be either cache-keyed or listed here with a
+#: reason — the R1 lint rule (``repro.lint``) cross-checks this set
+#: against the dataclass, so adding a field without a keying decision
+#: fails tier-1 instead of silently serving stale operators.
+#:
+#: * ``exact_size_limit`` — auto-resolution knob only; its effect is
+#:   keyed through the *resolved* method.
+#: * ``executor``, ``workers`` — execution plan; every executor × worker
+#:   count is bit-identical (PR 3), so keying them would split the cache.
+#: * ``cache_dir``, ``cache_max_bytes`` — resource location/budget of
+#:   the cache itself, never part of the operator's identity.
+CACHE_KEY_EXEMPT: Tuple[str, ...] = (
+    "exact_size_limit", "executor", "workers", "cache_dir",
+    "cache_max_bytes")
+
 
 class _Unset:
     """Sentinel distinguishing "keyword not passed" from an explicit value."""

@@ -29,9 +29,14 @@ import time
 from concurrent.futures import (ProcessPoolExecutor, ThreadPoolExecutor,
                                 as_completed)
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import ExperimentCell, ExperimentSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.config import RunSpec
+    from repro.training.config import TrainConfig
+    from repro.training.evaluation import EvaluationSummary
 from repro.errors import ExperimentError
 from repro.experiments.registry import ExperimentDefinition, build_spec, get_experiment
 from repro.experiments.store import ArtifactStore, get_artifact_store
@@ -88,7 +93,7 @@ class CellOutcome:
         return self.cell.index
 
     @property
-    def spec(self):
+    def spec(self) -> "RunSpec":
         return self.cell.spec
 
     @property
@@ -122,7 +127,9 @@ class ExperimentRun:
         return {
             "experiment": self.spec.name,
             "title": self.spec.title,
-            "created_unix": time.time(),
+            # Record metadata only — never ordering, never in the rows
+            # the bit-identical guarantee covers.
+            "created_unix": time.time(),  # repro-lint: disable=R3
             "spec": self.spec.to_dict(),
             "executor": self.executor,
             "workers": self.workers,

@@ -1,0 +1,101 @@
+"""Command line of the invariant checker (``repro-lint``).
+
+``repro-lint [paths ...]`` scans the given files/directories (default:
+``src benchmarks examples`` relative to the current directory, i.e. the
+repository layout) with every registered rule and reports findings in
+human or JSON form.  Exit status: 0 clean, 1 findings at the failing
+severity (errors; warnings too under ``--strict``), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.core import (all_rules, get_rules, load_project,
+                             report_human, report_json, run_rules)
+
+DEFAULT_PATHS = ("src", "benchmarks", "examples")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant checker for the repro codebase.")
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to scan (default: the repo layout "
+             f"{' '.join(DEFAULT_PATHS)}, skipping missing ones)")
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="report format (json is the CI artifact schema)")
+    parser.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule IDs to run (default: all)")
+    parser.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="repository root anchoring the reported relative paths")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="treat warning-severity findings as failing")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:4s} {rule.name} [{rule.severity}] — "
+                  f"{rule.description}")
+        return 0
+
+    paths: List[str] = list(args.paths)
+    if not paths:
+        paths = [path for path in DEFAULT_PATHS if Path(path).exists()]
+        if not paths:
+            parser.error("no paths given and none of the default "
+                         f"paths ({', '.join(DEFAULT_PATHS)}) exist here")
+    else:
+        missing = [path for path in paths if not Path(path).exists()]
+        if missing:
+            parser.error(f"no such path(s): {', '.join(missing)}")
+
+    try:
+        rule_ids = (None if args.rules is None
+                    else [r for r in args.rules.split(",") if r.strip()])
+        rules = get_rules(rule_ids)
+    except KeyError as error:
+        parser.error(str(error.args[0]))
+
+    project = load_project(paths, root=args.root)
+    findings = run_rules(project, rules)
+
+    if args.format == "json":
+        report = report_json(findings)
+    else:
+        report = report_human(findings, checked_files=len(project.files))
+    if args.output:
+        Path(args.output).write_text(report + "\n")
+        # The file holds the machine-readable record; the log still gets
+        # the human summary so CI failures are readable in place.
+        print(report_human(findings, checked_files=len(project.files)))
+    else:
+        print(report)
+
+    failing = [finding for finding in findings
+               if finding.severity == "error" or args.strict]
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

@@ -1,0 +1,336 @@
+"""Framework of the :mod:`repro.lint` static-analysis pass.
+
+The framework is deliberately small: a *project* is the set of parsed
+source files under the scanned paths, a *rule* is an object that inspects
+the project (or one file at a time) and yields findings, and the *runner*
+collects every rule's findings and filters them through the pragma
+exemptions found in the source.  Rules never import the code they check —
+everything is derived from the AST, so the linter works on broken or
+partially-refactored trees and on fixture snippets in tests.
+
+Pragmas
+-------
+Two comment forms suppress findings (rule IDs are comma-separated;
+``all`` matches every rule):
+
+``# repro-lint: disable=R3`` (trailing on a code line)
+    Suppresses the listed rules' findings *reported at that line*.
+``# repro-lint: disable-file=R8`` (a standalone comment line)
+    Suppresses the listed rules for the whole file.  Used where a file's
+    purpose is exactly what the rule forbids (e.g. the LocalPush
+    micro-benchmark imports engine internals by design).
+
+Every pragma should carry a justification comment next to it; the rule
+IDs and the invariants they protect are catalogued in the package
+docstring (:mod:`repro.lint`).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Severity levels, ordered.  ``error`` findings fail the run (exit 1 /
+#: CI red); ``warning`` findings are reported but only fail under
+#: ``--strict``.
+SEVERITIES = ("warning", "error")
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint\s*:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable record (the ``--format=json`` schema)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """Human-readable one-liner (``path:line: [RULE] message``)."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class SourceFile:
+    """One parsed source file plus its pragma tables.
+
+    ``path`` is the repo-relative posix path used for rule scoping and
+    reporting; ``tree`` is ``None`` when the file does not parse (the
+    runner reports a parse failure instead of running rules on it).
+    """
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path
+        self.text = text
+        self.syntax_error: Optional[SyntaxError] = None
+        try:
+            self.tree: Optional[ast.AST] = ast.parse(text)
+        except SyntaxError as error:
+            self.tree = None
+            self.syntax_error = error
+        self._line_pragmas: Dict[int, Set[str]] = {}
+        self._file_pragmas: Set[str] = set()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = _PRAGMA_RE.search(line)
+            if match is None:
+                continue
+            rules = {part.strip().upper()
+                     for part in match.group(2).split(",") if part.strip()}
+            if match.group(1) == "disable-file":
+                self._file_pragmas |= rules
+            else:
+                self._line_pragmas.setdefault(lineno, set()).update(rules)
+
+    # ------------------------------------------------------------------ #
+    def suppressed(self, rule: str, line: int) -> bool:
+        """Whether a ``rule`` finding at ``line`` is pragma-exempted."""
+        rule = rule.upper()
+        if rule in self._file_pragmas or "ALL" in self._file_pragmas:
+            return True
+        at_line = self._line_pragmas.get(line, set())
+        return rule in at_line or "ALL" in at_line
+
+    def matches(self, *suffixes: str) -> bool:
+        """Whether the file path ends with any of the given suffixes.
+
+        Rules scope themselves by *path shape* (``repro/simrank/engine.py``)
+        rather than absolute location, so fixture trees in tests scope
+        exactly like the real tree.
+        """
+        return any(self.path.endswith(suffix) for suffix in suffixes)
+
+    def under(self, *parts: str) -> bool:
+        """Whether any path segment equals one of ``parts``."""
+        segments = self.path.split("/")
+        return any(part in segments for part in parts)
+
+
+class Project:
+    """The scanned file set a lint run works on."""
+
+    def __init__(self, root: Path, files: Sequence[SourceFile]) -> None:
+        self.root = root
+        self.files = list(files)
+
+    def find(self, *suffixes: str) -> List[SourceFile]:
+        """All scanned files whose path ends with one of ``suffixes``."""
+        return [source for source in self.files if source.matches(*suffixes)]
+
+    def __iter__(self) -> Iterator[SourceFile]:
+        return iter(self.files)
+
+
+class Rule:
+    """Base class of one lint rule.
+
+    Subclasses set :attr:`id` (``"R1"``), :attr:`name` (a short slug used
+    in reports), :attr:`description` (the invariant the rule protects)
+    and optionally :attr:`severity`; they override :meth:`check_file`
+    and/or :meth:`check_project`.  Findings are created through
+    :meth:`finding` so the rule ID and severity are attached uniformly.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    severity: str = "error"
+
+    def check_file(self, source: SourceFile, project: Project
+                   ) -> Iterator[Finding]:
+        """Per-file findings (default: none)."""
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        """Cross-file findings (default: none)."""
+        return iter(())
+
+    def finding(self, source: SourceFile, node_or_line: object,
+                message: str) -> Finding:
+        line = getattr(node_or_line, "lineno", node_or_line)
+        return Finding(rule=self.id, severity=self.severity,
+                       path=source.path, line=int(line), message=message)
+
+
+#: Rule registry: ID → rule instance, populated by :func:`register`.
+_RULES: Dict[str, Rule] = {}
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator adding one rule (instantiated once) to the registry."""
+    rule = rule_cls()
+    if not rule.id or not rule.name:
+        raise ValueError(f"rule {rule_cls.__name__} must set id and name")
+    if rule.severity not in SEVERITIES:
+        raise ValueError(f"rule {rule.id} has invalid severity "
+                         f"{rule.severity!r}; expected one of {SEVERITIES}")
+    if rule.id in _RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _RULES[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by numeric ID."""
+    _load_rules()
+    return [_RULES[key] for key in sorted(
+        _RULES, key=lambda rule_id: (len(rule_id), rule_id))]
+
+
+def get_rules(ids: Optional[Iterable[str]] = None) -> List[Rule]:
+    """The rules selected by ``ids`` (all registered rules when ``None``)."""
+    rules = all_rules()
+    if ids is None:
+        return rules
+    wanted = {rule_id.upper() for rule_id in ids}
+    unknown = wanted - {rule.id for rule in rules}
+    if unknown:
+        raise KeyError(f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                       f"available: {', '.join(rule.id for rule in rules)}")
+    return [rule for rule in rules if rule.id in wanted]
+
+
+def _load_rules() -> None:
+    """Import the rule modules (idempotent; they self-register)."""
+    from repro.lint import rules  # noqa: F401  (import side effect)
+
+
+# --------------------------------------------------------------------- #
+# Project loading
+# --------------------------------------------------------------------- #
+def load_project(paths: Sequence[str | Path],
+                 root: Optional[str | Path] = None) -> Project:
+    """Collect every ``*.py`` file under ``paths`` into a :class:`Project`.
+
+    ``root`` (default: the common parent of ``paths``, or the current
+    directory) anchors the repo-relative paths rules scope on; passing
+    the repository root keeps ``examples/``-style classification stable
+    no matter where the linter is invoked from.
+    """
+    resolved = [Path(path).resolve() for path in paths]
+    if root is None:
+        base = Path.cwd().resolve()
+        if not all(_is_relative_to(path, base) for path in resolved):
+            base = Path(_common_parent(resolved))
+    else:
+        base = Path(root).resolve()
+    files: List[SourceFile] = []
+    seen: Set[Path] = set()
+    for path in resolved:
+        candidates = [path] if path.is_file() else sorted(path.rglob("*.py"))
+        for candidate in candidates:
+            if candidate in seen or candidate.suffix != ".py":
+                continue
+            seen.add(candidate)
+            relative = (candidate.relative_to(base).as_posix()
+                        if _is_relative_to(candidate, base)
+                        else candidate.as_posix())
+            files.append(SourceFile(relative, candidate.read_text()))
+    return Project(base, files)
+
+
+def _is_relative_to(path: Path, base: Path) -> bool:
+    try:
+        path.relative_to(base)
+        return True
+    except ValueError:
+        return False
+
+
+def _common_parent(paths: Sequence[Path]) -> str:
+    import os
+
+    if len(paths) == 1:
+        only = paths[0]
+        return str(only if only.is_dir() else only.parent)
+    return os.path.commonpath([str(path) for path in paths])
+
+
+# --------------------------------------------------------------------- #
+# Running
+# --------------------------------------------------------------------- #
+def run_rules(project: Project,
+              rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Run ``rules`` over ``project`` and return pragma-filtered findings.
+
+    Unparseable files yield one ``PARSE`` error finding each instead of
+    aborting the run; findings are sorted by (path, line, rule).
+    """
+    selected = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    for source in project:
+        if source.syntax_error is not None:
+            findings.append(Finding(
+                rule="PARSE", severity="error", path=source.path,
+                line=source.syntax_error.lineno or 1,
+                message=f"file does not parse: {source.syntax_error.msg}"))
+            continue
+        for rule in selected:
+            for finding in rule.check_file(source, project):
+                if not source.suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+    by_path = {source.path: source for source in project}
+    for rule in selected:
+        for finding in rule.check_project(project):
+            source = by_path.get(finding.path)
+            if source is None or not source.suppressed(finding.rule,
+                                                       finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def lint_paths(paths: Sequence[str | Path], *,
+               rule_ids: Optional[Iterable[str]] = None,
+               root: Optional[str | Path] = None) -> List[Finding]:
+    """Convenience wrapper: load ``paths`` and run the selected rules."""
+    return run_rules(load_project(paths, root=root), get_rules(rule_ids))
+
+
+def report_json(findings: Sequence[Finding]) -> str:
+    """The machine-readable report (the CI artifact format).
+
+    Schema: ``{"version": 1, "findings": [Finding.to_dict()...],
+    "counts": {"error": n, "warning": m}}``.
+    """
+    counts = {severity: 0 for severity in SEVERITIES}
+    for finding in findings:
+        counts[finding.severity] = counts.get(finding.severity, 0) + 1
+    return json.dumps({
+        "version": 1,
+        "findings": [finding.to_dict() for finding in findings],
+        "counts": counts,
+    }, indent=2, sort_keys=True)
+
+
+def report_human(findings: Sequence[Finding],
+                 checked_files: int) -> str:
+    """The terminal report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in findings]
+    errors = sum(1 for finding in findings if finding.severity == "error")
+    warnings = len(findings) - errors
+    lines.append(
+        f"repro-lint: {checked_files} file(s) checked, "
+        f"{errors} error(s), {warnings} warning(s)")
+    return "\n".join(lines)
+
+
+__all__ = ["Finding", "SourceFile", "Project", "Rule", "register",
+           "all_rules", "get_rules", "load_project", "run_rules",
+           "lint_paths", "report_json", "report_human", "SEVERITIES"]

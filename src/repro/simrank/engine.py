@@ -53,7 +53,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -65,6 +65,9 @@ from repro.graphs.sparse import csr_row_indices as _csr_rows
 from repro.graphs.sparse import top_k_per_row
 from repro.simrank.exact import DEFAULT_DECAY
 from repro.utils.timer import Timer
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.simrank.localpush import LocalPushResult
 
 #: Target number of frontier entries per shard when ``num_shards`` is not
 #: given.  Chosen so a shard's ``Wᵀ F_i W`` stays comfortably inside cache
@@ -164,7 +167,7 @@ def _process_worker_init(spec: dict) -> None:
     # double-frees them.
     original_register = resource_tracker.register
 
-    def _register(name, rtype):  # pragma: no cover - trivial shim
+    def _register(name: str, rtype: str) -> None:  # pragma: no cover - trivial shim
         if rtype != "shared_memory":
             original_register(name, rtype)
 
@@ -270,7 +273,8 @@ class _ProcessExecutor(_SerialExecutor):
 
 
 def _make_executor(name: str, walk: sp.csr_matrix, walk_t: sp.csr_matrix,
-                   n: int, decay: float, num_workers: Optional[int]):
+                   n: int, decay: float,
+                   num_workers: Optional[int]) -> "_SerialExecutor":
     if name == "serial":
         return _SerialExecutor(walk, walk_t, n, decay)
     workers = num_workers if num_workers is not None else default_num_workers()
@@ -339,7 +343,7 @@ def localpush_engine(graph: Graph, *, decay: float = DEFAULT_DECAY,
                      num_shards: Optional[int] = None,
                      stream_top_k: Optional[int] = None,
                      coalesce_every: int = 4,
-                     backend_label: Optional[str] = None):
+                     backend_label: Optional[str] = None) -> "LocalPushResult":
     """Run the batched LocalPush round loop with a pluggable executor.
 
     Parameters mirror :func:`repro.simrank.localpush.localpush_simrank`

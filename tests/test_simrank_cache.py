@@ -20,7 +20,7 @@ import pytest
 
 from repro.config import SIGMA_DEFAULT_SIMRANK, SimRankConfig
 from repro.datasets.synthetic import SyntheticGraphConfig, generate_synthetic_graph
-from repro.experiments import fig5_scalability, table3_complexity
+from repro.experiments import run_experiment
 from repro.experiments.common import QUICK_EXPERIMENT_CONFIG
 from repro.graphs.graph import Graph
 from repro.simrank.cache import (
@@ -262,10 +262,12 @@ class TestExperimentIntegration:
         cache = get_operator_cache(directory)
         simrank = SIGMA_DEFAULT_SIMRANK.with_overrides(cache_dir=str(directory))
 
-        cold = fig5_scalability.run(simrank=simrank, **self.FIG5_KWARGS)
+        cold = run_experiment("fig5", simrank=simrank, print_result=False,
+                              **self.FIG5_KWARGS)
         assert cache.hits == 0 and cache.stores == 1
 
-        warm = fig5_scalability.run(simrank=simrank, **self.FIG5_KWARGS)
+        warm = run_experiment("fig5", simrank=simrank, print_result=False,
+                              **self.FIG5_KWARGS)
         # The repeated run was served entirely from the cache …
         assert cache.hits == 1
         assert cache.stores == 1  # … and did not recompute anything.
@@ -278,8 +280,8 @@ class TestExperimentIntegration:
         directory = tmp_path / "table3-cache"
         kwargs = dict(scale_factor=0.05, measure_precompute=True,
                       simrank=SimRankConfig(cache_dir=str(directory)))
-        table3_complexity.run("pokec", **kwargs)
-        table3_complexity.run("pokec", **kwargs)
+        run_experiment("table3", "pokec", print_result=False, **kwargs)
+        run_experiment("table3", "pokec", print_result=False, **kwargs)
         assert get_operator_cache(directory).hits == 1
 
     def test_cli_exposes_cache_and_worker_flags(self):

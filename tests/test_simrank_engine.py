@@ -244,12 +244,14 @@ class TestOperatorPipelineExecutors:
     def test_operator_identical_across_executors(self):
         from repro.simrank.topk import simrank_operator
 
+        from repro.config import SimRankConfig
+
         graph = _sbm(150, seed=14)
-        serial = simrank_operator(graph, method="localpush", epsilon=0.1,
-                                  top_k=4, executor="serial")
-        process = simrank_operator(graph, method="localpush", epsilon=0.1,
-                                   top_k=4, executor="process",
-                                   num_workers=2)
+        serial = simrank_operator(graph, config=SimRankConfig(
+            method="localpush", epsilon=0.1, top_k=4, executor="serial"))
+        process = simrank_operator(graph, config=SimRankConfig(
+            method="localpush", epsilon=0.1, top_k=4, executor="process",
+            workers=2))
         _assert_identical(serial.matrix, process.matrix)
         assert np.diff(process.matrix.indptr).max() <= 4
 
