@@ -15,6 +15,11 @@ free to be refactored between releases.
   :class:`repro.config.ExperimentSpec` grid of ``RunSpec`` cells plus a
   reduction) through the sweep engine, with executor fan-out and a
   resumable :class:`repro.experiments.store.ArtifactStore`.
+* :func:`topk` / :func:`score` — single-source / single-pair SimRank
+  queries (row ``u`` of the operator, O(query) LocalPush work instead of
+  the all-pairs precompute).  The long-lived serving layer on top lives
+  in :mod:`repro.serve` and is configured by
+  :class:`repro.config.ServeConfig`.
 
 Example
 -------
@@ -30,13 +35,15 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.config import SIMRANK_MODELS, ExperimentSpec, RunSpec, SimRankConfig
 from repro.errors import ConfigError
 from repro.graphs.graph import Graph
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    import scipy.sparse as sp
+
     from repro.models.base import NodeClassifier
     from repro.training.evaluation import EvaluationSummary
 
@@ -123,6 +130,86 @@ def run(spec: RunSpec) -> RunResult:
     return RunResult(spec=spec, summary=summary)
 
 
+def _query_row(graph: Graph, source: int, config: Optional[SimRankConfig],
+               k: Optional[int]) -> "sp.csr_matrix":
+    """Row ``source`` of the SimRank operator described by ``config``.
+
+    Always computed with LocalPush (the only method with a single-source
+    variant): ``absorb_residual=True`` and the paper's ``ε/10`` floor
+    prune, then ``top_k_per_row`` semantics when ``k`` is given — the
+    same pipeline as the all-pairs operator, so the row is bit-identical
+    to the corresponding all-pairs row under the guarantee documented on
+    :func:`repro.simrank.engine.multi_source_localpush`.  A ``cache_dir``
+    in the config lets a dominating cached all-pairs entry answer the
+    query without any push work (``OperatorCache.lookup_row``).
+    """
+    from repro.graphs.sparse import sparse_row_normalize
+    from repro.simrank.engine import single_source_localpush
+    from repro.simrank.localpush import resolve_execution
+
+    cfg = config if config is not None else SimRankConfig()
+    if cfg.method == "exact":
+        raise ConfigError(
+            "single-source queries always run LocalPush; "
+            "method='exact' has no row variant")
+    if cfg.cache_dir is not None:
+        from repro.simrank.cache import get_operator_cache
+
+        cache = get_operator_cache(cfg.cache_dir,
+                                   max_bytes=cfg.cache_max_bytes)
+        served = cache.lookup_row(graph, source, decay=cfg.decay,
+                                  epsilon=cfg.epsilon, top_k=k,
+                                  row_normalize=cfg.row_normalize)
+        if served is not None:
+            return served[0]
+    _, executor = resolve_execution(cfg.backend, cfg.executor,
+                                    graph.num_nodes)
+    result = single_source_localpush(
+        graph, source, decay=cfg.decay, epsilon=cfg.epsilon, prune=True,
+        absorb_residual=True, executor=executor or "serial",
+        num_workers=cfg.workers, top_k=k)
+    row = result.row
+    if cfg.row_normalize:
+        row = sparse_row_normalize(row)
+    return row
+
+
+def topk(graph: Graph, source: int, k: int,
+         config: Optional[SimRankConfig] = None) -> "List[Tuple[int, float]]":
+    """The ``k`` most SimRank-similar nodes to ``source`` (self included).
+
+    Returns ``[(node, score), ...]`` sorted by descending score, ties
+    broken toward the smaller node id — the order induced by
+    :func:`repro.graphs.sparse.top_k_per_row`.  ``S(u, u) = 1`` so
+    ``source`` itself leads the list.  With ``config=None`` the library
+    defaults apply (``ε = 0.1``, serial executor); a ``cache_dir`` in the
+    config serves the row from any dominating cached all-pairs operator.
+    """
+    import numpy as np
+
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise ConfigError(f"k must be a positive integer, got {k!r}")
+    row = _query_row(graph, source, config, k)
+    order = np.lexsort((row.indices, -row.data))
+    return [(int(row.indices[i]), float(row.data[i])) for i in order]
+
+
+def score(graph: Graph, u: int, v: int,
+          config: Optional[SimRankConfig] = None) -> float:
+    """The single-pair SimRank score ``Ŝ(u, v)``, ``|Ŝ − S| < ε``.
+
+    Computed from the single-source row of ``u`` with the identical
+    pipeline as :func:`topk`, so ``score(g, u, v)`` equals the entry for
+    ``v`` in ``topk(g, u, n)`` exactly — ``0.0`` when ``v`` was floor-
+    pruned or is unreachable from ``u``.
+    """
+    from repro.simrank.engine import _validate_sources
+
+    _validate_sources(graph, [u, v])
+    row = _query_row(graph, u, config, None)
+    return float(row[0, int(v)])
+
+
 def run_experiment(name: str, *args: object, **kwargs: object) -> object:
     """Run a registered declarative experiment and return its result.
 
@@ -146,5 +233,5 @@ def list_experiments() -> list:
 
 
 __all__ = ["precompute", "build_model", "run", "run_experiment",
-           "list_experiments", "RunResult", "RunSpec", "SimRankConfig",
-           "ExperimentSpec"]
+           "list_experiments", "topk", "score", "RunResult", "RunSpec",
+           "SimRankConfig", "ExperimentSpec"]

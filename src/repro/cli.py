@@ -11,6 +11,12 @@ registry (one :class:`repro.config.ExperimentSpec` per paper artefact):
 ``python -m repro.cli experiment fig6 --scale-factor 0.25`` delegate to
 :mod:`repro.experiments.runner` (also installed as ``repro-experiment``).
 
+The ``serve`` subcommand starts the long-lived query daemon
+(:mod:`repro.serve`): ``python -m repro.cli serve texas --port 8571``
+loads a registry dataset and answers ``/topk``, ``/score``, ``/metrics``
+and ``/healthz`` over HTTP, configured by
+:class:`repro.config.ServeConfig` flags (see ``serve --help``).
+
 Training-loop defaults (``--lr``, ``--weight-decay``, ``--epochs``,
 ``--patience``) are sourced from :class:`repro.training.config.TrainConfig`
 so the numbers live in exactly one place.
@@ -161,6 +167,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         from repro.experiments.runner import main as experiment_main
 
         return experiment_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.daemon import main as serve_main
+
+        return serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.model not in SIMRANK_MODELS:

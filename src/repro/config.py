@@ -315,6 +315,147 @@ class SimRankConfig:
 SIGMA_DEFAULT_SIMRANK = SimRankConfig(top_k=32)
 
 
+@dataclass(frozen=True)
+class ServeConfig:
+    """Configuration of the :mod:`repro.serve` online query layer.
+
+    Field groups
+    ------------
+    ``host, port``
+        Where the daemon listens.
+    ``default_top_k``
+        ``k`` used by ``/topk`` requests that do not pass their own.
+    ``batch_window_seconds, max_batch_size``
+        Request coalescing: concurrent single-source queries arriving
+        within one window are answered by a single shared frontier-round
+        batch (capped at ``max_batch_size`` sources per round).
+        ``batch_window_seconds=0`` disables the wait (each leader takes
+        whatever is already queued).
+    ``exact_enabled, time_budget_seconds, max_pushes_per_query``
+        Admission control for the exact rung of the degradation ladder:
+        the exact single-source compute runs only when enabled, is
+        capped at ``max_pushes_per_query`` frontier absorptions
+        (exceeding it raises and degrades the query) and its answer is
+        discarded as over-budget when it took longer than
+        ``time_budget_seconds`` (``None`` = no wall-clock budget).
+    ``degraded_epsilon_factor, serve_cached_rows``
+        The fallback rungs: cached rows (any dominating all-pairs cache
+        entry, when ``serve_cached_rows``) and the looser-ε recompute at
+        ``epsilon × degraded_epsilon_factor``.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8571
+    default_top_k: int = 10
+    batch_window_seconds: float = 0.005
+    max_batch_size: int = 32
+    exact_enabled: bool = True
+    time_budget_seconds: Optional[float] = None
+    max_pushes_per_query: Optional[int] = None
+    degraded_epsilon_factor: float = 10.0
+    serve_cached_rows: bool = True
+
+    #: CLI-flag ↔ field mapping consumed by :meth:`from_cli_args` (the
+    #: boolean ``--no-exact``/``--no-cached-rows`` switches are bridged
+    #: explicitly there — argparse ``store_true`` flags have no "unset").
+    CLI_FLAG_FIELDS: ClassVar[Mapping[str, str]] = {
+        "host": "host",
+        "port": "port",
+        "serve_top_k": "default_top_k",
+        "batch_window": "batch_window_seconds",
+        "max_batch_size": "max_batch_size",
+        "time_budget": "time_budget_seconds",
+        "max_pushes_per_query": "max_pushes_per_query",
+        "degraded_epsilon_factor": "degraded_epsilon_factor",
+    }
+
+    def __post_init__(self) -> None:
+        coerce = object.__setattr__
+        _require(isinstance(self.host, str) and bool(self.host),
+                 f"host must be a non-empty string, got {self.host!r}")
+        coerce(self, "port", _as_int("port", self.port))
+        _require(0 <= self.port <= 65535,
+                 f"port must be in [0, 65535], got {self.port!r}")
+        coerce(self, "default_top_k",
+               _as_int("default_top_k", self.default_top_k))
+        _require(self.default_top_k >= 1,
+                 f"default_top_k must be a positive integer, "
+                 f"got {self.default_top_k!r}")
+        coerce(self, "batch_window_seconds",
+               _as_float("batch_window_seconds", self.batch_window_seconds))
+        _require(self.batch_window_seconds >= 0.0,
+                 f"batch_window_seconds must be non-negative, "
+                 f"got {self.batch_window_seconds!r}")
+        coerce(self, "max_batch_size",
+               _as_int("max_batch_size", self.max_batch_size))
+        _require(self.max_batch_size >= 1,
+                 f"max_batch_size must be a positive integer, "
+                 f"got {self.max_batch_size!r}")
+        coerce(self, "exact_enabled", bool(self.exact_enabled))
+        if self.time_budget_seconds is not None:
+            coerce(self, "time_budget_seconds",
+                   _as_float("time_budget_seconds", self.time_budget_seconds))
+            _require(self.time_budget_seconds > 0.0,
+                     f"time_budget_seconds must be positive or None, "
+                     f"got {self.time_budget_seconds!r}")
+        if self.max_pushes_per_query is not None:
+            coerce(self, "max_pushes_per_query",
+                   _as_int("max_pushes_per_query", self.max_pushes_per_query))
+            _require(self.max_pushes_per_query >= 1,
+                     f"max_pushes_per_query must be a positive integer or "
+                     f"None, got {self.max_pushes_per_query!r}")
+        coerce(self, "degraded_epsilon_factor",
+               _as_float("degraded_epsilon_factor",
+                         self.degraded_epsilon_factor))
+        _require(self.degraded_epsilon_factor > 1.0,
+                 f"degraded_epsilon_factor must exceed 1.0 (the fallback "
+                 f"must loosen ε), got {self.degraded_epsilon_factor!r}")
+        coerce(self, "serve_cached_rows", bool(self.serve_cached_rows))
+
+    def with_overrides(self, **changes: object) -> "ServeConfig":
+        """A validated copy with the given fields replaced."""
+        unknown = set(changes) - {f.name for f in fields(self)}
+        _require(not unknown,
+                 f"unknown ServeConfig field(s): {', '.join(sorted(unknown))}")
+        return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-serialisable); inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ServeConfig":
+        """Reconstruct a validated config from :meth:`to_dict` output."""
+        _require(isinstance(data, Mapping),
+                 f"ServeConfig.from_dict expects a mapping, "
+                 f"got {type(data).__name__}")
+        unknown = set(data) - {f.name for f in fields(cls)}
+        _require(not unknown,
+                 f"unknown ServeConfig field(s): {', '.join(sorted(unknown))}")
+        return cls(**dict(data))
+
+    @classmethod
+    def from_cli_args(cls, args: Any,
+                      base: Optional["ServeConfig"] = None) -> "ServeConfig":
+        """Build a config from parsed ``repro.cli serve`` flags.
+
+        Flags left at their ``None`` default inherit from ``base``; the
+        ``store_true`` switches ``--no-exact`` and ``--no-cached-rows``
+        override only when set (their unset state is ``False``).
+        """
+        base = base if base is not None else cls()
+        overrides: Dict[str, object] = {
+            field_name: getattr(args, attr)
+            for attr, field_name in cls.CLI_FLAG_FIELDS.items()
+            if getattr(args, attr, None) is not None
+        }
+        if getattr(args, "no_exact", False):
+            overrides["exact_enabled"] = False
+        if getattr(args, "no_cached_rows", False):
+            overrides["serve_cached_rows"] = False
+        return base.with_overrides(**overrides) if overrides else base
+
+
 def merge_deprecated_kwargs(config: Optional[SimRankConfig],
                             deprecated: Mapping[str, Tuple[str, object]],
                             *, default: Optional[SimRankConfig] = None,
@@ -731,6 +872,7 @@ __all__ = [
     "UNSET",
     "SimRankConfig",
     "SIGMA_DEFAULT_SIMRANK",
+    "ServeConfig",
     "RunSpec",
     "ExperimentCell",
     "ExperimentSpec",

@@ -35,6 +35,16 @@ class ConfigError(SimRankError, ValueError):
     """
 
 
+class ServeError(ReproError):
+    """Raised when the serving layer cannot answer a query.
+
+    The :mod:`repro.serve` degradation ladder (exact → cached → looser-ε)
+    raises this only when its *last* rung fails — any earlier failure
+    falls through to the next rung and is recorded in the service
+    counters instead.
+    """
+
+
 class ModelError(ReproError):
     """Raised when a model is mis-configured or used before being built."""
 

@@ -37,9 +37,11 @@ Rule catalogue
 ``R3`` determinism
     No ``np.random.*`` global-state calls, ``random.*`` module
     functions, ``time.time()`` or bare set iteration in
-    ``repro/simrank/engine.py``, ``repro/experiments/engine.py`` or any
-    registered experiment cell runner.  Protects: the bit-identical
-    executor guarantee (every executor × worker count, same bytes).
+    ``repro/simrank/engine.py``, ``repro/experiments/engine.py``,
+    ``repro/serve/service.py`` or any registered experiment cell
+    runner.  Protects: the bit-identical executor guarantee (every
+    executor × worker count, same bytes) and the serving layer's
+    batched-equals-solo answer guarantee.
 ``R4`` deprecation-containment
     The deprecated shims (``localpush_vec``, ``sharded``, the
     ``simrank_*=`` keyword relay, experiment-module ``run()``) are
@@ -62,8 +64,8 @@ Rule catalogue
     ``examples/``, ``benchmarks/`` and the experiment spec builders
     import only the supported public surface (``repro``, ``repro.api``,
     ``repro.config``, ``repro.errors``, ``repro.experiments``,
-    ``repro.datasets``, ``repro.graphs``).  Protects: internals stay
-    refactorable.
+    ``repro.datasets``, ``repro.graphs``, ``repro.serve``).  Protects:
+    internals stay refactorable.
 
 Pragmas
 -------

@@ -62,6 +62,7 @@ NUMPY_GLOBAL_RANDOM = frozenset({
 PUBLIC_SURFACE = frozenset({
     "repro", "repro.api", "repro.config", "repro.errors",
     "repro.experiments", "repro.datasets", "repro.graphs",
+    "repro.serve",
 })
 
 #: Module prefixes an experiment *spec builder* may draw names from: the
@@ -216,8 +217,8 @@ class CacheKeyCompleteness(Rule):
 # --------------------------------------------------------------------- #
 # R2 — frozen-config discipline
 # --------------------------------------------------------------------- #
-FROZEN_CONFIG_CLASSES = ("SimRankConfig", "RunSpec", "ExperimentSpec",
-                         "ExperimentCell", "TrainConfig")
+FROZEN_CONFIG_CLASSES = ("SimRankConfig", "ServeConfig", "RunSpec",
+                         "ExperimentSpec", "ExperimentCell", "TrainConfig")
 
 
 @register
@@ -317,7 +318,8 @@ class FrozenConfigDiscipline(Rule):
 #: Files whose entire contents sit inside the bit-identical-executor
 #: guarantee (every executor × worker count must produce the same bytes).
 DETERMINISM_SCOPED_FILES = ("repro/simrank/engine.py",
-                            "repro/experiments/engine.py")
+                            "repro/experiments/engine.py",
+                            "repro/serve/service.py")
 
 
 @register

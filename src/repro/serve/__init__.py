@@ -1,0 +1,68 @@
+"""Online serving layer: SimRank-as-a-service on the LocalPush engine.
+
+The package turns the batch reproduction into a query system: a
+long-lived daemon holds one graph plus a warm operator cache and answers
+``topk(u, k)`` / ``score(u, v)`` over HTTP, with request coalescing and
+admission-controlled graceful degradation.  Configure it with
+:class:`repro.config.ServeConfig` (plus the usual
+:class:`repro.config.SimRankConfig` operator contract) and start it with
+``python -m repro.cli serve <dataset>``.
+
+The degradation ladder
+----------------------
+Every query walks the same three rungs, falling through on failure and
+reporting the rung that answered in its response ``path`` field:
+
+1. ``exact`` — the single-source LocalPush engine
+   (:func:`repro.simrank.engine.multi_source_localpush`) at the
+   configured ε, one shared frontier round per coalesced batch.
+   Admission control: ``max_pushes_per_query`` caps the frontier work
+   (the engine raises past it) and ``time_budget_seconds`` discards a
+   completed answer that arrived too late.
+2. ``cached`` — any dominating all-pairs operator-cache entry
+   (tighter ε′ ≤ ε, larger k′ ≥ k, same graph/decay/normalisation)
+   serves the row with zero push work via
+   :meth:`repro.simrank.cache.OperatorCache.lookup_row`.
+3. ``degraded`` — a looser-ε recompute at
+   ``ε × degraded_epsilon_factor``; the answer still satisfies the
+   Lemma III.5 bound at that loosened ε, which the response reports.
+
+Only when the last rung fails does the query raise
+:class:`repro.errors.ServeError` (HTTP 503); the daemon itself never
+dies on a query.
+
+Counter semantics
+-----------------
+:class:`repro.serve.service.ServiceCounters` counts *queries* (not
+batches, except where noted), exposed in every response and at
+``/metrics``:
+
+- ``queries`` — total answered; each is also counted in exactly one of
+  ``exact_served`` / ``cached_served`` / ``degraded_served`` /
+  ``failed``.
+- ``exact_failures`` — queries whose exact rung faulted (admission cap
+  or compute error) before falling through; ``budget_overruns`` —
+  queries whose completed exact answer was discarded as over-budget.
+  Both are *in addition to* the rung that finally served them.
+- ``batches`` — shared exact frontier rounds; ``coalesced`` — queries
+  that shared their round with at least one other query.  Coalescing
+  never changes an answer (the engine's batch guarantee; pinned by
+  ``tests/test_serve.py``).
+- The row-cache pair ``row_hits``/``row_misses`` lives on the
+  :class:`repro.simrank.cache.OperatorCache` and appears under
+  ``cache`` in ``/metrics``.
+"""
+
+from repro.serve.batching import QueryBatcher
+from repro.serve.daemon import ServeDaemon, build_parser, main, make_daemon
+from repro.serve.service import (
+    SERVE_PATHS,
+    QueryAnswer,
+    ScoreAnswer,
+    ServiceCounters,
+    SimRankService,
+)
+
+__all__ = ["SimRankService", "QueryAnswer", "ScoreAnswer",
+           "ServiceCounters", "QueryBatcher", "ServeDaemon", "make_daemon",
+           "build_parser", "main", "SERVE_PATHS"]

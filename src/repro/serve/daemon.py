@@ -1,0 +1,224 @@
+"""Long-lived HTTP daemon exposing the serving layer (stdlib only).
+
+Endpoints (all ``GET``, all JSON):
+
+``/topk?u=<node>[&k=<k>]``
+    Top-k most similar nodes to ``u``; coalesced with concurrent
+    requests through the :class:`repro.serve.batching.QueryBatcher`.
+    The response carries the serving ``path`` (exact/cached/degraded),
+    the ``epsilon`` the answer satisfies and the live counters.
+``/score?u=<node>&v=<node>``
+    The single-pair score, same provenance fields.
+``/metrics``
+    :meth:`repro.serve.service.SimRankService.metrics` — per-path
+    counters, operator/row cache statistics, graph and config echo.
+``/healthz``
+    Liveness probe.
+
+Bad parameters are a 400, an exhausted degradation ladder a 503 — the
+daemon never dies on a query.  ``main`` is the ``repro.cli serve``
+subcommand: it loads a registry dataset, builds the service stack and
+blocks in ``serve_forever``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.config import ServeConfig, SimRankConfig
+from repro.errors import ConfigError, ReproError, ServeError, SimRankError
+from repro.graphs.graph import Graph
+from repro.serve.batching import QueryBatcher
+from repro.serve.service import SimRankService
+
+
+class ServeDaemon(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` bound to one service + batcher stack."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: SimRankService,
+                 batcher: Optional[QueryBatcher] = None) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.batcher = batcher if batcher is not None else QueryBatcher(service)
+
+
+def _query_int(params: Dict[str, List[str]], name: str,
+               required: bool = True) -> Optional[int]:
+    values = params.get(name, [])
+    if not values:
+        if required:
+            raise ConfigError(f"missing required query parameter {name!r}")
+        return None
+    try:
+        return int(values[-1])
+    except ValueError:
+        raise ConfigError(
+            f"query parameter {name!r} must be an integer, "
+            f"got {values[-1]!r}") from None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServeDaemon
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence per-request stderr logging; /metrics is the record."""
+
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        params = parse_qs(parsed.query)
+        service = self.server.service
+        try:
+            if parsed.path == "/healthz":
+                self._send_json(200, {
+                    "status": "ok",
+                    "num_nodes": int(service.graph.num_nodes),
+                })
+            elif parsed.path == "/metrics":
+                self._send_json(200, service.metrics())
+            elif parsed.path == "/topk":
+                u = _query_int(params, "u")
+                k = _query_int(params, "k", required=False)
+                assert u is not None
+                answer = self.server.batcher.submit(u, k)
+                self._send_json(200, {
+                    "source": answer.source,
+                    "k": answer.k,
+                    "entries": [[node, value]
+                                for node, value in answer.entries],
+                    "path": answer.path,
+                    "epsilon": answer.epsilon,
+                    "elapsed_seconds": answer.elapsed_seconds,
+                    "batch_size": answer.batch_size,
+                    "counters": service.counters.to_dict(),
+                })
+            elif parsed.path == "/score":
+                u = _query_int(params, "u")
+                v = _query_int(params, "v")
+                assert u is not None and v is not None
+                answer = service.score(u, v)
+                self._send_json(200, {
+                    "u": answer.u,
+                    "v": answer.v,
+                    "score": answer.value,
+                    "path": answer.path,
+                    "epsilon": answer.epsilon,
+                    "elapsed_seconds": answer.elapsed_seconds,
+                    "counters": service.counters.to_dict(),
+                })
+            else:
+                self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
+        except ServeError as error:
+            self._send_json(503, {"error": str(error)})
+        except (ConfigError, SimRankError) as error:
+            self._send_json(400, {"error": str(error)})
+
+
+def make_daemon(graph: Graph, *, simrank: Optional[SimRankConfig] = None,
+                serve: Optional[ServeConfig] = None) -> ServeDaemon:
+    """Build the full daemon stack (service → batcher → HTTP server).
+
+    Binds immediately; ``serve.port=0`` picks a free port
+    (``daemon.server_address`` reports the bound one).  The caller owns
+    the lifecycle: ``serve_forever()`` to run, ``shutdown()`` +
+    ``server_close()`` to stop.
+    """
+    serve = serve if serve is not None else ServeConfig()
+    service = SimRankService(graph, simrank=simrank, serve=serve)
+    return ServeDaemon((serve.host, serve.port), service)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli serve",
+        description="Serve single-source SimRank queries over HTTP.")
+    parser.add_argument("dataset",
+                        help="registry dataset to load and serve")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="dataset generation seed (default 0)")
+    parser.add_argument("--scale-factor", type=float, default=1.0,
+                        help="dataset down-scaling factor")
+    parser.add_argument("--host", default=None, help="bind host")
+    parser.add_argument("--port", type=int, default=None,
+                        help="bind port (0 picks a free one)")
+    parser.add_argument("--serve-top-k", type=int, default=None,
+                        help="default k for /topk requests")
+    parser.add_argument("--batch-window", type=float, default=None,
+                        help="request-coalescing window in seconds")
+    parser.add_argument("--max-batch-size", type=int, default=None,
+                        help="max coalesced queries per frontier round")
+    parser.add_argument("--time-budget", type=float, default=None,
+                        help="per-query exact-path wall budget in seconds")
+    parser.add_argument("--max-pushes-per-query", type=int, default=None,
+                        help="admission cap on frontier absorptions")
+    parser.add_argument("--degraded-epsilon-factor", type=float, default=None,
+                        help="looser-ε fallback multiplier")
+    parser.add_argument("--no-exact", action="store_true",
+                        help="disable the exact rung of the ladder")
+    parser.add_argument("--no-cached-rows", action="store_true",
+                        help="disable the cached rung of the ladder")
+    parser.add_argument("--epsilon", type=float, default=None,
+                        help="operator error bound ε")
+    parser.add_argument("--decay", type=float, default=None,
+                        help="SimRank decay factor c")
+    parser.add_argument("--executor", default=None,
+                        choices=("serial", "thread", "process"),
+                        help="LocalPush executor for query rounds")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="executor worker count")
+    parser.add_argument("--cache-dir", default=None,
+                        help="operator cache directory (the cached rung)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``repro.cli serve`` entry point: load, bind, serve forever."""
+    args = build_parser().parse_args(
+        list(argv) if argv is not None else None)
+    serve_config = ServeConfig.from_cli_args(args)
+    simrank_overrides: Dict[str, object] = {}
+    for attr, field_name in (("epsilon", "epsilon"), ("decay", "decay"),
+                             ("executor", "executor"), ("workers", "workers"),
+                             ("cache_dir", "cache_dir")):
+        value = getattr(args, attr)
+        if value is not None:
+            simrank_overrides[field_name] = value
+    simrank_config = SimRankConfig(**simrank_overrides)  # type: ignore[arg-type]
+
+    from repro.datasets.registry import load_dataset
+
+    try:
+        dataset = load_dataset(args.dataset, seed=args.seed,
+                               scale_factor=args.scale_factor)
+    except ReproError as error:
+        print(f"error: {error}")
+        return 2
+    daemon = make_daemon(dataset.graph, simrank=simrank_config,
+                         serve=serve_config)
+    host, port = daemon.server_address[0], daemon.server_address[1]
+    print(f"serving {args.dataset} ({dataset.graph.num_nodes} nodes) "
+          f"on http://{host}:{port} — endpoints: /topk /score /metrics "
+          f"/healthz")
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        daemon.server_close()
+    return 0
+
+
+__all__ = ["ServeDaemon", "make_daemon", "build_parser", "main"]

@@ -1,0 +1,372 @@
+"""The serving core: single-source queries behind a degradation ladder.
+
+:class:`SimRankService` answers ``topk``/``score`` queries against one
+long-lived graph.  Every query walks the same three-rung ladder:
+
+1. **exact** — the single-source LocalPush engine at the configured ε,
+   admission-controlled by ``ServeConfig.max_pushes_per_query`` (the
+   engine raises past the cap) and ``ServeConfig.time_budget_seconds``
+   (a completed answer that took longer is discarded as over-budget).
+2. **cached** — any dominating all-pairs operator-cache entry serves the
+   row via :meth:`repro.simrank.cache.OperatorCache.lookup_row`, with no
+   push work at all.
+3. **degraded** — a looser-ε recompute at
+   ``ε × ServeConfig.degraded_epsilon_factor``; cheap because the push
+   threshold ``(1−c)·ε`` grows with ε.
+
+Only when the last rung fails does the query raise
+:class:`repro.errors.ServeError`; every earlier failure falls through
+and is recorded in the per-path counters (see :class:`ServiceCounters`).
+The ``compute_exact``/``compute_degraded`` callables are injectable so
+the fault-injection suite can force any rung to fail.
+
+This module is in the R3 determinism lint scope: given one service
+instance, equal queries return bit-identical answers regardless of
+batch composition (the engine guarantee) — no wall-clock reads, global
+RNG or unordered-set iteration may influence an answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from threading import Lock
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.config import ServeConfig, SimRankConfig
+from repro.errors import ServeError, SimRankError
+from repro.graphs.graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.simrank.cache import OperatorCache
+
+#: The ladder rungs, in fall-through order; every answer names its rung.
+SERVE_PATHS = ("exact", "cached", "degraded")
+
+#: Injectable row computation: ``(sources, top_k, epsilon) -> {source: row}``
+#: where each row is a ``1×n`` CSR matrix.
+RowCompute = Callable[[Sequence[int], Optional[int], float],
+                      Dict[int, sp.csr_matrix]]
+
+
+@dataclass
+class QueryAnswer:
+    """One answered ``topk`` query: the entries plus serving provenance."""
+
+    source: int
+    k: Optional[int]
+    entries: List[Tuple[int, float]]
+    path: str
+    epsilon: float
+    elapsed_seconds: float
+    batch_size: int = 1
+
+
+@dataclass
+class ScoreAnswer:
+    """One answered single-pair query."""
+
+    u: int
+    v: int
+    value: float
+    path: str
+    epsilon: float
+    elapsed_seconds: float
+
+
+class ServiceCounters:
+    """Per-path query accounting (all counts are *queries*, not batches).
+
+    ``queries`` is the total answered; each one is also counted in
+    exactly one of ``exact_served``/``cached_served``/``degraded_served``
+    or ``failed``.  ``exact_failures`` counts queries whose exact rung
+    faulted (admission cap or injected error) and ``budget_overruns``
+    those whose completed exact answer was discarded for exceeding the
+    time budget — both then fell through the ladder.  ``batches`` counts
+    shared exact frontier rounds and ``coalesced`` the queries that
+    shared their round with at least one other query.
+    """
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.batches = 0
+        self.coalesced = 0
+        self.exact_served = 0
+        self.cached_served = 0
+        self.degraded_served = 0
+        self.failed = 0
+        self.exact_failures = 0
+        self.budget_overruns = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "queries": self.queries,
+            "batches": self.batches,
+            "coalesced": self.coalesced,
+            "exact_served": self.exact_served,
+            "cached_served": self.cached_served,
+            "degraded_served": self.degraded_served,
+            "failed": self.failed,
+            "exact_failures": self.exact_failures,
+            "budget_overruns": self.budget_overruns,
+        }
+
+
+def _row_entries(row: sp.csr_matrix) -> List[Tuple[int, float]]:
+    """Stored row entries sorted by descending score, ties to smaller id."""
+    order = np.lexsort((row.indices, -row.data))
+    return [(int(row.indices[i]), float(row.data[i])) for i in order]
+
+
+class SimRankService:
+    """Long-lived query service over one graph and one warm cache.
+
+    Parameters
+    ----------
+    graph:
+        The graph every query runs against.
+    simrank:
+        The operator contract (ε, decay, top-k semantics, normalisation,
+        executor plan).  Its ``cache_dir`` provides the cached rung.
+    serve:
+        The :class:`repro.config.ServeConfig` ladder/batching knobs.
+    cache:
+        Explicit :class:`repro.simrank.cache.OperatorCache` for the
+        cached rung; defaults to ``simrank.cache_dir``'s shared instance
+        (no cached rung when both are absent).
+    compute_exact / compute_degraded:
+        Injectable row computations (fault-injection hooks).  Defaults
+        run the single-source engine at ε and at the degraded ε
+        respectively.  A rung fails by raising :class:`SimRankError`.
+    """
+
+    def __init__(self, graph: Graph, *,
+                 simrank: Optional[SimRankConfig] = None,
+                 serve: Optional[ServeConfig] = None,
+                 cache: Optional["OperatorCache"] = None,
+                 compute_exact: Optional[RowCompute] = None,
+                 compute_degraded: Optional[RowCompute] = None) -> None:
+        self.graph = graph
+        self.simrank = simrank if simrank is not None else SimRankConfig()
+        self.serve = serve if serve is not None else ServeConfig()
+        if cache is None and self.simrank.cache_dir is not None:
+            from repro.simrank.cache import get_operator_cache
+
+            cache = get_operator_cache(self.simrank.cache_dir,
+                                       max_bytes=self.simrank.cache_max_bytes)
+        self.cache = cache
+        self._compute_exact = (compute_exact if compute_exact is not None
+                               else self._engine_rows)
+        self._compute_degraded = (compute_degraded
+                                  if compute_degraded is not None
+                                  else self._engine_rows)
+        self.counters = ServiceCounters()
+        # One query batch at a time: the engine already parallelises via
+        # its executor, and serialising here keeps the counters and the
+        # coalescing story simple under the daemon's thread-per-request
+        # server.  Concurrency comes from the batcher coalescing queries
+        # into one shared round, not from racing rounds.
+        self._lock = Lock()
+
+    # ------------------------------------------------------------------ #
+    # Default (real) row computations
+    # ------------------------------------------------------------------ #
+    def _engine_rows(self, sources: Sequence[int], top_k: Optional[int],
+                     epsilon: float) -> Dict[int, sp.csr_matrix]:
+        """Single-source engine rows for ``sources`` in one shared round."""
+        from repro.graphs.sparse import sparse_row_normalize
+        from repro.simrank.engine import multi_source_localpush
+        from repro.simrank.localpush import resolve_execution
+
+        cfg = self.simrank
+        _, executor = resolve_execution(cfg.backend, cfg.executor,
+                                        self.graph.num_nodes)
+        results = multi_source_localpush(
+            self.graph, list(sources), decay=cfg.decay, epsilon=epsilon,
+            prune=True, absorb_residual=True,
+            max_pushes=self.serve.max_pushes_per_query,
+            executor=executor or "serial", num_workers=cfg.workers,
+            top_k=top_k)
+        rows: Dict[int, sp.csr_matrix] = {}
+        for result in results:
+            row = result.row
+            if cfg.row_normalize:
+                row = sparse_row_normalize(row)
+            rows[result.source] = row
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # The degradation ladder
+    # ------------------------------------------------------------------ #
+    def _validate(self, sources: Sequence[int]) -> List[int]:
+        n = self.graph.num_nodes
+        cleaned: List[int] = []
+        for source in sources:
+            if isinstance(source, bool) or not isinstance(source, int):
+                raise SimRankError(
+                    f"query node must be an integer, got {source!r}")
+            if not 0 <= source < n:
+                raise SimRankError(
+                    f"query node {source} out of range for a graph "
+                    f"with {n} nodes")
+            cleaned.append(int(source))
+        if not cleaned:
+            raise SimRankError("a query batch needs at least one source")
+        return cleaned
+
+    def _serve_rows(self, sources: Sequence[int], top_k: Optional[int]
+                    ) -> Dict[int, Tuple[sp.csr_matrix, str, float]]:
+        """Walk the ladder for the deduplicated ``sources``.
+
+        Returns ``{source: (row, path, epsilon)}`` where ``epsilon`` is
+        the error bound the served row actually satisfies.  Must be
+        called under ``self._lock``.
+        """
+        counters = self.counters
+        cfg = self.simrank
+        unique = sorted(dict.fromkeys(sources))
+        count = len(unique)
+
+        # Rung 1: exact, all sources in one shared frontier round.
+        if self.serve.exact_enabled:
+            from repro.utils.timer import Timer
+
+            timer = Timer()
+            timer.start()
+            try:
+                rows = self._compute_exact(unique, top_k, cfg.epsilon)
+            except SimRankError:
+                counters.exact_failures += count
+            else:
+                elapsed = timer.stop()
+                budget = self.serve.time_budget_seconds
+                if budget is not None and elapsed > budget:
+                    counters.budget_overruns += count
+                else:
+                    counters.batches += 1
+                    counters.exact_served += count
+                    return {source: (rows[source], "exact", cfg.epsilon)
+                            for source in unique}
+
+        # Rungs 2 and 3, per source.
+        served: Dict[int, Tuple[sp.csr_matrix, str, float]] = {}
+        degraded_epsilon = cfg.epsilon * self.serve.degraded_epsilon_factor
+        for source in unique:
+            if self.serve.serve_cached_rows and self.cache is not None:
+                hit = self.cache.lookup_row(
+                    self.graph, source, decay=cfg.decay, epsilon=cfg.epsilon,
+                    top_k=top_k, row_normalize=cfg.row_normalize)
+                if hit is not None:
+                    row, entry_epsilon = hit
+                    counters.cached_served += 1
+                    served[source] = (row, "cached", entry_epsilon)
+                    continue
+            try:
+                rows = self._compute_degraded([source], top_k,
+                                              degraded_epsilon)
+            except SimRankError as error:
+                counters.failed += 1
+                raise ServeError(
+                    f"every serving rung failed for source {source} "
+                    f"(exact {'disabled' if not self.serve.exact_enabled else 'failed'}, "
+                    f"no cached row, degraded ε={degraded_epsilon} failed): "
+                    f"{error}") from error
+            counters.degraded_served += 1
+            served[source] = (rows[source], "degraded", degraded_epsilon)
+        return served
+
+    # ------------------------------------------------------------------ #
+    # Public queries
+    # ------------------------------------------------------------------ #
+    def topk_batch(self, sources: Sequence[int],
+                   k: Optional[int] = None) -> List[QueryAnswer]:
+        """Answer a batch of ``topk`` queries from one shared ladder walk.
+
+        Results align with ``sources`` (duplicates share the computed
+        row) and are identical to issuing each query alone — the
+        single-source engine's batch guarantee.
+        """
+        from repro.utils.timer import Timer
+
+        cleaned = self._validate(sources)
+        k = k if k is not None else self.serve.default_top_k
+        timer = Timer()
+        timer.start()
+        with self._lock:
+            served = self._serve_rows(cleaned, k)
+            self.counters.queries += len(cleaned)
+            if len(cleaned) > 1:
+                self.counters.coalesced += len(cleaned)
+        elapsed = timer.stop()
+        return [QueryAnswer(
+            source=source,
+            k=k,
+            entries=_row_entries(served[source][0]),
+            path=served[source][1],
+            epsilon=served[source][2],
+            elapsed_seconds=elapsed,
+            batch_size=len(cleaned),
+        ) for source in cleaned]
+
+    def topk(self, source: int, k: Optional[int] = None) -> QueryAnswer:
+        """Answer one ``topk`` query (a batch of one)."""
+        return self.topk_batch([source], k)[0]
+
+    def score(self, u: int, v: int) -> ScoreAnswer:
+        """Answer a single-pair query from the full (un-truncated) row."""
+        from repro.utils.timer import Timer
+
+        cleaned = self._validate([u, v])
+        timer = Timer()
+        timer.start()
+        with self._lock:
+            served = self._serve_rows([cleaned[0]], None)
+            self.counters.queries += 1
+        elapsed = timer.stop()
+        row, path, epsilon = served[cleaned[0]]
+        return ScoreAnswer(u=cleaned[0], v=cleaned[1],
+                           value=float(row[0, cleaned[1]]), path=path,
+                           epsilon=epsilon, elapsed_seconds=elapsed)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def metrics(self) -> Dict[str, object]:
+        """The ``/metrics`` payload: counters, cache state, graph, config."""
+        cache_stats: Optional[Dict[str, int]] = None
+        if self.cache is not None:
+            cache_stats = {
+                "hits": self.cache.hits,
+                "exact_hits": self.cache.exact_hits,
+                "reuse_hits": self.cache.reuse_hits,
+                "misses": self.cache.misses,
+                "row_hits": self.cache.row_hits,
+                "row_misses": self.cache.row_misses,
+                "stores": self.cache.stores,
+            }
+        return {
+            "counters": self.counters.to_dict(),
+            "cache": cache_stats,
+            "graph": {
+                "num_nodes": int(self.graph.num_nodes),
+                "num_edges": int(self.graph.num_edges),
+            },
+            "config": {
+                "epsilon": self.simrank.epsilon,
+                "decay": self.simrank.decay,
+                "default_top_k": self.serve.default_top_k,
+                "exact_enabled": self.serve.exact_enabled,
+                "time_budget_seconds": self.serve.time_budget_seconds,
+                "max_pushes_per_query": self.serve.max_pushes_per_query,
+                "degraded_epsilon_factor": self.serve.degraded_epsilon_factor,
+                "serve_cached_rows": self.serve.serve_cached_rows,
+                "batch_window_seconds": self.serve.batch_window_seconds,
+                "max_batch_size": self.serve.max_batch_size,
+            },
+        }
+
+
+__all__ = ["SimRankService", "QueryAnswer", "ScoreAnswer",
+           "ServiceCounters", "RowCompute", "SERVE_PATHS"]

@@ -80,12 +80,13 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.config import CACHE_KEY_FIELDS
+from repro.errors import SimRankError
 from repro.graphs.graph import Graph
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -162,7 +163,9 @@ class OperatorCache:
     --------
     ``hits`` (= ``exact_hits`` + ``reuse_hits``), ``misses``, ``stores``,
     ``evictions`` (corrupt/stale files), ``lru_evictions`` (byte-cap
-    policy).
+    policy).  Single-source row serving (:meth:`lookup_row`) keeps its
+    own ``row_hits``/``row_misses`` pair so the operator-level invariant
+    ``hits == exact_hits + reuse_hits`` is unaffected by row traffic.
     """
 
     def __init__(self, directory: str | os.PathLike, *,
@@ -177,6 +180,8 @@ class OperatorCache:
         self.stores = 0
         self.evictions = 0
         self.lru_evictions = 0
+        self.row_hits = 0
+        self.row_misses = 0
 
     @property
     def max_bytes(self) -> Optional[int]:
@@ -542,6 +547,72 @@ class OperatorCache:
         self.misses += 1
         return None
 
+    def lookup_row(self, graph: Graph, source: int, *, decay: float,
+                   epsilon: float, top_k: Optional[int],
+                   row_normalize: bool,
+                   fingerprint: Optional[str] = None
+                   ) -> Optional[Tuple[sp.csr_matrix, float]]:
+        """Serve one row of a LocalPush operator from any dominating entry.
+
+        A cached all-pairs entry answers any single-source request
+        without recompute: the index is scanned with the same dominance
+        relation as :meth:`lookup` (same graph fingerprint, decay and
+        normalisation flag; ``ε′ ≤ ε``; ``k′ ≥ k``), row ``source`` of
+        the closest dominating entry is sliced out and re-pruned to the
+        requested contract with the exact :meth:`_reprune` semantics
+        (``top_k_per_row(..., keep_diagonal=True)`` / ``ε/10`` floor /
+        re-normalisation), applied to the single row.
+
+        Returns ``(row, entry_epsilon)`` — the ``1×n`` CSR row and the
+        ``ε′`` the stored entry was computed at (the error bound the
+        answer actually satisfies) — or ``None`` on a miss.  Counted in
+        ``row_hits``/``row_misses``, never in the operator counters.
+        """
+        import dataclasses
+
+        n = graph.num_nodes
+        if not 0 <= int(source) < n:
+            raise SimRankError(
+                f"source node {source} out of range for a graph "
+                f"with {n} nodes")
+        index = self._sync_index(self._load_index())
+        fingerprint = fingerprint or graph_fingerprint(graph)
+        candidates = [
+            (candidate_key, entry)
+            for candidate_key, entry in index["entries"].items()
+            if self._can_serve(entry, fingerprint=fingerprint,
+                               method="localpush", decay=decay,
+                               epsilon=epsilon, top_k=top_k,
+                               row_normalize=row_normalize)
+        ]
+        candidates.sort(key=lambda item: (
+            -float(item[1]["epsilon"]),
+            float("inf") if item[1]["top_k"] is None else item[1]["top_k"],
+            -int(item[1].get("last_used", 0))))
+        for candidate_key, entry in candidates:
+            candidate = self._load(candidate_key)
+            if candidate is None:
+                continue  # corrupt on disk; evicted, try the next
+            # Embed the sliced row back at its original index so the
+            # shared re-prune semantics (keep_diagonal targets column
+            # ``source``) apply unchanged; every re-prune step is
+            # row-independent, so this equals slicing a fully re-pruned
+            # operator at O(row) cost instead of O(nnz).
+            sliced = sp.csr_matrix(candidate.matrix).getrow(int(source))
+            indptr = np.zeros(n + 1, dtype=sliced.indptr.dtype)
+            indptr[int(source) + 1:] = sliced.nnz
+            embedded = sp.csr_matrix(
+                (sliced.data, sliced.indices, indptr), shape=(n, n))
+            matrix = self._reprune(
+                dataclasses.replace(candidate, matrix=embedded),
+                epsilon=epsilon, top_k=top_k, row_normalize=row_normalize)
+            self.row_hits += 1
+            self._touch(index, candidate_key)
+            self._save_index(index)
+            return matrix.getrow(int(source)), float(entry["epsilon"])
+        self.row_misses += 1
+        return None
+
     # ------------------------------------------------------------------ #
     def store(self, key: str, operator: "SimRankOperator", *,
               fingerprint: Optional[str] = None) -> Path:
@@ -602,6 +673,7 @@ class OperatorCache:
         return (f"OperatorCache({str(self.directory)!r}, hits={self.hits} "
                 f"(exact={self.exact_hits}, reuse={self.reuse_hits}), "
                 f"misses={self.misses}, stores={self.stores}, "
+                f"rows={self.row_hits}/{self.row_hits + self.row_misses}, "
                 f"evictions={self.evictions}, "
                 f"lru_evictions={self.lru_evictions}, "
                 f"max_bytes={self.max_bytes})")

@@ -53,6 +53,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -334,47 +335,23 @@ def _streaming_prune(estimate: sp.csr_matrix, k: int,
 # --------------------------------------------------------------------- #
 # The engine core
 # --------------------------------------------------------------------- #
-def localpush_engine(graph: Graph, *, decay: float = DEFAULT_DECAY,
-                     epsilon: float = 0.1, prune: bool = True,
-                     absorb_residual: bool = False,
-                     max_pushes: int | None = None,
-                     executor: str = "serial",
-                     num_workers: Optional[int] = None,
-                     num_shards: Optional[int] = None,
-                     stream_top_k: Optional[int] = None,
-                     coalesce_every: int = 4,
-                     backend_label: Optional[str] = None) -> "LocalPushResult":
-    """Run the batched LocalPush round loop with a pluggable executor.
+@dataclass
+class _EngineRun:
+    """Raw outcome of one push-round loop, before result packaging."""
 
-    Parameters mirror :func:`repro.simrank.localpush.localpush_simrank`
-    (which dispatches here for every non-dict plan), plus:
+    estimate: sp.csr_matrix
+    num_pushes: int
+    num_rounds: int
+    num_residual_entries: int
+    elapsed_seconds: float
+    workers_used: Optional[int]
+    max_shards_used: int
 
-    executor:
-        ``"serial"``, ``"thread"`` or ``"process"`` — how the per-round
-        shard pushes are executed.  The result is bit-identical for
-        every executor and worker count (see the module docstring), so
-        this is purely a throughput knob.
-    num_workers:
-        Pool size for the thread/process executors (ignored by
-        ``"serial"``); defaults to :func:`default_num_workers`.
-    num_shards:
-        Fixed shard count per round.  Defaults to
-        ``ceil(frontier_nnz / DEFAULT_SHARD_NNZ)``, recomputed per round
-        from the frontier alone so results stay independent of the
-        executor and pool size.
-    stream_top_k:
-        When given, stream top-k pruning into the round loop (bounded
-        ``O(k·n)`` memory) and return the matrix already pruned with
-        :func:`repro.graphs.sparse.top_k_per_row` semantics
-        (``keep_diagonal=True``); matches pruning the fully materialised
-        estimate exactly.
-    backend_label:
-        Legacy backend name recorded on the result for callers that
-        still reason in ``backend=`` terms (``"vectorized"`` ≡
-        ``(core, serial)``, ``"sharded"`` ≡ ``(core, thread|process)``).
-    """
-    from repro.simrank.localpush import LocalPushResult, finalize_estimate
 
+def _validate_engine_args(decay: float, epsilon: float, executor: str,
+                          num_workers: Optional[int],
+                          num_shards: Optional[int],
+                          stream_top_k: Optional[int]) -> None:
     if not 0.0 < decay < 1.0:
         raise SimRankError(f"decay factor c must be in (0, 1), got {decay}")
     if epsilon <= 0.0:
@@ -389,14 +366,65 @@ def localpush_engine(graph: Graph, *, decay: float = DEFAULT_DECAY,
     if stream_top_k is not None and stream_top_k < 1:
         raise SimRankError(f"stream_top_k must be >= 1, got {stream_top_k}")
 
+
+def _seed_residual(n: int, seed_nodes: Optional[np.ndarray]) -> sp.csr_matrix:
+    """Initial residual: the identity restricted to ``seed_nodes``.
+
+    ``seed_nodes=None`` seeds every node (the all-pairs run).  A restricted
+    seed set is exact for the seeded nodes' connected components: the
+    push operator ``c·Wᵀ F W`` never creates an entry ``(a, b)`` with
+    ``a`` and ``b`` outside the components the mass started in, so seeds
+    from other components contribute nothing to the restricted rows.
+    """
+    if seed_nodes is None:
+        return sp.identity(n, dtype=np.float64, format="csr")
+    counts = np.zeros(n, dtype=np.int64)
+    counts[seed_nodes] = 1
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    data = np.ones(seed_nodes.size, dtype=np.float64)
+    return sp.csr_matrix((data, seed_nodes.astype(np.int64, copy=False),
+                          indptr), shape=(n, n))
+
+
+def _run_rounds(graph: Graph, *, decay: float, epsilon: float, prune: bool,
+                absorb_residual: bool, max_pushes: Optional[int],
+                executor: str, num_workers: Optional[int],
+                num_shards: Optional[int], stream_top_k: Optional[int],
+                coalesce_every: int,
+                seed_nodes: Optional[np.ndarray] = None,
+                absorb_rows: Optional[np.ndarray] = None) -> _EngineRun:
+    """The shared frontier-batched round loop.
+
+    ``seed_nodes``/``absorb_rows`` are the single-source restriction
+    hooks: the residual starts as the identity restricted to
+    ``seed_nodes`` (``None`` = all nodes) and only estimate entries whose
+    row is in ``absorb_rows`` are materialised (``None`` = all rows).
+    Every arithmetic operation on an absorbed row is identical to the
+    unrestricted run whenever the shard partitions coincide — scipy's
+    CSR matmul, addition, thresholding and COO→CSR duplicate folding are
+    all per-row independent — which is what makes single-source rows
+    bit-identical to the all-pairs rows (see ``single_source_localpush``
+    for the precise guarantee).
+
+    Streaming top-k runs in-loop only for unrestricted runs; restricted
+    runs accumulate triplets and apply the identical
+    ``top_k_per_row(..., keep_diagonal=True)`` semantics post hoc.
+    """
+    from repro.simrank.localpush import finalize_estimate
+
     n = graph.num_nodes
     threshold = (1.0 - decay) * epsilon
     walk = column_normalize(graph.adjacency)     # W = A D⁻¹
     walk_t = walk.T.tocsr()
     runner = _make_executor(executor, walk, walk_t, n, decay, num_workers)
 
-    residual = sp.identity(n, dtype=np.float64, format="csr")
-    streaming = stream_top_k is not None
+    residual = _seed_residual(n, seed_nodes)
+    streaming = stream_top_k is not None and absorb_rows is None
+    absorb_mask: Optional[np.ndarray] = None
+    if absorb_rows is not None:
+        absorb_mask = np.zeros(n, dtype=bool)
+        absorb_mask[absorb_rows] = True
     # The materialised running estimate is only needed when the streaming
     # prune inspects it every round; otherwise absorbed frontiers are
     # accumulated as COO triplets and coalesced once at the end.
@@ -425,6 +453,12 @@ def localpush_engine(graph: Graph, *, decay: float = DEFAULT_DECAY,
             if streaming:
                 estimate = estimate + sp.csr_matrix((data, (rows, cols)),
                                                     shape=(n, n))
+            elif absorb_mask is not None:
+                keep = absorb_mask[rows]
+                if keep.any():
+                    est_rows.append(rows[keep])
+                    est_cols.append(cols[keep])
+                    est_data.append(data[keep])
             else:
                 est_rows.append(rows)
                 est_cols.append(cols)
@@ -478,38 +512,294 @@ def localpush_engine(graph: Graph, *, decay: float = DEFAULT_DECAY,
     if absorb_residual and residual.nnz:
         rows = _csr_rows(residual)
         positive = residual.data > 0.0
-        leftover_mass = sp.csr_matrix(
-            (residual.data[positive].copy(),
-             (rows[positive],
-              residual.indices[positive].astype(np.int64, copy=False))),
-            shape=(n, n))
-        estimate = estimate + leftover_mass
+        if absorb_mask is not None:
+            positive &= absorb_mask[rows]
+        if positive.any():
+            leftover_mass = sp.csr_matrix(
+                (residual.data[positive].copy(),
+                 (rows[positive],
+                  residual.indices[positive].astype(np.int64, copy=False))),
+                shape=(n, n))
+            estimate = estimate + leftover_mass
 
     estimate = finalize_estimate(estimate, residual, epsilon=epsilon,
                                  prune=prune)
 
-    if streaming:
+    if stream_top_k is not None:
         # Exact top_k_per_row semantics over the surviving superset: equal
         # to pruning the full estimate, because streamed drops were
-        # provably outside the final top-k.
+        # provably outside the final top-k.  Restricted runs reach here
+        # with the full (un-streamed) absorbed rows, so this is simply
+        # the post-hoc prune.
         estimate = top_k_per_row(estimate, stream_top_k, keep_diagonal=True)
 
     leftover = int(np.count_nonzero(residual.data > 0.0))
-    return LocalPushResult(
-        matrix=estimate,
+    return _EngineRun(
+        estimate=estimate,
         num_pushes=num_pushes,
+        num_rounds=num_rounds,
         num_residual_entries=leftover,
         elapsed_seconds=elapsed,
+        workers_used=runner.workers_used,
+        max_shards_used=max_shards_used,
+    )
+
+
+def localpush_engine(graph: Graph, *, decay: float = DEFAULT_DECAY,
+                     epsilon: float = 0.1, prune: bool = True,
+                     absorb_residual: bool = False,
+                     max_pushes: int | None = None,
+                     executor: str = "serial",
+                     num_workers: Optional[int] = None,
+                     num_shards: Optional[int] = None,
+                     stream_top_k: Optional[int] = None,
+                     coalesce_every: int = 4,
+                     backend_label: Optional[str] = None) -> "LocalPushResult":
+    """Run the batched LocalPush round loop with a pluggable executor.
+
+    Parameters mirror :func:`repro.simrank.localpush.localpush_simrank`
+    (which dispatches here for every non-dict plan), plus:
+
+    executor:
+        ``"serial"``, ``"thread"`` or ``"process"`` — how the per-round
+        shard pushes are executed.  The result is bit-identical for
+        every executor and worker count (see the module docstring), so
+        this is purely a throughput knob.
+    num_workers:
+        Pool size for the thread/process executors (ignored by
+        ``"serial"``); defaults to :func:`default_num_workers`.
+    num_shards:
+        Fixed shard count per round.  Defaults to
+        ``ceil(frontier_nnz / DEFAULT_SHARD_NNZ)``, recomputed per round
+        from the frontier alone so results stay independent of the
+        executor and pool size.
+    stream_top_k:
+        When given, stream top-k pruning into the round loop (bounded
+        ``O(k·n)`` memory) and return the matrix already pruned with
+        :func:`repro.graphs.sparse.top_k_per_row` semantics
+        (``keep_diagonal=True``); matches pruning the fully materialised
+        estimate exactly.
+    backend_label:
+        Legacy backend name recorded on the result for callers that
+        still reason in ``backend=`` terms (``"vectorized"`` ≡
+        ``(core, serial)``, ``"sharded"`` ≡ ``(core, thread|process)``).
+    """
+    from repro.simrank.localpush import LocalPushResult
+
+    _validate_engine_args(decay, epsilon, executor, num_workers, num_shards,
+                          stream_top_k)
+    run = _run_rounds(graph, decay=decay, epsilon=epsilon, prune=prune,
+                      absorb_residual=absorb_residual, max_pushes=max_pushes,
+                      executor=executor, num_workers=num_workers,
+                      num_shards=num_shards, stream_top_k=stream_top_k,
+                      coalesce_every=coalesce_every)
+    return LocalPushResult(
+        matrix=run.estimate,
+        num_pushes=run.num_pushes,
+        num_residual_entries=run.num_residual_entries,
+        elapsed_seconds=run.elapsed_seconds,
         epsilon=epsilon,
         decay=decay,
         backend=backend_label or
         ("vectorized" if executor == "serial" else "sharded"),
         executor=executor,
-        num_rounds=num_rounds,
-        num_workers=runner.workers_used,
-        num_shards=max_shards_used,
+        num_rounds=run.num_rounds,
+        num_workers=run.workers_used,
+        num_shards=run.max_shards_used,
     )
 
 
-__all__ = ["localpush_engine", "default_num_workers", "EXECUTORS",
-           "DEFAULT_SHARD_NNZ", "DEFAULT_MAX_WORKERS"]
+# --------------------------------------------------------------------- #
+# Single-source / single-pair queries
+# --------------------------------------------------------------------- #
+@dataclass
+class SingleSourceResult:
+    """One source row of the SimRank matrix, with the run's telemetry.
+
+    ``row`` is a ``1×n`` CSR matrix holding row ``source`` of the
+    estimate ``Ŝ`` with ``‖Ŝ[source] − S[source]‖_max < ε`` (same Lemma
+    III.5 bound as the all-pairs engine).  Batch queries share one round
+    loop, so ``num_pushes``/``num_rounds``/``elapsed_seconds`` describe
+    the whole batch, not the one source.
+    """
+
+    source: int
+    row: sp.csr_matrix
+    num_pushes: int
+    num_rounds: int
+    num_residual_entries: int
+    elapsed_seconds: float
+    epsilon: float
+    decay: float
+    executor: str
+    num_workers: Optional[int]
+    num_shards: int
+    component_size: int
+    batch_size: int = 1
+
+    @property
+    def nnz(self) -> int:
+        return int(self.row.nnz)
+
+
+def component_nodes(graph: Graph, sources: Sequence[int]) -> np.ndarray:
+    """Sorted node ids of the connected components containing ``sources``.
+
+    Deterministic (``scipy.sparse.csgraph.connected_components`` labels
+    are a pure function of the CSR structure); used to restrict the
+    single-source residual seeding to the only seeds that can reach the
+    query rows.
+    """
+    from scipy.sparse.csgraph import connected_components
+
+    _, labels = connected_components(graph.adjacency, directed=False)
+    source_array = np.asarray(sources, dtype=np.int64)
+    wanted = labels[source_array]
+    return np.flatnonzero(np.isin(labels, wanted))
+
+
+def _validate_sources(graph: Graph, sources: Sequence[int]) -> np.ndarray:
+    source_array = np.asarray(list(sources), dtype=np.int64)
+    if source_array.ndim != 1 or source_array.size == 0:
+        raise SimRankError("sources must be a non-empty sequence of node ids")
+    n = graph.num_nodes
+    bad = (source_array < 0) | (source_array >= n)
+    if bad.any():
+        raise SimRankError(
+            f"source node(s) {sorted(int(s) for s in source_array[bad])} "
+            f"out of range for a graph with {n} nodes")
+    return source_array
+
+
+def multi_source_localpush(graph: Graph, sources: Sequence[int], *,
+                           decay: float = DEFAULT_DECAY,
+                           epsilon: float = 0.1, prune: bool = True,
+                           absorb_residual: bool = False,
+                           max_pushes: int | None = None,
+                           executor: str = "serial",
+                           num_workers: Optional[int] = None,
+                           num_shards: Optional[int] = None,
+                           top_k: Optional[int] = None,
+                           coalesce_every: int = 4) -> List[SingleSourceResult]:
+    """Batched single-source LocalPush: one shared round loop, many rows.
+
+    Seeds the residual with the identity restricted to the sources'
+    connected components (the only seeds whose mass can reach the query
+    rows — the push operator never crosses components) and materialises
+    estimate entries only for the requested rows, so memory is
+    ``O(rounds × per-row frontier)`` instead of ``O(n²)`` while the
+    residual work is bounded by the touched components, not the graph.
+
+    **Equivalence guarantee** (pinned by the single-source suite): each
+    returned ``row`` is *bit-identical* to the corresponding row of
+    ``localpush_engine(...)`` run without streaming — for every executor
+    and worker count — whenever the per-round shard partitions of the two
+    runs coincide: always on a connected graph (the frontiers, and hence
+    the partition derived from them, are identical), and on any graph
+    when every round fits one shard (the ``DEFAULT_SHARD_NNZ`` default
+    for all but huge frontiers).  With a forced multi-shard split on a
+    *disconnected* graph the partial-sum order may differ and rows agree
+    only to float round-off (still within the ``(1−c)·ε`` bound).
+
+    ``top_k`` applies :func:`repro.graphs.sparse.top_k_per_row`
+    semantics (``keep_diagonal=True``) to each returned row — identical
+    to pruning the all-pairs estimate post hoc.
+
+    Results are returned in input order; duplicate sources share the
+    same computed row.
+    """
+    _validate_engine_args(decay, epsilon, executor, num_workers, num_shards,
+                          top_k)
+    source_array = _validate_sources(graph, sources)
+    unique_sources = np.unique(source_array)
+
+    from scipy.sparse.csgraph import connected_components
+
+    _, labels = connected_components(graph.adjacency, directed=False)
+    wanted = labels[unique_sources]
+    seed_nodes = np.flatnonzero(np.isin(labels, wanted))
+
+    run = _run_rounds(graph, decay=decay, epsilon=epsilon, prune=prune,
+                      absorb_residual=absorb_residual, max_pushes=max_pushes,
+                      executor=executor, num_workers=num_workers,
+                      num_shards=num_shards, stream_top_k=top_k,
+                      coalesce_every=coalesce_every,
+                      seed_nodes=seed_nodes, absorb_rows=unique_sources)
+
+    component_sizes = {int(s): int(np.count_nonzero(labels == labels[s]))
+                       for s in unique_sources}
+    rows = {int(s): run.estimate.getrow(int(s)) for s in unique_sources}
+    return [SingleSourceResult(
+        source=int(source),
+        row=rows[int(source)],
+        num_pushes=run.num_pushes,
+        num_rounds=run.num_rounds,
+        num_residual_entries=run.num_residual_entries,
+        elapsed_seconds=run.elapsed_seconds,
+        epsilon=epsilon,
+        decay=decay,
+        executor=executor,
+        num_workers=run.workers_used,
+        num_shards=run.max_shards_used,
+        component_size=component_sizes[int(source)],
+        batch_size=int(unique_sources.size),
+    ) for source in source_array]
+
+
+def single_source_localpush(graph: Graph, source: int, *,
+                            decay: float = DEFAULT_DECAY,
+                            epsilon: float = 0.1, prune: bool = True,
+                            absorb_residual: bool = False,
+                            max_pushes: int | None = None,
+                            executor: str = "serial",
+                            num_workers: Optional[int] = None,
+                            num_shards: Optional[int] = None,
+                            top_k: Optional[int] = None,
+                            coalesce_every: int = 4) -> SingleSourceResult:
+    """Single-source LocalPush: row ``source`` of the SimRank matrix.
+
+    A one-element :func:`multi_source_localpush` batch; see there for
+    the bit-identical equivalence guarantee and the complexity argument.
+    """
+    return multi_source_localpush(
+        graph, [source], decay=decay, epsilon=epsilon, prune=prune,
+        absorb_residual=absorb_residual, max_pushes=max_pushes,
+        executor=executor, num_workers=num_workers, num_shards=num_shards,
+        top_k=top_k, coalesce_every=coalesce_every)[0]
+
+
+def single_pair_localpush(graph: Graph, source: int, target: int, *,
+                          decay: float = DEFAULT_DECAY,
+                          epsilon: float = 0.1, prune: bool = True,
+                          absorb_residual: bool = False,
+                          max_pushes: int | None = None,
+                          executor: str = "serial",
+                          num_workers: Optional[int] = None,
+                          num_shards: Optional[int] = None,
+                          coalesce_every: int = 4) -> float:
+    """Single-pair LocalPush: ``Ŝ(source, target)`` with the same ε bound.
+
+    Computed as entry ``target`` of the single-source row so the value is
+    bit-identical to the all-pairs entry under the guarantee documented
+    on :func:`multi_source_localpush`.  When the two nodes live in
+    different connected components the true score is exactly ``0.0`` and
+    no push rounds run at all.
+    """
+    _validate_sources(graph, [source, target])
+    from scipy.sparse.csgraph import connected_components
+
+    _, labels = connected_components(graph.adjacency, directed=False)
+    if source != target and labels[source] != labels[target]:
+        return 0.0
+    result = single_source_localpush(
+        graph, source, decay=decay, epsilon=epsilon, prune=prune,
+        absorb_residual=absorb_residual, max_pushes=max_pushes,
+        executor=executor, num_workers=num_workers, num_shards=num_shards,
+        coalesce_every=coalesce_every)
+    return float(result.row[0, target])
+
+
+__all__ = ["localpush_engine", "single_source_localpush",
+           "multi_source_localpush", "single_pair_localpush",
+           "SingleSourceResult", "component_nodes", "default_num_workers",
+           "EXECUTORS", "DEFAULT_SHARD_NNZ", "DEFAULT_MAX_WORKERS"]

@@ -132,6 +132,60 @@ class TestSimRankProperties:
 
 
 # --------------------------------------------------------------------------- #
+# Single-source query invariants
+# --------------------------------------------------------------------------- #
+class TestSingleSourceProperties:
+    """Query-layer invariants: score/topk coherence, batch == sequential.
+
+    The ``random_graphs`` strategy builds connected graphs (a spanning
+    chain underlies every draw), so the engine's bit-identical batch
+    guarantee applies unconditionally here.
+    """
+
+    @SETTINGS
+    @given(random_graphs(max_nodes=12), st.data())
+    def test_score_equals_the_topk_entry(self, graph, data):
+        from repro.api import score, topk
+
+        u = data.draw(st.integers(0, graph.num_nodes - 1))
+        v = data.draw(st.integers(0, graph.num_nodes - 1))
+        entries = dict(topk(graph, u, graph.num_nodes))
+        assert score(graph, u, v) == entries.get(v, 0.0)  # bitwise
+
+    @SETTINGS
+    @given(random_graphs(max_nodes=14), st.data())
+    def test_batched_rows_equal_sequential_rows(self, graph, data):
+        from repro.simrank.engine import (
+            multi_source_localpush,
+            single_source_localpush,
+        )
+
+        sources = data.draw(st.lists(
+            st.integers(0, graph.num_nodes - 1), min_size=1, max_size=4))
+        batched = multi_source_localpush(graph, sources, epsilon=0.1,
+                                         prune=False, absorb_residual=True)
+        for source, result in zip(sources, batched):
+            solo = single_source_localpush(graph, source, epsilon=0.1,
+                                           prune=False, absorb_residual=True)
+            assert np.array_equal(result.row.indptr, solo.row.indptr)
+            assert np.array_equal(result.row.indices, solo.row.indices)
+            assert np.array_equal(result.row.data, solo.row.data)
+
+    @SETTINGS
+    @given(random_graphs(max_nodes=12), st.sampled_from([0.3, 0.1]),
+           st.data())
+    def test_single_source_row_error_bound(self, graph, epsilon, data):
+        from repro.simrank.engine import single_source_localpush
+
+        source = data.draw(st.integers(0, graph.num_nodes - 1))
+        reference = linearized_simrank(graph, num_iterations=40)[source]
+        row = single_source_localpush(graph, source, epsilon=epsilon,
+                                      prune=False).row
+        assert np.abs(
+            np.asarray(row.todense()).ravel() - reference).max() < epsilon
+
+
+# --------------------------------------------------------------------------- #
 # Sparse helpers
 # --------------------------------------------------------------------------- #
 class TestTopKProperties:

@@ -1,0 +1,325 @@
+"""Fault-injection and coalescing suite for the serving layer.
+
+Proves the ``repro.serve`` degradation ladder by *injecting* rung
+failures (the ``compute_exact``/``compute_degraded`` hooks raise or
+stall on demand) and asserting both the serving path of every answer and
+the per-path counters:
+
+* exact rung healthy → ``exact`` answers, ``exact_served``/``batches``;
+* exact rung raising + warm operator cache → ``cached`` answers at the
+  stored entry's tighter ε′, ``exact_failures``/``cached_served``;
+* exact rung raising + no cache → ``degraded`` answers at the loosened
+  ε, ``degraded_served``;
+* exact rung *slow* + a tiny time budget → the completed answer is
+  discarded (``budget_overruns``) and the ladder falls through;
+* every rung failing → :class:`repro.errors.ServeError` + ``failed``.
+
+Plus the coalescing guarantee: concurrent clients batched through the
+:class:`repro.serve.batching.QueryBatcher` receive answers bit-identical
+to the same queries served alone.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from _simrank_fixtures import erdos_renyi as _erdos_renyi
+from repro.api import topk as api_topk
+from repro.config import ServeConfig, SimRankConfig
+from repro.errors import ServeError, SimRankError
+from repro.serve import QueryBatcher, SimRankService, make_daemon
+from repro.serve.daemon import ServeDaemon
+from repro.simrank.cache import get_operator_cache
+from repro.simrank.topk import simrank_operator
+
+
+@pytest.fixture()
+def graph():
+    return _erdos_renyi(60, 0.08, seed=0)
+
+
+def _failing_compute(sources, top_k, epsilon):
+    raise SimRankError("injected compute failure")
+
+
+def _counters(service, **expected):
+    """Assert the named counters and that every *unnamed* one is zero."""
+    actual = service.counters.to_dict()
+    for name, value in actual.items():
+        assert value == expected.get(name, 0), (
+            f"counter {name}: expected {expected.get(name, 0)}, got {value}")
+
+
+class TestExactPath:
+    def test_exact_answer_and_counters(self, graph):
+        service = SimRankService(graph, simrank=SimRankConfig(epsilon=0.1))
+        answer = service.topk(3, k=5)
+        assert answer.path == "exact"
+        assert answer.epsilon == 0.1
+        assert answer.source == 3
+        assert answer.k == 5
+        scores = [value for _, value in answer.entries]
+        assert scores == sorted(scores, reverse=True)
+        _counters(service, queries=1, batches=1, exact_served=1)
+
+    def test_service_matches_the_public_api(self, graph):
+        """The exact rung serves exactly ``repro.api.topk``'s answer."""
+        config = SimRankConfig(epsilon=0.1)
+        service = SimRankService(graph, simrank=config)
+        answer = service.topk(7, k=5)
+        assert answer.entries == api_topk(graph, 7, 5, config)  # bitwise
+
+    def test_batch_shares_one_round_and_coalesces(self, graph):
+        service = SimRankService(graph, simrank=SimRankConfig(epsilon=0.1))
+        answers = service.topk_batch([2, 9, 2], k=4)
+        assert [answer.source for answer in answers] == [2, 9, 2]
+        assert answers[0].entries == answers[2].entries  # duplicates share
+        assert all(answer.batch_size == 3 for answer in answers)
+        _counters(service, queries=3, batches=1, exact_served=2, coalesced=3)
+
+    def test_score_uses_the_full_row(self, graph):
+        service = SimRankService(graph, simrank=SimRankConfig(epsilon=0.1))
+        answer = service.score(3, 17)
+        assert answer.path == "exact"
+        full = dict(api_topk(graph, 3, graph.num_nodes,
+                             SimRankConfig(epsilon=0.1)))
+        assert answer.value == full.get(17, 0.0)
+
+
+class TestDegradationLadder:
+    def test_exact_failure_falls_to_degraded(self, graph):
+        service = SimRankService(
+            graph, simrank=SimRankConfig(epsilon=0.1),
+            serve=ServeConfig(degraded_epsilon_factor=5.0),
+            compute_exact=_failing_compute)
+        answer = service.topk(3, k=5)
+        assert answer.path == "degraded"
+        assert answer.epsilon == pytest.approx(0.5)
+        _counters(service, queries=1, exact_failures=1, degraded_served=1)
+
+    def test_exact_failure_with_warm_cache_serves_cached(self, graph,
+                                                         tmp_path):
+        # Warm the operator cache with a *tighter* all-pairs entry …
+        cache_dir = str(tmp_path / "operators")
+        simrank_operator(graph, SimRankConfig(
+            method="localpush", epsilon=0.05, top_k=None,
+            cache_dir=cache_dir))
+        cache = get_operator_cache(cache_dir)
+        # … then fail the exact rung: the entry dominates ε=0.1 requests.
+        service = SimRankService(
+            graph, simrank=SimRankConfig(epsilon=0.1, cache_dir=cache_dir),
+            compute_exact=_failing_compute)
+        answer = service.topk(3, k=5)
+        assert answer.path == "cached"
+        assert answer.epsilon == 0.05  # the bound the row actually satisfies
+        _counters(service, queries=1, exact_failures=1, cached_served=1)
+        assert cache.row_hits == 1
+
+    def test_admission_cap_trips_the_exact_rung(self, graph):
+        # ε=0.01 needs ~8k pushes on this graph, the degraded ε=0.1 ~550:
+        # a cap of 2000 admits only the degraded recompute.
+        service = SimRankService(
+            graph, simrank=SimRankConfig(epsilon=0.01),
+            serve=ServeConfig(max_pushes_per_query=2000))
+        answer = service.topk(3, k=5)
+        assert answer.path == "degraded"
+        _counters(service, queries=1, exact_failures=1, degraded_served=1)
+
+    def test_slow_exact_is_discarded_as_over_budget(self, graph):
+        inner = {}
+
+        def slow_exact(sources, top_k, epsilon):
+            rows = inner["service"]._engine_rows(sources, top_k, epsilon)
+            time.sleep(0.05)
+            return rows
+
+        service = SimRankService(
+            graph, simrank=SimRankConfig(epsilon=0.1),
+            serve=ServeConfig(time_budget_seconds=0.001),
+            compute_exact=slow_exact)
+        inner["service"] = service
+        answer = service.topk(3, k=5)
+        assert answer.path == "degraded"  # completed, but too late
+        _counters(service, queries=1, budget_overruns=1, degraded_served=1)
+
+    def test_exact_disabled_skips_straight_past_the_rung(self, graph):
+        service = SimRankService(
+            graph, simrank=SimRankConfig(epsilon=0.1),
+            serve=ServeConfig(exact_enabled=False))
+        answer = service.topk(3, k=5)
+        assert answer.path == "degraded"
+        _counters(service, queries=1, degraded_served=1)  # no exact_failures
+
+    def test_every_rung_failing_raises_serve_error(self, graph):
+        service = SimRankService(
+            graph, simrank=SimRankConfig(epsilon=0.1),
+            compute_exact=_failing_compute,
+            compute_degraded=_failing_compute)
+        with pytest.raises(ServeError):
+            service.topk(3, k=5)
+        counters = service.counters.to_dict()
+        assert counters["failed"] == 1
+        assert counters["exact_failures"] == 1
+        # Served-path partition: only *answered* queries count.
+        assert counters["queries"] == (counters["exact_served"]
+                                       + counters["cached_served"]
+                                       + counters["degraded_served"]) == 0
+
+    def test_degraded_answer_equals_the_loosened_contract(self, graph):
+        """The degraded rung is the real engine at the loosened ε."""
+        service = SimRankService(
+            graph, simrank=SimRankConfig(epsilon=0.02),
+            serve=ServeConfig(degraded_epsilon_factor=5.0),
+            compute_exact=_failing_compute)
+        answer = service.topk(3, k=5)
+        reference = api_topk(graph, 3, 5, SimRankConfig(epsilon=0.1))
+        assert answer.entries == reference  # 0.02 × 5 = 0.1, bitwise
+
+    def test_invalid_source_rejected_before_the_ladder(self, graph):
+        service = SimRankService(graph)
+        with pytest.raises(SimRankError):
+            service.topk(graph.num_nodes)
+        with pytest.raises(SimRankError):
+            service.topk_batch([])
+        _counters(service)  # nothing counted
+
+
+class TestQueryBatcher:
+    def test_concurrent_clients_coalesce_and_match_solo(self, graph):
+        sources = [1, 5, 9, 23]
+        solo_service = SimRankService(graph,
+                                      simrank=SimRankConfig(epsilon=0.1))
+        solo = {source: solo_service.topk(source, k=5).entries
+                for source in sources}
+
+        service = SimRankService(graph, simrank=SimRankConfig(epsilon=0.1))
+        batcher = QueryBatcher(service, window_seconds=0.25,
+                               max_batch_size=len(sources))
+        barrier = threading.Barrier(len(sources))
+        answers = {}
+
+        def client(source):
+            barrier.wait()
+            answers[source] = batcher.submit(source, 5)
+
+        threads = [threading.Thread(target=client, args=(source,))
+                   for source in sources]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        for source in sources:
+            assert answers[source].entries == solo[source]  # bitwise
+            assert answers[source].path == "exact"
+        # All four shared one frontier round (max_batch_size cut the
+        # window short once everyone had piled up).
+        _counters(service, queries=4, batches=1, exact_served=4, coalesced=4)
+        assert all(answers[source].batch_size == 4 for source in sources)
+
+    def test_sequential_submits_are_plain_batches_of_one(self, graph):
+        service = SimRankService(graph, simrank=SimRankConfig(epsilon=0.1))
+        batcher = QueryBatcher(service, window_seconds=0.0)
+        first = batcher.submit(3, 5)
+        second = batcher.submit(3, 5)
+        assert first.entries == second.entries
+        assert first.batch_size == 1
+        _counters(service, queries=2, batches=2, exact_served=2)
+
+    def test_batch_errors_propagate_to_every_submitter(self, graph):
+        service = SimRankService(graph, compute_exact=_failing_compute,
+                                 compute_degraded=_failing_compute)
+        batcher = QueryBatcher(service, window_seconds=0.0)
+        with pytest.raises(ServeError):
+            batcher.submit(3, 5)
+        # The batcher is reusable after a failed batch.
+        with pytest.raises(ServeError):
+            batcher.submit(4, 5)
+
+
+class TestDaemon:
+    @pytest.fixture()
+    def daemon(self, graph):
+        daemon = make_daemon(graph, simrank=SimRankConfig(epsilon=0.1),
+                             serve=ServeConfig(port=0,
+                                               batch_window_seconds=0.0))
+        thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+        thread.start()
+        yield daemon
+        daemon.shutdown()
+        daemon.server_close()
+        thread.join(timeout=5)
+
+    @staticmethod
+    def _get(daemon, path):
+        host, port = daemon.server_address[0], daemon.server_address[1]
+        try:
+            with urllib.request.urlopen(
+                    f"http://{host}:{port}{path}", timeout=10) as response:
+                return response.status, json.load(response)
+        except urllib.error.HTTPError as error:
+            return error.code, json.load(error)
+
+    def test_healthz(self, daemon, graph):
+        status, payload = self._get(daemon, "/healthz")
+        assert status == 200
+        assert payload == {"status": "ok", "num_nodes": graph.num_nodes}
+
+    def test_topk_roundtrip(self, daemon, graph):
+        status, payload = self._get(daemon, "/topk?u=3&k=5")
+        assert status == 200
+        assert payload["source"] == 3 and payload["k"] == 5
+        assert payload["path"] == "exact"
+        assert payload["epsilon"] == 0.1
+        expected = api_topk(graph, 3, 5, SimRankConfig(epsilon=0.1))
+        assert [(node, value) for node, value in payload["entries"]] \
+            == expected
+        assert payload["counters"]["exact_served"] == 1
+
+    def test_score_roundtrip(self, daemon, graph):
+        status, payload = self._get(daemon, "/score?u=3&v=17")
+        assert status == 200
+        assert payload["u"] == 3 and payload["v"] == 17
+        assert payload["path"] == "exact"
+        full = dict(api_topk(graph, 3, graph.num_nodes,
+                             SimRankConfig(epsilon=0.1)))
+        assert payload["score"] == full.get(17, 0.0)
+
+    def test_metrics_shape(self, daemon):
+        self._get(daemon, "/topk?u=3")
+        status, payload = self._get(daemon, "/metrics")
+        assert status == 200
+        assert set(payload) == {"counters", "cache", "graph", "config"}
+        assert payload["counters"]["queries"] == 1
+        assert payload["graph"]["num_nodes"] == 60
+        assert payload["config"]["epsilon"] == 0.1
+        assert payload["cache"] is None  # no cache_dir configured
+
+    def test_bad_requests_are_400(self, daemon, graph):
+        assert self._get(daemon, f"/topk?u={graph.num_nodes}")[0] == 400
+        assert self._get(daemon, "/topk")[0] == 400  # missing u
+        assert self._get(daemon, "/topk?u=abc")[0] == 400
+        assert self._get(daemon, "/score?u=1")[0] == 400  # missing v
+
+    def test_unknown_path_is_404(self, daemon):
+        assert self._get(daemon, "/nope")[0] == 404
+
+    def test_exhausted_ladder_is_503_and_the_daemon_survives(self, graph):
+        service = SimRankService(graph, compute_exact=_failing_compute,
+                                 compute_degraded=_failing_compute)
+        daemon = ServeDaemon(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+        thread.start()
+        try:
+            status, payload = self._get(daemon, "/topk?u=3")
+            assert status == 503
+            assert "every serving rung failed" in payload["error"]
+            assert self._get(daemon, "/healthz")[0] == 200  # still alive
+        finally:
+            daemon.shutdown()
+            daemon.server_close()
+            thread.join(timeout=5)

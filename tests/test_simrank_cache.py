@@ -173,6 +173,62 @@ class TestRoundTrip:
         assert len(cache) == 0
 
 
+class TestRowLookup:
+    """``lookup_row``: cached all-pairs entries answer single-source
+    queries (the ``cached`` rung of ``repro.serve``), counted in the
+    separate ``row_hits``/``row_misses`` pair so the operator-level
+    ``hits == exact_hits + reuse_hits`` invariant is untouched."""
+
+    def test_row_hit_from_dominating_entry(self, graph, cache):
+        # Prime with a tighter, un-truncated all-pairs entry …
+        _operator(graph, method="localpush", epsilon=0.05, top_k=None,
+                  cache=cache)
+        assert (cache.misses, cache.stores) == (1, 1)
+        served = cache.lookup_row(graph, 3, decay=0.6, epsilon=0.1,
+                                  top_k=5, row_normalize=False)
+        assert served is not None
+        row, entry_epsilon = served
+        assert entry_epsilon == 0.05  # the bound the row actually satisfies
+        assert row.shape == (1, graph.num_nodes)
+        # Counted only in the row pair; the operator counters (and their
+        # hits == exact + reuse invariant) are untouched.
+        assert (cache.row_hits, cache.row_misses) == (1, 0)
+        assert cache.hits == cache.exact_hits + cache.reuse_hits == 0
+        assert cache.misses == 1
+
+        # The row equals slicing a full operator-level reuse of the same
+        # contract — lookup_row is that reuse at O(row) cost.
+        reused = _operator(graph, method="localpush", epsilon=0.1, top_k=5,
+                           cache=cache)
+        assert reused.cache_hit
+        reference = reused.matrix.getrow(3)
+        assert np.array_equal(row.indptr, reference.indptr)
+        assert np.array_equal(row.indices, reference.indices)
+        assert np.array_equal(row.data, reference.data)  # bitwise
+
+    def test_row_miss_when_no_entry_dominates(self, graph, cache):
+        _operator(graph, method="localpush", epsilon=0.1, top_k=4,
+                  cache=cache)
+        # Different decay, tighter ε and smaller stored k all miss.
+        assert cache.lookup_row(graph, 3, decay=0.8, epsilon=0.1,
+                                top_k=4, row_normalize=False) is None
+        assert cache.lookup_row(graph, 3, decay=0.6, epsilon=0.05,
+                                top_k=4, row_normalize=False) is None
+        assert cache.lookup_row(graph, 3, decay=0.6, epsilon=0.1,
+                                top_k=8, row_normalize=False) is None
+        assert (cache.row_hits, cache.row_misses) == (0, 3)
+
+    def test_row_lookup_validates_the_source(self, graph, cache):
+        from repro.errors import SimRankError
+
+        with pytest.raises(SimRankError):
+            cache.lookup_row(graph, graph.num_nodes, decay=0.6, epsilon=0.1,
+                             top_k=4, row_normalize=False)
+        with pytest.raises(SimRankError):
+            cache.lookup_row(graph, -1, decay=0.6, epsilon=0.1,
+                             top_k=4, row_normalize=False)
+
+
 class TestInvalidationAndCorruption:
     KWARGS = dict(method="localpush", epsilon=0.1, top_k=8, backend="sharded")
 

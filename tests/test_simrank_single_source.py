@@ -1,0 +1,242 @@
+"""Suite for single-source / single-pair LocalPush (the query engine).
+
+Pins the tentpole guarantee of ``multi_source_localpush``: the returned
+row is **bit-identical** to the same row of the all-pairs
+``localpush_engine`` matrix under the same parameters — for every
+executor and worker count, streamed top-k included — while touching only
+the sources' connected components.  Also pins the Lemma III.5
+``(1-c)·ε`` error bound on the query rows against the linearized-SimRank
+series reference, on weighted and disconnected graphs.
+
+Sharding note: on *disconnected* graphs a forced multi-shard geometry
+can split the all-pairs frontier differently from the component-restricted
+one, leaving only float-round-off agreement; the equivalence suite
+therefore forces ``num_shards`` only on connected fixtures and uses the
+default geometry (single-shard at these sizes) on the disconnected ones,
+exactly as the engine docstring guarantees.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from _simrank_fixtures import (
+    disconnected as _disconnected,
+    erdos_renyi as _erdos_renyi,
+    sbm as _sbm,
+    star as _star,
+    weighted as _weighted,
+    with_isolated as _with_isolated,
+)
+from repro.errors import SimRankError
+from repro.graphs.sparse import top_k_per_row
+from repro.simrank.engine import (
+    EXECUTORS,
+    SingleSourceResult,
+    component_nodes,
+    localpush_engine,
+    multi_source_localpush,
+    single_pair_localpush,
+    single_source_localpush,
+)
+from repro.simrank.exact import linearized_simrank
+
+
+def _assert_row_identical(a: sp.csr_matrix, b: sp.csr_matrix) -> None:
+    assert np.array_equal(a.indptr, b.indptr)
+    assert np.array_equal(a.indices, b.indices)
+    assert np.array_equal(a.data, b.data)  # bitwise, no tolerance
+
+
+#: (fixture, sources, forced num_shards or None).  Forced shard counts
+#: only on connected graphs — see the module docstring.
+ROW_EQUIVALENCE_CASES = [
+    pytest.param(lambda: _erdos_renyi(60, 0.08, seed=0), (0, 17, 59), 4,
+                 id="erdos-renyi-60-sharded"),
+    pytest.param(lambda: _sbm(150, seed=2), (3, 75, 149), 3,
+                 id="sbm-150-sharded"),
+    pytest.param(lambda: _weighted(40, seed=12), (1, 20, 39), None,
+                 id="weighted-40"),
+    pytest.param(lambda: _star(12), (0, 5, 12), None, id="star-12"),
+    pytest.param(_disconnected, (0, 35, 52), None, id="disconnected"),
+    pytest.param(_with_isolated, (2, 41, 44), None, id="er+isolated"),
+]
+
+
+class TestRowEquivalence:
+    """Single-source rows == all-pairs rows, bitwise, per executor."""
+
+    @pytest.mark.parametrize("make_graph,sources,num_shards",
+                             ROW_EQUIVALENCE_CASES)
+    @pytest.mark.parametrize("executor", sorted(EXECUTORS))
+    def test_rows_bit_identical_to_all_pairs(self, make_graph, sources,
+                                             num_shards, executor):
+        graph = make_graph()
+        workers = 2 if executor != "serial" else None
+        kwargs = dict(epsilon=0.1, prune=False, absorb_residual=True,
+                      executor=executor, num_workers=workers,
+                      num_shards=num_shards)
+        full = localpush_engine(graph, **kwargs)
+        results = multi_source_localpush(graph, sources, **kwargs)
+        for source, result in zip(sources, results):
+            assert result.source == source
+            _assert_row_identical(result.row, full.matrix.getrow(source))
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_worker_count_does_not_change_the_row(self, workers):
+        graph = _sbm(150, seed=6)
+        reference = single_source_localpush(graph, 42, epsilon=0.1,
+                                            prune=False, executor="process",
+                                            num_workers=2, num_shards=4)
+        other = single_source_localpush(graph, 42, epsilon=0.1, prune=False,
+                                        executor="process",
+                                        num_workers=workers, num_shards=4)
+        _assert_row_identical(reference.row, other.row)
+
+    def test_pruned_row_matches_all_pairs_pruned(self):
+        graph = _erdos_renyi(60, 0.08, seed=0)
+        kwargs = dict(epsilon=0.1, prune=True, absorb_residual=True)
+        full = localpush_engine(graph, **kwargs)
+        result = single_source_localpush(graph, 7, **kwargs)
+        _assert_row_identical(result.row, full.matrix.getrow(7))
+
+    def test_topk_row_matches_posthoc_topk(self):
+        """``top_k=`` equals pruning the full row after the fact."""
+        graph = _sbm(150, seed=2)
+        kwargs = dict(epsilon=0.1, prune=False, absorb_residual=True)
+        full = localpush_engine(graph, **kwargs)
+        capped = single_source_localpush(graph, 30, top_k=5, **kwargs)
+        expected = top_k_per_row(full.matrix, 5, keep_diagonal=True)
+        _assert_row_identical(capped.row, expected.getrow(30))
+        assert capped.row.nnz <= 6  # k entries + the kept diagonal
+
+    def test_batch_equals_solo(self):
+        graph = _weighted(40, seed=12)
+        sources = (5, 11, 38)
+        kwargs = dict(epsilon=0.1, prune=False, absorb_residual=True)
+        batched = multi_source_localpush(graph, sources, **kwargs)
+        for source, result in zip(sources, batched):
+            solo = single_source_localpush(graph, source, **kwargs)
+            _assert_row_identical(result.row, solo.row)
+            assert result.batch_size == len(sources)
+            assert solo.batch_size == 1
+
+    def test_duplicate_sources_share_one_row(self):
+        graph = _star(12)
+        results = multi_source_localpush(graph, (4, 4), epsilon=0.1)
+        assert results[0].row is results[1].row
+
+    def test_pair_matches_row_entry(self):
+        graph = _erdos_renyi(60, 0.08, seed=0)
+        row = single_source_localpush(graph, 9, epsilon=0.1, prune=False,
+                                      absorb_residual=True).row
+        value = single_pair_localpush(graph, 9, 23, epsilon=0.1, prune=False,
+                                      absorb_residual=True)
+        assert value == float(row[0, 23])  # bitwise
+
+    def test_cross_component_pair_is_exactly_zero(self):
+        graph = _disconnected()  # components [0,30), [30,50), isolated tail
+        assert single_pair_localpush(graph, 3, 41, epsilon=0.1) == 0.0
+        assert single_pair_localpush(graph, 52, 0, epsilon=0.1) == 0.0
+
+
+class TestErrorBound:
+    """Lemma III.5 on query rows: ‖row − S_ref[source]‖_max < ε."""
+
+    @pytest.mark.parametrize("epsilon", [0.3, 0.1, 0.05])
+    @pytest.mark.parametrize("make_graph,sources", [
+        pytest.param(lambda: _weighted(40, seed=12), (1, 20, 39),
+                     id="weighted-40"),
+        pytest.param(_disconnected, (0, 35, 52), id="disconnected"),
+    ])
+    def test_row_error_bound(self, make_graph, sources, epsilon):
+        graph = make_graph()
+        reference = linearized_simrank(graph, num_iterations=40)
+        results = multi_source_localpush(graph, sources, epsilon=epsilon,
+                                         prune=False)
+        for source, result in zip(sources, results):
+            row = np.asarray(result.row.todense()).ravel()
+            assert np.abs(row - reference[source]).max() < epsilon
+            assert result.epsilon == epsilon
+
+    def test_smaller_epsilon_is_more_accurate(self):
+        graph = _weighted(40, seed=12)
+        reference = linearized_simrank(graph, num_iterations=40)[20]
+        errors = []
+        for epsilon in (0.3, 0.05):
+            row = single_source_localpush(graph, 20, epsilon=epsilon,
+                                          prune=False).row
+            errors.append(np.abs(
+                np.asarray(row.todense()).ravel() - reference).max())
+        assert errors[1] <= errors[0] + 1e-12
+
+
+class TestQueryLocality:
+    """The query touches only the sources' components — O(query), not O(n²)."""
+
+    def test_component_nodes_restricts_to_the_sources(self):
+        graph = _disconnected()
+        first = component_nodes(graph, [3])
+        assert np.array_equal(first, np.arange(30))
+        both = component_nodes(graph, [3, 31])
+        assert np.array_equal(both, np.arange(50))
+        isolated = component_nodes(graph, [52])
+        assert np.array_equal(isolated, np.array([52]))
+
+    def test_component_size_metadata(self):
+        graph = _disconnected()
+        result = single_source_localpush(graph, 35, epsilon=0.1)
+        assert result.component_size == 20
+        assert result.row.shape == (1, graph.num_nodes)
+
+    def test_row_support_stays_inside_the_component(self):
+        graph = _disconnected()
+        result = single_source_localpush(graph, 3, epsilon=0.05, prune=False,
+                                         absorb_residual=True)
+        assert result.row.nnz > 0
+        assert result.row.indices.max() < 30
+
+    def test_query_pushes_fewer_than_all_pairs(self):
+        graph = _disconnected()
+        full = localpush_engine(graph, epsilon=0.05, prune=False)
+        query = single_source_localpush(graph, 35, epsilon=0.05, prune=False)
+        assert query.num_pushes < full.num_pushes
+
+    def test_isolated_source_row_is_the_unit_vector(self):
+        graph = _with_isolated()
+        result = single_source_localpush(graph, 42, epsilon=0.1)
+        assert result.component_size == 1
+        assert result.row.nnz == 1
+        assert float(result.row[0, 42]) == 1.0
+
+
+class TestValidation:
+    def test_out_of_range_source_rejected(self, tiny_graph):
+        with pytest.raises(SimRankError):
+            single_source_localpush(tiny_graph, tiny_graph.num_nodes,
+                                    epsilon=0.1)
+        with pytest.raises(SimRankError):
+            single_source_localpush(tiny_graph, -1, epsilon=0.1)
+        with pytest.raises(SimRankError):
+            single_pair_localpush(tiny_graph, 0, tiny_graph.num_nodes,
+                                  epsilon=0.1)
+
+    def test_empty_sources_rejected(self, tiny_graph):
+        with pytest.raises(SimRankError):
+            multi_source_localpush(tiny_graph, [], epsilon=0.1)
+
+    def test_max_pushes_cap_raises(self):
+        graph = _sbm(150, seed=2)
+        with pytest.raises(SimRankError):
+            single_source_localpush(graph, 0, epsilon=0.01, max_pushes=1)
+
+    def test_result_metadata(self):
+        graph = _sbm(150, seed=2)
+        result = single_source_localpush(graph, 10, epsilon=0.1,
+                                         executor="thread", num_workers=2)
+        assert isinstance(result, SingleSourceResult)
+        assert result.executor == "thread"
+        assert result.num_workers == 2
+        assert result.decay == 0.6
+        assert result.num_rounds > 0
+        assert result.nnz == result.row.nnz
