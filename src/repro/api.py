@@ -157,17 +157,19 @@ def _query_row(graph: Graph, source: int, config: Optional[SimRankConfig],
 
         cache = get_operator_cache(cfg.cache_dir,
                                    max_bytes=cfg.cache_max_bytes)
-        served = cache.lookup_row(graph, source, decay=cfg.decay,
-                                  epsilon=cfg.epsilon, top_k=k,
-                                  row_normalize=cfg.row_normalize)
+        served = cache.lookup_row(
+            graph, source, decay=cfg.decay, epsilon=cfg.epsilon, top_k=k,
+            row_normalize=cfg.row_normalize,
+            dtype=None if cfg.dtype == "float64" else cfg.dtype)
         if served is not None:
             return served[0]
     _, executor = resolve_execution(cfg.backend, cfg.executor,
-                                    graph.num_nodes)
+                                    graph.num_nodes, dtype=cfg.dtype)
     result = single_source_localpush(
         graph, source, decay=cfg.decay, epsilon=cfg.epsilon, prune=True,
         absorb_residual=True, executor=executor or "serial",
-        num_workers=cfg.workers, top_k=k)
+        num_workers=cfg.workers, top_k=k, kernel=cfg.kernel,
+        dtype=cfg.dtype)
     row = result.row
     if cfg.row_normalize:
         row = sparse_row_normalize(row)

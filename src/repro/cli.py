@@ -38,7 +38,9 @@ from repro.api import run
 from repro.config import (
     SIGMA_DEFAULT_SIMRANK,
     SIMRANK_BACKENDS,
+    SIMRANK_DTYPES,
     SIMRANK_EXECUTORS,
+    SIMRANK_KERNELS,
     SIMRANK_METHODS,
     SIMRANK_MODELS,
     RunSpec,
@@ -100,6 +102,21 @@ def build_parser() -> argparse.ArgumentParser:
                              "bit-identical — 'process' shares the walk "
                              "matrix across a process pool for multi-core "
                              "scaling)")
+    parser.add_argument("--simrank-kernel", default=None,
+                        choices=SIMRANK_KERNELS,
+                        help="push-round kernel for the LocalPush core "
+                             "(SIGMA models only; every kernel is "
+                             "bit-identical per dtype — 'fused' merges "
+                             "shard partials in one pass, 'numba' JITs the "
+                             "frontier extraction when numba is installed, "
+                             "'auto' picks fused)")
+    parser.add_argument("--simrank-dtype", default=None,
+                        choices=SIMRANK_DTYPES,
+                        help="working precision of the SimRank operator "
+                             "(SIGMA models only; float32 halves operator "
+                             "memory under the adjusted error bound "
+                             "documented on repro.simrank.kernels."
+                             "float32_error_bound)")
     parser.add_argument("--simrank-workers", type=int, default=None,
                         help="worker-pool size for the thread/process "
                              "LocalPush executors (SIGMA models only; "
@@ -121,7 +138,8 @@ def build_parser() -> argparse.ArgumentParser:
 def _simrank_flags_used(args: argparse.Namespace) -> list[str]:
     """The SIGMA-only flags present on this command line."""
     sigma_only = ("decay", "simrank_method", "simrank_backend",
-                  "simrank_executor", "simrank_workers", "simrank_cache_dir",
+                  "simrank_executor", "simrank_kernel", "simrank_dtype",
+                  "simrank_workers", "simrank_cache_dir",
                   "simrank_cache_max_bytes")
     return [name for name in sigma_only if getattr(args, name) is not None]
 

@@ -53,6 +53,8 @@ DEFAULT_DECAY = 0.6
 SIMRANK_METHODS: Tuple[str, ...] = ("exact", "series", "localpush", "auto")
 SIMRANK_BACKENDS: Tuple[str, ...] = ("dict", "vectorized", "sharded", "auto")
 SIMRANK_EXECUTORS: Tuple[str, ...] = ("serial", "thread", "process", "auto")
+SIMRANK_KERNELS: Tuple[str, ...] = ("auto", "scipy", "fused", "numba")
+SIMRANK_DTYPES: Tuple[str, ...] = ("float64", "float32")
 
 #: Registry names of the models that consume a :class:`SimRankConfig`.
 SIMRANK_MODELS: Tuple[str, ...] = ("sigma", "sigma_iterative")
@@ -62,7 +64,8 @@ SIMRANK_MODELS: Tuple[str, ...] = ("sigma", "sigma_iterative")
 #: :meth:`SimRankConfig.cache_key_fields` is the only code that derives
 #: their values from a configuration.
 CACHE_KEY_FIELDS: Tuple[str, ...] = (
-    "method", "decay", "epsilon", "top_k", "row_normalize", "backend")
+    "method", "decay", "epsilon", "top_k", "row_normalize", "backend",
+    "dtype")
 
 #: SimRankConfig fields that deliberately stay OUT of the operator-cache
 #: key.  Every field must be either cache-keyed or listed here with a
@@ -74,10 +77,15 @@ CACHE_KEY_FIELDS: Tuple[str, ...] = (
 #:   keyed through the *resolved* method.
 #: * ``executor``, ``workers`` — execution plan; every executor × worker
 #:   count is bit-identical (PR 3), so keying them would split the cache.
+#: * ``kernel`` — push-round kernel (scipy/fused/numba); every kernel is
+#:   bit-identical for a given ``dtype`` (the fused/numba paths reproduce
+#:   scipy's summation order exactly — pinned by the kernel-equivalence
+#:   suite), so keying it would split the cache the same way keying the
+#:   executor would.  Numeric identity is keyed through ``dtype``.
 #: * ``cache_dir``, ``cache_max_bytes`` — resource location/budget of
 #:   the cache itself, never part of the operator's identity.
 CACHE_KEY_EXEMPT: Tuple[str, ...] = (
-    "exact_size_limit", "executor", "workers", "cache_dir",
+    "exact_size_limit", "executor", "workers", "kernel", "cache_dir",
     "cache_max_bytes")
 
 
@@ -131,14 +139,19 @@ class SimRankConfig:
 
     Field groups
     ------------
-    ``method, decay, epsilon, top_k, row_normalize, exact_size_limit``
+    ``method, decay, epsilon, top_k, row_normalize, exact_size_limit, dtype``
         The mathematical contract: which fixed point is approximated, to
-        what error, and how the result is pruned/normalised.  These feed
-        the operator-cache key.
-    ``backend, executor, workers``
-        The LocalPush execution plan (see :mod:`repro.simrank.engine`).
-        Only the resolved backend *label* enters the cache key — every
-        executor and worker count is bit-identical.
+        what error, in which arithmetic, and how the result is
+        pruned/normalised.  These feed the operator-cache key
+        (``dtype="float64"`` is keyed as ``None`` so pre-dtype cache
+        entries stay warm; ``"float32"`` gets its own key — its values
+        and error bound differ, see
+        :func:`repro.simrank.kernels.float32_error_bound`).
+    ``backend, executor, workers, kernel``
+        The LocalPush execution plan (see :mod:`repro.simrank.engine`
+        and :mod:`repro.simrank.kernels`).  Only the resolved backend
+        *label* enters the cache key — every executor, worker count and
+        kernel is bit-identical per dtype.
     ``cache_dir, cache_max_bytes``
         The persistent operator cache (:mod:`repro.simrank.cache`) and
         its LRU byte cap.  Pure resource location, never keyed.
@@ -155,6 +168,8 @@ class SimRankConfig:
     workers: Optional[int] = None
     cache_dir: Optional[str] = None
     cache_max_bytes: Optional[int] = None
+    kernel: str = "auto"
+    dtype: str = "float64"
 
     #: CLI-flag ↔ field mapping consumed by :meth:`from_cli_args` and the
     #: parser-parity tests: ``argparse`` attribute name → config field.
@@ -168,6 +183,8 @@ class SimRankConfig:
         "simrank_workers": "workers",
         "simrank_cache_dir": "cache_dir",
         "simrank_cache_max_bytes": "cache_max_bytes",
+        "simrank_kernel": "kernel",
+        "simrank_dtype": "dtype",
     }
 
     def __post_init__(self) -> None:
@@ -217,6 +234,10 @@ class SimRankConfig:
             _require(self.cache_max_bytes > 0,
                      f"cache_max_bytes must be a positive integer or None, "
                      f"got {self.cache_max_bytes!r}")
+        _require(self.kernel in SIMRANK_KERNELS,
+                 f"kernel must be one of {SIMRANK_KERNELS}, got {self.kernel!r}")
+        _require(self.dtype in SIMRANK_DTYPES,
+                 f"dtype must be one of {SIMRANK_DTYPES}, got {self.dtype!r}")
 
     # ------------------------------------------------------------------ #
     # Copy / serialisation
@@ -284,6 +305,12 @@ class SimRankConfig:
             "top_k": self.top_k,
             "row_normalize": self.row_normalize,
             "backend": self.resolved_backend(num_nodes),
+            # float64 predates the dtype field and is keyed as None — the
+            # cache omits a None dtype from its hashed payload, so every
+            # pre-dtype key (and on-disk entry) is byte-identical and
+            # caches stay warm.  float32 operators hold different values
+            # under a different error bound and get their own key.
+            "dtype": None if self.dtype == "float64" else self.dtype,
         }
 
     # ------------------------------------------------------------------ #
@@ -866,6 +893,8 @@ __all__ = [
     "SIMRANK_METHODS",
     "SIMRANK_BACKENDS",
     "SIMRANK_EXECUTORS",
+    "SIMRANK_KERNELS",
+    "SIMRANK_DTYPES",
     "SIMRANK_MODELS",
     "CACHE_KEY_FIELDS",
     "CELL_SPEC_FIELDS",

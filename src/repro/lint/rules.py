@@ -318,6 +318,7 @@ class FrozenConfigDiscipline(Rule):
 #: Files whose entire contents sit inside the bit-identical-executor
 #: guarantee (every executor × worker count must produce the same bytes).
 DETERMINISM_SCOPED_FILES = ("repro/simrank/engine.py",
+                            "repro/simrank/kernels.py",
                             "repro/experiments/engine.py",
                             "repro/serve/service.py")
 

@@ -23,14 +23,19 @@ the fault-injection suite can force any rung to fail.
 This module is in the R3 determinism lint scope: given one service
 instance, equal queries return bit-identical answers regardless of
 batch composition (the engine guarantee) — no wall-clock reads, global
-RNG or unordered-set iteration may influence an answer.
+RNG or unordered-set iteration may influence an answer.  The latency
+metrics below read the *monotonic* clock (R3-exempt) and feed only the
+``/metrics`` observability payload, never an answer.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from threading import Lock
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+from time import monotonic
+from typing import (TYPE_CHECKING, Callable, Deque, Dict, List, Optional,
+                    Sequence, Tuple)
 
 import numpy as np
 import scipy.sparse as sp
@@ -49,6 +54,11 @@ SERVE_PATHS = ("exact", "cached", "degraded")
 #: where each row is a ``1×n`` CSR matrix.
 RowCompute = Callable[[Sequence[int], Optional[int], float],
                       Dict[int, sp.csr_matrix]]
+
+#: Rolling per-path sample window of the latency percentiles — big enough
+#: for stable p99 estimates, small enough that a long-lived service never
+#: grows unboundedly.
+LATENCY_WINDOW = 1024
 
 
 @dataclass
@@ -87,6 +97,13 @@ class ServiceCounters:
     time budget — both then fell through the ladder.  ``batches`` counts
     shared exact frontier rounds and ``coalesced`` the queries that
     shared their round with at least one other query.
+
+    The counters also accumulate per-path latency samples
+    (:meth:`record_latency`, a rolling :data:`LATENCY_WINDOW` per path)
+    summarised by :meth:`latency_summary` into the ``/metrics`` latency
+    section: per-path p50/p95/p99 seconds plus queries-per-second over
+    the observed query span.  Latency is observability only — it never
+    influences an answer (see the module docstring's R3 note).
     """
 
     def __init__(self) -> None:
@@ -99,6 +116,52 @@ class ServiceCounters:
         self.failed = 0
         self.exact_failures = 0
         self.budget_overruns = 0
+        self._latency: Dict[str, Deque[float]] = {
+            path: deque(maxlen=LATENCY_WINDOW) for path in SERVE_PATHS}
+        self._latency_counts: Dict[str, int] = {
+            path: 0 for path in SERVE_PATHS}
+        self._first_query_at: Optional[float] = None
+        self._last_query_at: Optional[float] = None
+
+    def record_latency(self, path: str, seconds: float) -> None:
+        """Record one answered query's wall time under its serving path."""
+        self._latency[path].append(seconds)
+        self._latency_counts[path] += 1
+        now = monotonic()
+        if self._first_query_at is None:
+            self._first_query_at = now
+        self._last_query_at = now
+
+    def latency_summary(self) -> Dict[str, object]:
+        """The ``/metrics`` latency section.
+
+        ``paths`` maps every serving path to ``None`` (no queries yet) or
+        to its cumulative ``count`` plus ``p50/p95/p99_seconds`` over the
+        rolling window; ``qps`` is queries-per-second across the span
+        from the first to the last recorded query (``None`` until two
+        distinct instants exist).
+        """
+        paths: Dict[str, Optional[Dict[str, object]]] = {}
+        for path in SERVE_PATHS:
+            window = self._latency[path]
+            if not window:
+                paths[path] = None
+                continue
+            p50, p95, p99 = np.percentile(np.asarray(window), (50, 95, 99))
+            paths[path] = {
+                "count": self._latency_counts[path],
+                "p50_seconds": float(p50),
+                "p95_seconds": float(p95),
+                "p99_seconds": float(p99),
+            }
+        qps: Optional[float] = None
+        if self._first_query_at is not None:
+            assert self._last_query_at is not None
+            span = self._last_query_at - self._first_query_at
+            if span > 0.0:
+                qps = sum(self._latency_counts.values()) / span
+        return {"paths": paths, "qps": qps,
+                "window_size": LATENCY_WINDOW}
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -182,13 +245,14 @@ class SimRankService:
 
         cfg = self.simrank
         _, executor = resolve_execution(cfg.backend, cfg.executor,
-                                        self.graph.num_nodes)
+                                        self.graph.num_nodes,
+                                        dtype=cfg.dtype)
         results = multi_source_localpush(
             self.graph, list(sources), decay=cfg.decay, epsilon=epsilon,
             prune=True, absorb_residual=True,
             max_pushes=self.serve.max_pushes_per_query,
             executor=executor or "serial", num_workers=cfg.workers,
-            top_k=top_k)
+            top_k=top_k, kernel=cfg.kernel, dtype=cfg.dtype)
         rows: Dict[int, sp.csr_matrix] = {}
         for result in results:
             row = result.row
@@ -257,7 +321,8 @@ class SimRankService:
             if self.serve.serve_cached_rows and self.cache is not None:
                 hit = self.cache.lookup_row(
                     self.graph, source, decay=cfg.decay, epsilon=cfg.epsilon,
-                    top_k=top_k, row_normalize=cfg.row_normalize)
+                    top_k=top_k, row_normalize=cfg.row_normalize,
+                    dtype=None if cfg.dtype == "float64" else cfg.dtype)
                 if hit is not None:
                     row, entry_epsilon = hit
                     counters.cached_served += 1
@@ -300,6 +365,9 @@ class SimRankService:
             if len(cleaned) > 1:
                 self.counters.coalesced += len(cleaned)
         elapsed = timer.stop()
+        with self._lock:
+            for source in cleaned:
+                self.counters.record_latency(served[source][1], elapsed)
         return [QueryAnswer(
             source=source,
             k=k,
@@ -326,6 +394,8 @@ class SimRankService:
             self.counters.queries += 1
         elapsed = timer.stop()
         row, path, epsilon = served[cleaned[0]]
+        with self._lock:
+            self.counters.record_latency(path, elapsed)
         return ScoreAnswer(u=cleaned[0], v=cleaned[1],
                            value=float(row[0, cleaned[1]]), path=path,
                            epsilon=epsilon, elapsed_seconds=elapsed)
@@ -334,7 +404,7 @@ class SimRankService:
     # Introspection
     # ------------------------------------------------------------------ #
     def metrics(self) -> Dict[str, object]:
-        """The ``/metrics`` payload: counters, cache state, graph, config."""
+        """The ``/metrics`` payload: counters, latency, cache, graph, config."""
         cache_stats: Optional[Dict[str, int]] = None
         if self.cache is not None:
             cache_stats = {
@@ -348,6 +418,7 @@ class SimRankService:
             }
         return {
             "counters": self.counters.to_dict(),
+            "latency": self.counters.latency_summary(),
             "cache": cache_stats,
             "graph": {
                 "num_nodes": int(self.graph.num_nodes),
@@ -356,6 +427,8 @@ class SimRankService:
             "config": {
                 "epsilon": self.simrank.epsilon,
                 "decay": self.simrank.decay,
+                "kernel": self.simrank.kernel,
+                "dtype": self.simrank.dtype,
                 "default_top_k": self.serve.default_top_k,
                 "exact_enabled": self.serve.exact_enabled,
                 "time_budget_seconds": self.serve.time_budget_seconds,

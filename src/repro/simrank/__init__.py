@@ -35,8 +35,9 @@ Configuration: SimRankConfig
   ``exact_size_limit`` nodes and LocalPush above), ``decay``,
   ``epsilon``, ``top_k`` and ``row_normalize``; these determine the
   operator entries and therefore enter the cache key;
-* the **execution plan** — ``backend``, ``executor`` and ``workers``,
-  resolved to a concrete LocalPush plan by ``resolve_execution``:
+* the **execution plan** — ``backend``, ``executor``, ``workers``,
+  ``kernel`` and ``dtype``, resolved to a concrete LocalPush plan by
+  ``resolve_execution``:
 
   =========== ==================== ========================================
   backend      plan                 auto-selected for
@@ -51,19 +52,42 @@ Configuration: SimRankConfig
                                     walk matrices (multi-core past the GIL)
   =========== ==================== ========================================
 
+  Orthogonally to the executor axis, ``kernel`` picks the push-round
+  *arithmetic* inside the core plans (see
+  :mod:`repro.simrank.kernels`):
+
+  =========== ============================================================
+  kernel       push-round implementation
+  =========== ============================================================
+  auto         the default — resolves to ``fused``
+  scipy        reference: sparse-matrix ops with per-round allocations
+  fused        raw-CSR kernel with round-reused workspaces, zero-copy
+               shard slices and a one-pass partial merge — bit-identical
+               to ``scipy``, measurably faster on multi-round runs
+  numba        ``fused`` plus a JIT-compiled frontier-extraction loop;
+               silently degrades to ``fused`` when numba is missing
+  =========== ============================================================
+
 * the **cache location** — ``cache_dir`` and ``cache_max_bytes``.
 
 The shard partition is a function of the frontier alone and partial
-updates merge in shard order, so **every executor and worker count
-returns a bit-identical matrix** — pinned by
-``tests/test_simrank_engine.py``.  Accordingly only the resolved backend
-*label* enters the operator-cache key; the key fields are derived in
-exactly one place, :meth:`repro.config.SimRankConfig.cache_key_fields`.
-The auto thresholds live in
+updates merge in shard order, so **every executor, worker count and
+kernel returns a bit-identical matrix** — pinned by
+``tests/test_simrank_engine.py`` and ``tests/test_simrank_kernels.py``.
+Accordingly only the resolved backend *label* enters the operator-cache
+key (``kernel`` is exempt); the key fields are derived in exactly one
+place, :meth:`repro.config.SimRankConfig.cache_key_fields`.  The auto
+thresholds live in
 :data:`repro.simrank.localpush.AUTO_BACKEND_MIN_NODES` and
 :data:`repro.simrank.localpush.AUTO_SHARDED_MIN_NODES`; unit tests pin
 them.  All plans satisfy the same ``‖Ŝ − S‖_max < ε`` guarantee
-(Lemma III.5).  ``localpush_simrank_vectorized`` /
+(Lemma III.5) — in float64.  The opt-in ``dtype="float32"`` mode
+trades that guarantee for half the memory: accumulated rounding can
+exceed ε itself, so the bound loosens to
+:func:`repro.simrank.kernels.float32_error_bound`, which adds a
+per-round rounding term ``O(u·rounds/(1−c))`` (``u = 2⁻²⁴``); because
+the entries differ from float64's, ``dtype`` *does* enter the cache
+key.  ``localpush_simrank_vectorized`` /
 ``localpush_simrank_sharded`` are deprecated shims over the core
 (bit-identical, with a ``DeprecationWarning``).
 

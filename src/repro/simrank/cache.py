@@ -216,17 +216,31 @@ class OperatorCache:
             raise ValueError(
                 f"cache key fields must be exactly {sorted(CACHE_KEY_FIELDS)}, "
                 f"got {sorted(fields)}")
+        hashed = dict(fields)
+        if hashed.get("dtype") is None:
+            # float64 is encoded as ``dtype: None`` by
+            # ``cache_key_fields`` and *omitted* from the hashed payload,
+            # so float64 keys are byte-identical to the pre-dtype key
+            # format: every operator cached before the dtype field
+            # existed stays warm.
+            del hashed["dtype"]
         payload = json.dumps({
             "version": CACHE_FORMAT_VERSION,
             "graph": graph_fingerprint(graph),
-            **fields,
+            **hashed,
         }, sort_keys=True)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
 
     def key_for(self, graph: Graph, *, method: str, decay: float,
                 epsilon: Optional[float], top_k: Optional[int],
-                row_normalize: bool, backend: Optional[str]) -> str:
-        """Keyword-argument form of :meth:`key_for_fields` (same key)."""
+                row_normalize: bool, backend: Optional[str],
+                dtype: Optional[str] = None) -> str:
+        """Keyword-argument form of :meth:`key_for_fields` (same key).
+
+        ``dtype`` uses the key-field encoding: ``None`` for float64 (the
+        reference precision, omitted from the hash), the dtype name
+        otherwise.
+        """
         return self.key_for_fields(graph, {
             "method": method,
             "decay": decay,
@@ -234,6 +248,7 @@ class OperatorCache:
             "top_k": top_k,
             "row_normalize": row_normalize,
             "backend": backend,
+            "dtype": dtype,
         })
 
     def path_for(self, key: str) -> Path:
@@ -309,6 +324,7 @@ class OperatorCache:
                 "top_k": meta.get("top_k"),
                 "row_normalize": bool(meta.get("row_normalize", False)),
                 "backend": meta.get("backend"),
+                "dtype": meta.get("dtype"),
                 "bytes": path.stat().st_size,
                 "last_used": 0,
             }
@@ -419,7 +435,7 @@ class OperatorCache:
     @staticmethod
     def _can_serve(entry: dict, *, fingerprint: str, method: str,
                    decay: float, epsilon: float, top_k: Optional[int],
-                   row_normalize: bool) -> bool:
+                   row_normalize: bool, dtype: Optional[str] = None) -> bool:
         """Whether a stored entry dominates the requested contract.
 
         Domination is directional by construction: a tighter ``ε′ ≤ ε``
@@ -439,6 +455,12 @@ class OperatorCache:
         if entry.get("decay") != decay:
             return False
         if bool(entry.get("row_normalize", False)) != row_normalize:
+            return False
+        # Precision is part of the contract: a float32 entry never
+        # serves a float64 request or vice versa.  Entries written
+        # before the dtype field existed carry no marker and are float64
+        # by construction (``entry.get`` → ``None`` ≡ float64).
+        if entry.get("dtype") != dtype:
             return False
         candidate_epsilon = entry.get("epsilon")
         if candidate_epsilon is None or candidate_epsilon > epsilon:
@@ -473,6 +495,7 @@ class OperatorCache:
     def lookup(self, graph: Graph, *, method: str, decay: float,
                epsilon: Optional[float], top_k: Optional[int],
                row_normalize: bool, backend: Optional[str],
+               dtype: Optional[str] = None,
                fingerprint: Optional[str] = None
                ) -> Optional["SimRankOperator"]:
         """Serve a request from the cache, by exact key or by reuse.
@@ -486,11 +509,16 @@ class OperatorCache:
         """
         key = self.key_for(graph, method=method, decay=decay, epsilon=epsilon,
                            top_k=top_k, row_normalize=row_normalize,
-                           backend=backend)
-        exact = self._load(key, expect={
+                           backend=backend, dtype=dtype)
+        expect: Dict[str, object] = {
             "method": method, "decay": decay, "epsilon": epsilon,
             "top_k": top_k, "backend": backend,
-            "row_normalize": row_normalize})
+            "row_normalize": row_normalize}
+        if dtype is not None:
+            # float64 requests skip the check so pre-dtype entries (no
+            # marker in their metadata) keep serving them.
+            expect["dtype"] = dtype
+        exact = self._load(key, expect=expect)
         if exact is not None:
             self.hits += 1
             self.exact_hits += 1
@@ -508,7 +536,8 @@ class OperatorCache:
                 if self._can_serve(entry, fingerprint=fingerprint,
                                    method=method, decay=decay,
                                    epsilon=epsilon, top_k=top_k,
-                                   row_normalize=row_normalize)
+                                   row_normalize=row_normalize,
+                                   dtype=dtype)
             ]
             # Closest dominating entry first: largest ε′ (least
             # over-computation), then smallest sufficient k′ (least to
@@ -549,7 +578,7 @@ class OperatorCache:
 
     def lookup_row(self, graph: Graph, source: int, *, decay: float,
                    epsilon: float, top_k: Optional[int],
-                   row_normalize: bool,
+                   row_normalize: bool, dtype: Optional[str] = None,
                    fingerprint: Optional[str] = None
                    ) -> Optional[Tuple[sp.csr_matrix, float]]:
         """Serve one row of a LocalPush operator from any dominating entry.
@@ -583,7 +612,7 @@ class OperatorCache:
             if self._can_serve(entry, fingerprint=fingerprint,
                                method="localpush", decay=decay,
                                epsilon=epsilon, top_k=top_k,
-                               row_normalize=row_normalize)
+                               row_normalize=row_normalize, dtype=dtype)
         ]
         candidates.sort(key=lambda item: (
             -float(item[1]["epsilon"]),
@@ -624,6 +653,10 @@ class OperatorCache:
         LRU eviction of other entries when a byte cap is configured.
         """
         matrix = sp.csr_matrix(operator.matrix)
+        # Key-field encoding: float64 (the reference precision) is
+        # recorded as None, so pre-dtype entries and float64 entries are
+        # indistinguishable — which is correct, they are the same thing.
+        dtype = "float32" if matrix.dtype == np.float32 else None
         meta = json.dumps({
             "version": CACHE_FORMAT_VERSION,
             "fingerprint": fingerprint,
@@ -633,6 +666,7 @@ class OperatorCache:
             "top_k": operator.top_k,
             "backend": operator.backend,
             "row_normalize": operator.row_normalize,
+            "dtype": dtype,
             "precompute_seconds": operator.precompute_seconds,
         })
         path = self.path_for(key)
@@ -661,6 +695,7 @@ class OperatorCache:
             "top_k": operator.top_k,
             "row_normalize": operator.row_normalize,
             "backend": operator.backend,
+            "dtype": dtype,
             "bytes": path.stat().st_size,
             "last_used": 0,
         }

@@ -65,6 +65,10 @@ from repro.graphs.normalize import column_normalize
 from repro.graphs.sparse import csr_row_indices as _csr_rows
 from repro.graphs.sparse import top_k_per_row
 from repro.simrank.exact import DEFAULT_DECAY
+from repro.simrank.kernels import (DTYPES, KERNELS, PhaseProfile, Shard,
+                                   make_round_state, resolve_kernel,
+                                   shard_bounds, streaming_prune,
+                                   working_dtype)
 from repro.utils.timer import Timer
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
@@ -81,13 +85,18 @@ DEFAULT_MAX_WORKERS = 4
 #: Executor names accepted by :func:`localpush_engine`.
 EXECUTORS = ("serial", "thread", "process")
 
-#: A shard of the frontier: (rows, cols, values) of its stored entries.
-Shard = Tuple[np.ndarray, np.ndarray, np.ndarray]
-
 
 def default_num_workers() -> int:
     """Worker count used when ``num_workers`` is not specified."""
     return max(1, min(DEFAULT_MAX_WORKERS, os.cpu_count() or 1))
+
+
+def _push_matrix(walk_t: sp.csr_matrix, walk: sp.csr_matrix,
+                 shard: sp.csr_matrix, decay: float) -> sp.csr_matrix:
+    """One shard matrix's partial update ``c·Wᵀ F_i W`` (pure)."""
+    pushed = ((walk_t @ shard) @ walk).tocsr()
+    pushed.data *= decay
+    return pushed
 
 
 def _push_shard(walk_t: sp.csr_matrix, walk: sp.csr_matrix,
@@ -95,9 +104,7 @@ def _push_shard(walk_t: sp.csr_matrix, walk: sp.csr_matrix,
                 n: int, decay: float) -> sp.csr_matrix:
     """One shard's partial update ``c·Wᵀ F_i W`` (pure, order-independent)."""
     shard = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
-    pushed = ((walk_t @ shard) @ walk).tocsr()
-    pushed.data *= decay
-    return pushed
+    return _push_matrix(walk_t, walk, shard, decay)
 
 
 # --------------------------------------------------------------------- #
@@ -107,6 +114,7 @@ class _SerialExecutor:
     """Push shards one by one in the calling thread."""
 
     name = "serial"
+    wants_triplets = False
     workers_used: Optional[int] = None
 
     def __init__(self, walk: sp.csr_matrix, walk_t: sp.csr_matrix,
@@ -118,6 +126,11 @@ class _SerialExecutor:
         return [_push_shard(self._walk_t, self._walk, rows, cols, data,
                             self._n, self._decay)
                 for rows, cols, data in shards]
+
+    def push_round_matrices(self, matrices: Sequence[sp.csr_matrix]
+                            ) -> List[sp.csr_matrix]:
+        return [_push_matrix(self._walk_t, self._walk, matrix, self._decay)
+                for matrix in matrices]
 
     def close(self) -> None:
         pass
@@ -134,14 +147,27 @@ class _ThreadExecutor(_SerialExecutor):
         self.workers_used = workers
         self._pool: Optional[ThreadPoolExecutor] = None
 
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.workers_used)
+        return self._pool
+
     def push_round(self, shards: Sequence[Shard]) -> List[sp.csr_matrix]:
         if self.workers_used == 1 or len(shards) <= 1:
             return super().push_round(shards)
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self.workers_used)
-        futures = [self._pool.submit(_push_shard, self._walk_t, self._walk,
-                                     rows, cols, data, self._n, self._decay)
+        pool = self._ensure_pool()
+        futures = [pool.submit(_push_shard, self._walk_t, self._walk,
+                               rows, cols, data, self._n, self._decay)
                    for rows, cols, data in shards]
+        return [future.result() for future in futures]
+
+    def push_round_matrices(self, matrices: Sequence[sp.csr_matrix]
+                            ) -> List[sp.csr_matrix]:
+        if self.workers_used == 1 or len(matrices) <= 1:
+            return super().push_round_matrices(matrices)
+        pool = self._ensure_pool()
+        futures = [pool.submit(_push_matrix, self._walk_t, self._walk,
+                               matrix, self._decay) for matrix in matrices]
         return [future.result() for future in futures]
 
     def close(self) -> None:
@@ -209,9 +235,15 @@ class _ProcessExecutor(_SerialExecutor):
     first multi-shard round, so small runs (every round fits one shard)
     never pay the fork/attach cost — and remain bit-identical, because
     single-shard rounds are computed inline by every executor.
+
+    ``wants_triplets`` steers the fused kernel back to (rows, cols, data)
+    chunks for multi-shard rounds: zero-copy CSR views cannot cross the
+    process boundary, and the triplet rebuild is exactly what the
+    shared-memory workers already implement.
     """
 
     name = "process"
+    wants_triplets = True
 
     def __init__(self, walk: sp.csr_matrix, walk_t: sp.csr_matrix,
                  n: int, decay: float, workers: int) -> None:
@@ -287,49 +319,9 @@ def _make_executor(name: str, walk: sp.csr_matrix, walk_t: sp.csr_matrix,
                        f"expected one of {EXECUTORS}")
 
 
-# --------------------------------------------------------------------- #
-# Streaming top-k prune (correction-bound guarded; see module docstring
-# of repro.simrank for the full argument)
-# --------------------------------------------------------------------- #
-def _streaming_prune(estimate: sp.csr_matrix, k: int,
-                     slack: float) -> sp.csr_matrix:
-    """Drop estimate entries that provably cannot reach the final top-k.
-
-    An entry is removed only when ``value + slack`` is strictly below the
-    row's current k-th largest value; the diagonal is never dropped (it is
-    preserved by the final ``top_k_per_row(..., keep_diagonal=True)``
-    semantics and must survive streaming too).  Mutates ``estimate`` in
-    place (the caller holds the only reference to the freshly summed
-    matrix).
-    """
-    if estimate.nnz == 0:
-        return estimate
-    indptr, indices, data = estimate.indptr, estimate.indices, estimate.data
-    # Early rounds can never drop anything: value + slack >= slack, and no
-    # row's k-th largest can exceed the global maximum entry.
-    if slack >= float(data.max()):
-        return estimate
-    # Only rows holding more than k entries can possibly shed one.
-    candidates = np.flatnonzero(np.diff(indptr) > k)
-    if candidates.size == 0:
-        return estimate
-    changed = False
-    for row in candidates:
-        start, end = indptr[row], indptr[row + 1]
-        size = end - start
-        row_data = data[start:end]
-        kth = np.partition(row_data, size - k)[size - k]
-        drop = (row_data + slack) < kth
-        if not drop.any():
-            continue
-        drop &= indices[start:end] != row
-        if not drop.any():
-            continue
-        row_data[drop] = 0.0
-        changed = True
-    if changed:
-        estimate.eliminate_zeros()
-    return estimate
+# The streaming top-k prune now lives in repro.simrank.kernels (shared
+# by every kernel); re-exported here under its historical private name.
+_streaming_prune = streaming_prune
 
 
 # --------------------------------------------------------------------- #
@@ -346,12 +338,15 @@ class _EngineRun:
     elapsed_seconds: float
     workers_used: Optional[int]
     max_shards_used: int
+    kernel_used: str
 
 
 def _validate_engine_args(decay: float, epsilon: float, executor: str,
                           num_workers: Optional[int],
                           num_shards: Optional[int],
-                          stream_top_k: Optional[int]) -> None:
+                          stream_top_k: Optional[int],
+                          kernel: str = "auto",
+                          dtype: str = "float64") -> None:
     if not 0.0 < decay < 1.0:
         raise SimRankError(f"decay factor c must be in (0, 1), got {decay}")
     if epsilon <= 0.0:
@@ -359,6 +354,12 @@ def _validate_engine_args(decay: float, epsilon: float, executor: str,
     if executor not in EXECUTORS:
         raise SimRankError(f"unknown LocalPush executor {executor!r}; "
                            f"expected one of {EXECUTORS}")
+    if kernel not in KERNELS:
+        raise SimRankError(f"unknown LocalPush kernel {kernel!r}; "
+                           f"expected one of {KERNELS}")
+    if dtype not in DTYPES:
+        raise SimRankError(f"unknown LocalPush dtype {dtype!r}; "
+                           f"expected one of {DTYPES}")
     if num_workers is not None and num_workers < 1:
         raise SimRankError(f"num_workers must be >= 1, got {num_workers}")
     if num_shards is not None and num_shards < 1:
@@ -367,7 +368,8 @@ def _validate_engine_args(decay: float, epsilon: float, executor: str,
         raise SimRankError(f"stream_top_k must be >= 1, got {stream_top_k}")
 
 
-def _seed_residual(n: int, seed_nodes: Optional[np.ndarray]) -> sp.csr_matrix:
+def _seed_residual(n: int, seed_nodes: Optional[np.ndarray],
+                   dtype: np.dtype = np.dtype(np.float64)) -> sp.csr_matrix:
     """Initial residual: the identity restricted to ``seed_nodes``.
 
     ``seed_nodes=None`` seeds every node (the all-pairs run).  A restricted
@@ -377,12 +379,12 @@ def _seed_residual(n: int, seed_nodes: Optional[np.ndarray]) -> sp.csr_matrix:
     from other components contribute nothing to the restricted rows.
     """
     if seed_nodes is None:
-        return sp.identity(n, dtype=np.float64, format="csr")
+        return sp.identity(n, dtype=dtype, format="csr")
     counts = np.zeros(n, dtype=np.int64)
     counts[seed_nodes] = 1
     indptr = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(counts, out=indptr[1:])
-    data = np.ones(seed_nodes.size, dtype=np.float64)
+    data = np.ones(seed_nodes.size, dtype=dtype)
     return sp.csr_matrix((data, seed_nodes.astype(np.int64, copy=False),
                           indptr), shape=(n, n))
 
@@ -393,19 +395,26 @@ def _run_rounds(graph: Graph, *, decay: float, epsilon: float, prune: bool,
                 num_shards: Optional[int], stream_top_k: Optional[int],
                 coalesce_every: int,
                 seed_nodes: Optional[np.ndarray] = None,
-                absorb_rows: Optional[np.ndarray] = None) -> _EngineRun:
+                absorb_rows: Optional[np.ndarray] = None,
+                kernel: str = "auto", dtype: str = "float64",
+                profile: Optional[PhaseProfile] = None) -> _EngineRun:
     """The shared frontier-batched round loop.
+
+    The per-round CSR arithmetic is delegated to a *round state* from
+    :mod:`repro.simrank.kernels` (``kernel`` selects which; every kernel
+    is bit-identical per ``dtype``); this loop owns the round plan —
+    extract, absorb, shard, push, coalesce, prune — and the accounting.
 
     ``seed_nodes``/``absorb_rows`` are the single-source restriction
     hooks: the residual starts as the identity restricted to
     ``seed_nodes`` (``None`` = all nodes) and only estimate entries whose
     row is in ``absorb_rows`` are materialised (``None`` = all rows).
     Every arithmetic operation on an absorbed row is identical to the
-    unrestricted run whenever the shard partitions coincide — scipy's
-    CSR matmul, addition, thresholding and COO→CSR duplicate folding are
-    all per-row independent — which is what makes single-source rows
-    bit-identical to the all-pairs rows (see ``single_source_localpush``
-    for the precise guarantee).
+    unrestricted run whenever the shard partitions coincide — CSR
+    matmul, addition, thresholding and duplicate folding are all per-row
+    independent — which is what makes single-source rows bit-identical
+    to the all-pairs rows (see ``single_source_localpush`` for the
+    precise guarantee).
 
     Streaming top-k runs in-loop only for unrestricted runs; restricted
     runs accumulate triplets and apply the identical
@@ -415,20 +424,27 @@ def _run_rounds(graph: Graph, *, decay: float, epsilon: float, prune: bool,
 
     n = graph.num_nodes
     threshold = (1.0 - decay) * epsilon
+    np_dtype = working_dtype(dtype)
     walk = column_normalize(graph.adjacency)     # W = A D⁻¹
+    if walk.dtype != np_dtype:
+        walk = walk.astype(np_dtype)
     walk_t = walk.T.tocsr()
     runner = _make_executor(executor, walk, walk_t, n, decay, num_workers)
 
-    residual = _seed_residual(n, seed_nodes)
+    residual = _seed_residual(n, seed_nodes, np_dtype)
+    state = make_round_state(resolve_kernel(kernel), residual, n=n,
+                             dtype=np_dtype,
+                             index_dtype=walk.indices.dtype,
+                             profile=profile)
+    state.set_flush_cadence(coalesce_every)
     streaming = stream_top_k is not None and absorb_rows is None
     absorb_mask: Optional[np.ndarray] = None
     if absorb_rows is not None:
         absorb_mask = np.zeros(n, dtype=bool)
         absorb_mask[absorb_rows] = True
     # The materialised running estimate is only needed when the streaming
-    # prune inspects it every round; otherwise absorbed frontiers are
+    # prune inspects it in-loop; otherwise absorbed frontiers are
     # accumulated as COO triplets and coalesced once at the end.
-    estimate = sp.csr_matrix((n, n), dtype=np.float64)
     est_rows: list[np.ndarray] = []
     est_cols: list[np.ndarray] = []
     est_data: list[np.ndarray] = []
@@ -440,68 +456,61 @@ def _run_rounds(graph: Graph, *, decay: float, epsilon: float, prune: bool,
     timer.start()
     try:
         while True:
-            above = residual.data > threshold
-            count = int(np.count_nonzero(above))
-            if count == 0:
+            frontier = state.extract_frontier(threshold)
+            if frontier is None:
                 break
-            rows = _csr_rows(residual)[above]
-            cols = residual.indices[above].astype(np.int64, copy=False)
-            data = residual.data[above].copy()
+            count = frontier.count
 
             # Absorb the frontier into the estimate (line 4 of Algorithm 1,
-            # batched) and clear it from the residual.
+            # batched); the round state has already cleared it from the
+            # residual.
             if streaming:
-                estimate = estimate + sp.csr_matrix((data, (rows, cols)),
-                                                    shape=(n, n))
+                state.absorb_stream(frontier)
             elif absorb_mask is not None:
-                keep = absorb_mask[rows]
+                keep = absorb_mask[frontier.rows]
                 if keep.any():
-                    est_rows.append(rows[keep])
-                    est_cols.append(cols[keep])
-                    est_data.append(data[keep])
+                    est_rows.append(frontier.rows[keep])
+                    est_cols.append(frontier.cols[keep])
+                    est_data.append(frontier.data[keep])
             else:
-                est_rows.append(rows)
-                est_cols.append(cols)
-                est_data.append(data)
+                est_rows.append(frontier.rows)
+                est_cols.append(frontier.cols)
+                est_data.append(frontier.data)
             num_pushes += count
             if max_pushes is not None and num_pushes > max_pushes:
                 raise SimRankError(
                     f"LocalPush exceeded max_pushes={max_pushes}; "
                     "epsilon is likely too small for this graph"
                 )
-            residual.data[above] = 0.0
 
             # Shard the frontier by stored-entry ranges.  The partition is
-            # a function of the frontier only, never of the executor or
-            # worker count.
+            # a function of the frontier only, never of the kernel,
+            # executor or worker count.
             shards = num_shards if num_shards is not None else max(
                 1, -(-count // DEFAULT_SHARD_NNZ))
             shards = min(shards, count)
             max_shards_used = max(max_shards_used, shards)
-            chunks = [(rows[c], cols[c], data[c])
-                      for c in np.array_split(np.arange(count), shards)
-                      if c.size]
+            bounds = shard_bounds(count, shards)
 
-            # Merge in shard order — deterministic regardless of which
-            # worker finished first.
-            partials = runner.push_round(chunks)
-            pushed = partials[0]
-            for partial in partials[1:]:
-                pushed = pushed + partial
-            residual = residual + pushed
+            state.push_round(runner, frontier, bounds)
             num_rounds += 1
             if num_rounds % coalesce_every == 0:
-                residual.eliminate_zeros()
+                state.coalesce()
 
             if streaming:
-                r_max = float(residual.data.max()) if residual.nnz else 0.0
-                slack = r_max / (1.0 - decay)
-                estimate = _streaming_prune(estimate, stream_top_k, slack)
+                assert stream_top_k is not None
+                state.stream_prune(stream_top_k, decay)
     finally:
         runner.close()
+    residual, stream_estimate = state.finish(streaming, stream_top_k, decay)
     residual.eliminate_zeros()
     elapsed = timer.stop()
 
+    if streaming:
+        assert stream_estimate is not None
+        estimate = stream_estimate
+    else:
+        estimate = sp.csr_matrix((n, n), dtype=np_dtype)
     if not streaming and est_data:
         estimate = sp.coo_matrix(
             (np.concatenate(est_data),
@@ -542,6 +551,7 @@ def _run_rounds(graph: Graph, *, decay: float, epsilon: float, prune: bool,
         elapsed_seconds=elapsed,
         workers_used=runner.workers_used,
         max_shards_used=max_shards_used,
+        kernel_used=state.kernel,
     )
 
 
@@ -554,7 +564,10 @@ def localpush_engine(graph: Graph, *, decay: float = DEFAULT_DECAY,
                      num_shards: Optional[int] = None,
                      stream_top_k: Optional[int] = None,
                      coalesce_every: int = 4,
-                     backend_label: Optional[str] = None) -> "LocalPushResult":
+                     backend_label: Optional[str] = None,
+                     kernel: str = "auto", dtype: str = "float64",
+                     profile: Optional[PhaseProfile] = None
+                     ) -> "LocalPushResult":
     """Run the batched LocalPush round loop with a pluggable executor.
 
     Parameters mirror :func:`repro.simrank.localpush.localpush_simrank`
@@ -565,6 +578,20 @@ def localpush_engine(graph: Graph, *, decay: float = DEFAULT_DECAY,
         shard pushes are executed.  The result is bit-identical for
         every executor and worker count (see the module docstring), so
         this is purely a throughput knob.
+    kernel:
+        ``"auto"``, ``"scipy"``, ``"fused"`` or ``"numba"`` — how the
+        per-round CSR arithmetic is carried out (see
+        :mod:`repro.simrank.kernels`).  Bit-identical per ``dtype`` for
+        every kernel, so — like ``executor`` — purely a throughput knob.
+    dtype:
+        ``"float64"`` (default) or ``"float32"``.  float32 halves the
+        working-set memory at the cost of a slightly enlarged error
+        bound (:func:`repro.simrank.kernels.float32_error_bound`) and a
+        separate operator-cache key.
+    profile:
+        Optional :class:`repro.simrank.kernels.PhaseProfile` that
+        accumulates per-phase seconds (frontier/push/merge/prune) for
+        benchmarking; ``None`` keeps the loop unmeasured.
     num_workers:
         Pool size for the thread/process executors (ignored by
         ``"serial"``); defaults to :func:`default_num_workers`.
@@ -587,12 +614,13 @@ def localpush_engine(graph: Graph, *, decay: float = DEFAULT_DECAY,
     from repro.simrank.localpush import LocalPushResult
 
     _validate_engine_args(decay, epsilon, executor, num_workers, num_shards,
-                          stream_top_k)
+                          stream_top_k, kernel, dtype)
     run = _run_rounds(graph, decay=decay, epsilon=epsilon, prune=prune,
                       absorb_residual=absorb_residual, max_pushes=max_pushes,
                       executor=executor, num_workers=num_workers,
                       num_shards=num_shards, stream_top_k=stream_top_k,
-                      coalesce_every=coalesce_every)
+                      coalesce_every=coalesce_every, kernel=kernel,
+                      dtype=dtype, profile=profile)
     return LocalPushResult(
         matrix=run.estimate,
         num_pushes=run.num_pushes,
@@ -606,6 +634,8 @@ def localpush_engine(graph: Graph, *, decay: float = DEFAULT_DECAY,
         num_rounds=run.num_rounds,
         num_workers=run.workers_used,
         num_shards=run.max_shards_used,
+        kernel=run.kernel_used,
+        dtype=dtype,
     )
 
 
@@ -680,7 +710,10 @@ def multi_source_localpush(graph: Graph, sources: Sequence[int], *,
                            num_workers: Optional[int] = None,
                            num_shards: Optional[int] = None,
                            top_k: Optional[int] = None,
-                           coalesce_every: int = 4) -> List[SingleSourceResult]:
+                           coalesce_every: int = 4,
+                           kernel: str = "auto",
+                           dtype: str = "float64"
+                           ) -> List[SingleSourceResult]:
     """Batched single-source LocalPush: one shared round loop, many rows.
 
     Seeds the residual with the identity restricted to the sources'
@@ -709,7 +742,7 @@ def multi_source_localpush(graph: Graph, sources: Sequence[int], *,
     same computed row.
     """
     _validate_engine_args(decay, epsilon, executor, num_workers, num_shards,
-                          top_k)
+                          top_k, kernel, dtype)
     source_array = _validate_sources(graph, sources)
     unique_sources = np.unique(source_array)
 
@@ -724,7 +757,8 @@ def multi_source_localpush(graph: Graph, sources: Sequence[int], *,
                       executor=executor, num_workers=num_workers,
                       num_shards=num_shards, stream_top_k=top_k,
                       coalesce_every=coalesce_every,
-                      seed_nodes=seed_nodes, absorb_rows=unique_sources)
+                      seed_nodes=seed_nodes, absorb_rows=unique_sources,
+                      kernel=kernel, dtype=dtype)
 
     component_sizes = {int(s): int(np.count_nonzero(labels == labels[s]))
                        for s in unique_sources}
@@ -755,7 +789,9 @@ def single_source_localpush(graph: Graph, source: int, *,
                             num_workers: Optional[int] = None,
                             num_shards: Optional[int] = None,
                             top_k: Optional[int] = None,
-                            coalesce_every: int = 4) -> SingleSourceResult:
+                            coalesce_every: int = 4,
+                            kernel: str = "auto",
+                            dtype: str = "float64") -> SingleSourceResult:
     """Single-source LocalPush: row ``source`` of the SimRank matrix.
 
     A one-element :func:`multi_source_localpush` batch; see there for
@@ -765,7 +801,8 @@ def single_source_localpush(graph: Graph, source: int, *,
         graph, [source], decay=decay, epsilon=epsilon, prune=prune,
         absorb_residual=absorb_residual, max_pushes=max_pushes,
         executor=executor, num_workers=num_workers, num_shards=num_shards,
-        top_k=top_k, coalesce_every=coalesce_every)[0]
+        top_k=top_k, coalesce_every=coalesce_every, kernel=kernel,
+        dtype=dtype)[0]
 
 
 def single_pair_localpush(graph: Graph, source: int, target: int, *,
@@ -776,7 +813,9 @@ def single_pair_localpush(graph: Graph, source: int, target: int, *,
                           executor: str = "serial",
                           num_workers: Optional[int] = None,
                           num_shards: Optional[int] = None,
-                          coalesce_every: int = 4) -> float:
+                          coalesce_every: int = 4,
+                          kernel: str = "auto",
+                          dtype: str = "float64") -> float:
     """Single-pair LocalPush: ``Ŝ(source, target)`` with the same ε bound.
 
     Computed as entry ``target`` of the single-source row so the value is
@@ -795,7 +834,7 @@ def single_pair_localpush(graph: Graph, source: int, target: int, *,
         graph, source, decay=decay, epsilon=epsilon, prune=prune,
         absorb_residual=absorb_residual, max_pushes=max_pushes,
         executor=executor, num_workers=num_workers, num_shards=num_shards,
-        coalesce_every=coalesce_every)
+        coalesce_every=coalesce_every, kernel=kernel, dtype=dtype)
     return float(result.row[0, target])
 
 

@@ -94,7 +94,8 @@ def resolve_backend(backend: Backend, num_nodes: int) -> str:
 
 def resolve_execution(backend: Backend = "auto",
                       executor: Optional[ExecutorName] = None,
-                      num_nodes: int = 0) -> Tuple[str, Optional[str]]:
+                      num_nodes: int = 0, *,
+                      dtype: str = "float64") -> Tuple[str, Optional[str]]:
     """Resolve a ``(backend, executor)`` request to a concrete plan.
 
     Returns ``(backend_name, executor_name)`` where ``backend_name`` is
@@ -115,6 +116,11 @@ def resolve_execution(backend: Backend = "auto",
       the label is provenance, not semantics).
     * ``backend="dict"`` has no pluggable executor; combining it with an
       explicit executor is an error.
+    * The dict reference engine is float64-only.  Under
+      ``dtype="float32"`` the ``"auto"`` ladder skips its dict rung and
+      resolves to ``(vectorized, serial)`` instead; naming
+      ``backend="dict"`` explicitly with a non-float64 dtype is an
+      error.
     """
     if backend not in ("dict", "vectorized", "sharded", "auto"):
         raise SimRankError(f"unknown LocalPush backend {backend!r}")
@@ -126,6 +132,10 @@ def resolve_execution(backend: Backend = "auto",
             raise SimRankError(
                 "backend='dict' is the per-pair reference engine and has no "
                 f"pluggable executor; got executor={requested!r}")
+        if dtype != "float64":
+            raise SimRankError(
+                "backend='dict' is the float64 reference engine; "
+                f"got dtype={dtype!r}")
         return "dict", None
     if requested is not None:
         if backend == "auto":
@@ -134,6 +144,8 @@ def resolve_execution(backend: Backend = "auto",
         return backend, requested
     resolved = resolve_backend(backend, num_nodes)
     if resolved == "dict":
+        if dtype != "float64":
+            return "vectorized", "serial"
         return "dict", None
     if resolved == "vectorized":
         return "vectorized", "serial"
@@ -173,6 +185,12 @@ class LocalPushResult:
         Worker-pool size used (thread/process executors only).
     num_shards:
         Largest per-round shard count used (unified core only).
+    kernel:
+        Resolved round-arithmetic kernel of the unified core
+        (``"scipy"``, ``"fused"`` or ``"numba"`` — never ``"auto"``);
+        ``None`` for the dict reference engine.
+    dtype:
+        Working precision of the run (``"float64"`` or ``"float32"``).
     """
 
     matrix: sp.csr_matrix
@@ -186,6 +204,8 @@ class LocalPushResult:
     num_rounds: Optional[int] = None
     num_workers: Optional[int] = None
     num_shards: Optional[int] = None
+    kernel: Optional[str] = None
+    dtype: str = "float64"
 
 
 def localpush_simrank(graph: Graph, *, decay: float = DEFAULT_DECAY,
@@ -195,7 +215,9 @@ def localpush_simrank(graph: Graph, *, decay: float = DEFAULT_DECAY,
                       backend: Backend = "auto",
                       executor: Optional[ExecutorName] = None,
                       num_workers: int | None = None,
-                      stream_top_k: int | None = None) -> LocalPushResult:
+                      stream_top_k: int | None = None,
+                      kernel: str = "auto",
+                      dtype: str = "float64") -> LocalPushResult:
     """Run Algorithm 1 (LocalPush) and return the sparse approximation.
 
     Parameters
@@ -246,6 +268,21 @@ def localpush_simrank(graph: Graph, *, decay: float = DEFAULT_DECAY,
         memory); the dict engine applies it post hoc — the result is the
         same either way, so the semantics do not depend on which engine
         the plan resolves to.
+    kernel:
+        Unified-core round arithmetic: ``"scipy"`` (historical CSR-object
+        path), ``"fused"`` (raw-array kernel with reused workspaces),
+        ``"numba"`` (JIT merge loop; silently falls back to ``"fused"``
+        when numba is not importable) or ``"auto"`` (≡ ``"fused"``).
+        Every kernel is bit-identical per dtype, so the choice is purely
+        a speed knob (cache-key exempt); the dict engine ignores it.
+    dtype:
+        ``"float64"`` (default, the reference precision) or
+        ``"float32"`` — an opt-in low-memory mode of the unified core
+        with an adjusted error bound (see
+        :func:`repro.simrank.kernels.float32_error_bound`).  The dict
+        reference engine is float64-only: ``backend="auto"`` skips its
+        dict rung under float32, and an explicit ``backend="dict"``
+        with float32 is an error.
     """
     if not 0.0 < decay < 1.0:
         raise SimRankError(f"decay factor c must be in (0, 1), got {decay}")
@@ -254,7 +291,8 @@ def localpush_simrank(graph: Graph, *, decay: float = DEFAULT_DECAY,
     if stream_top_k is not None and stream_top_k < 1:
         raise SimRankError(f"stream_top_k must be >= 1, got {stream_top_k}")
     backend_name, executor_name = resolve_execution(backend, executor,
-                                                    graph.num_nodes)
+                                                    graph.num_nodes,
+                                                    dtype=dtype)
     if executor_name is not None:
         from repro.simrank.engine import localpush_engine
 
@@ -262,7 +300,8 @@ def localpush_simrank(graph: Graph, *, decay: float = DEFAULT_DECAY,
             graph, decay=decay, epsilon=epsilon, prune=prune,
             absorb_residual=absorb_residual, max_pushes=max_pushes,
             executor=executor_name, num_workers=num_workers,
-            stream_top_k=stream_top_k, backend_label=backend_name)
+            stream_top_k=stream_top_k, backend_label=backend_name,
+            kernel=kernel, dtype=dtype)
 
     n = graph.num_nodes
     adjacency = graph.adjacency
@@ -374,7 +413,12 @@ def finalize_estimate(estimate: sp.csr_matrix, residual: sp.csr_matrix, *,
     diagonal = estimate.diagonal()
     missing = diagonal <= 0.0
     if missing.any():
-        fill = np.where(missing, residual.diagonal(), 0.0)
+        residual_diagonal = residual.diagonal()
+        # The typed zero keeps float32 estimates float32 (a bare Python
+        # 0.0 would promote the fill — and then the sum — to float64 on
+        # pre-NEP-50 numpy).
+        fill = np.where(missing, residual_diagonal,
+                        residual_diagonal.dtype.type(0.0))
         estimate = (estimate + sp.diags(fill, format="csr")).tocsr()
     if prune:
         floor = epsilon / 10.0

@@ -194,9 +194,17 @@ def _simrank_operator(graph: Graph, config: SimRankConfig,
                                    backend=config.backend,
                                    executor=config.executor,
                                    num_workers=config.workers,
-                                   stream_top_k=config.top_k)
+                                   stream_top_k=config.top_k,
+                                   kernel=config.kernel,
+                                   dtype=config.dtype)
         matrix = result.matrix
         localpush_backend = result.backend
+    if config.dtype == "float32" and matrix.dtype != np.float32:
+        # The LocalPush core computes natively in float32; the dense
+        # references have no reduced-precision path, so their operators
+        # are computed exactly and rounded once at the end (a strictly
+        # smaller error than carrying float32 through the iteration).
+        matrix = matrix.astype(np.float32)
 
     if config.top_k is not None:
         matrix = topk_simrank(matrix, config.top_k)

@@ -46,6 +46,25 @@ def _valid_record() -> dict:
         "executors": {"serial": dict(executor),
                       "thread": dict(pooled),
                       "process": dict(pooled)},
+        "kernels": {
+            "epsilon": 0.01,
+            "scipy": {"seconds": 1.0, "num_pushes": 500, "nnz": 5000},
+            "fused": {"seconds": 0.5, "num_pushes": 500, "nnz": 5000,
+                      "speedup_vs_scipy": 2.0,
+                      "bit_identical_to_scipy": {"serial": True,
+                                                 "thread": True,
+                                                 "process": True}},
+        },
+        "float32": {
+            "epsilon": 0.1, "decay": 0.6, "bound": 0.1001,
+            "sweeps": [{"num_nodes": 300, "max_abs_err_float32": 0.02,
+                        "max_abs_err_float64": 0.02, "within_bound": True}],
+        },
+        "profile": {
+            "kernel": "fused", "executor": "serial", "total_seconds": 0.5,
+            "phase_seconds": {"frontier": 0.1, "push": 0.2,
+                              "merge": 0.15, "prune": 0.05},
+        },
         "within_epsilon": True,
     }
 
@@ -101,6 +120,29 @@ class TestRecordSchema:
         with pytest.raises(bench.RecordSchemaError, match="dict"):
             bench.validate_record(record)
 
+    def test_kernels_section_needs_per_executor_identity(self):
+        record = _valid_record()
+        del record["kernels"]["fused"]["bit_identical_to_scipy"]["process"]
+        with pytest.raises(bench.RecordSchemaError,
+                           match="bit_identical_to_scipy"):
+            bench.validate_record(record)
+        record = _valid_record()
+        del record["kernels"]["scipy"]
+        with pytest.raises(bench.RecordSchemaError, match="kernels"):
+            bench.validate_record(record)
+
+    def test_float32_section_needs_its_bound(self):
+        record = _valid_record()
+        del record["float32"]["bound"]
+        with pytest.raises(bench.RecordSchemaError, match="bound"):
+            bench.validate_record(record)
+
+    def test_profile_section_needs_phase_seconds(self):
+        record = _valid_record()
+        del record["profile"]["phase_seconds"]
+        with pytest.raises(bench.RecordSchemaError, match="phase_seconds"):
+            bench.validate_record(record)
+
     def test_config_must_round_trip_as_simrank_config(self):
         record = _valid_record()
         record["config"]["num_workers"] = 4  # not a SimRankConfig field
@@ -136,3 +178,9 @@ class TestSmokeRecord:
         assert record["within_epsilon"] is True
         for executor in ("thread", "process"):
             assert record["executors"][executor]["bit_identical_to_serial"]
+        fused = record["kernels"]["fused"]
+        assert all(fused["bit_identical_to_scipy"].values())
+        assert all(sweep["within_bound"]
+                   for sweep in record["float32"]["sweeps"])
+        assert set(record["profile"]["phase_seconds"]) \
+            == {"frontier", "push", "merge", "prune"}

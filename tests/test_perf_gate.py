@@ -1,0 +1,136 @@
+"""Mutation tests for the CI perf regression gate.
+
+``benchmarks/check_perf_gate.py`` judges the freshest
+``BENCH_localpush.json`` record against the last comparable one (same
+``cpu_count``/``num_nodes``/ε/decay/mode) and must fail — exit 1 — on a
+>30 % core-kernel slowdown.  These tests mutate crafted histories to
+prove the gate actually trips, and pin the pass-throughs: no comparable
+baseline, sub-noise-floor deltas, malformed history.  The gate script is
+not a package, so it is loaded by file path.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_GATE_PATH = (Path(__file__).resolve().parent.parent / "benchmarks"
+              / "check_perf_gate.py")
+_spec = importlib.util.spec_from_file_location("check_perf_gate", _GATE_PATH)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def _record(core_seconds: float, **overrides) -> dict:
+    shape = {"cpu_count": 4, "num_nodes": 600, "epsilon": 0.1,
+             "decay": 0.6, "mode": "smoke"}
+    shape.update(overrides)
+    shape["backends"] = {"core": {"seconds": core_seconds}}
+    return shape
+
+
+class TestCheck:
+    def test_regression_fails_the_gate(self):
+        code, message = gate.check([_record(1.0), _record(1.5)],
+                                   threshold=0.30, min_delta_seconds=0.05)
+        assert code == 1
+        assert "FAILED" in message
+
+    def test_small_slowdown_passes(self):
+        code, message = gate.check([_record(1.0), _record(1.1)],
+                                   threshold=0.30, min_delta_seconds=0.05)
+        assert code == 0
+        assert "passed" in message
+
+    def test_threshold_is_strict(self):
+        # Exactly 30% slower is the boundary: the gate fails only past it.
+        code, _ = gate.check([_record(1.0), _record(1.3)],
+                             threshold=0.30, min_delta_seconds=0.05)
+        assert code == 0
+
+    def test_speedup_passes(self):
+        code, _ = gate.check([_record(1.0), _record(0.5)],
+                             threshold=0.30, min_delta_seconds=0.05)
+        assert code == 0
+
+    def test_noise_floor_shields_millisecond_records(self):
+        # 100% slower but only 10ms in absolute terms: timer noise, not a
+        # regression — the smoke records measure milliseconds.
+        code, _ = gate.check([_record(0.01), _record(0.02)],
+                             threshold=0.30, min_delta_seconds=0.05)
+        assert code == 0
+
+    @pytest.mark.parametrize("key,value", [
+        ("cpu_count", 2), ("num_nodes", 5000), ("epsilon", 0.01),
+        ("decay", 0.8), ("mode", "full")])
+    def test_different_shape_is_not_a_baseline(self, key, value):
+        history = [_record(1.0, **{key: value}), _record(10.0)]
+        code, message = gate.check(history, threshold=0.30,
+                                   min_delta_seconds=0.05)
+        assert code == 0
+        assert "no comparable baseline" in message
+
+    def test_baseline_is_the_most_recent_comparable(self):
+        # The slow middle record — not the fast first — is the baseline.
+        history = [_record(0.5), _record(2.0), _record(2.2)]
+        code, _ = gate.check(history, threshold=0.30, min_delta_seconds=0.05)
+        assert code == 0
+
+    def test_mixed_history_skips_foreign_shapes(self):
+        history = [_record(1.0), _record(1.0, cpu_count=16), _record(1.5)]
+        code, _ = gate.check(history, threshold=0.30, min_delta_seconds=0.05)
+        assert code == 1
+
+    def test_empty_history_is_unusable(self):
+        code, _ = gate.check([], threshold=0.30, min_delta_seconds=0.05)
+        assert code == 2
+
+    def test_malformed_fresh_record_is_unusable(self):
+        code, message = gate.check([{"backends": {}}], threshold=0.30,
+                                   min_delta_seconds=0.05)
+        assert code == 2
+        assert "malformed" in message
+
+    def test_bool_seconds_are_rejected(self):
+        bad = _record(1.0)
+        bad["backends"]["core"]["seconds"] = True
+        code, _ = gate.check([bad], threshold=0.30, min_delta_seconds=0.05)
+        assert code == 2
+
+
+class TestMain:
+    def _write(self, tmp_path, history) -> Path:
+        path = tmp_path / "history.json"
+        path.write_text(json.dumps(history))
+        return path
+
+    def test_end_to_end_regression(self, tmp_path):
+        path = self._write(tmp_path, [_record(1.0), _record(2.0)])
+        assert gate.main(["--history", str(path)]) == 1
+
+    def test_end_to_end_pass(self, tmp_path):
+        path = self._write(tmp_path, [_record(1.0), _record(1.0)])
+        assert gate.main(["--history", str(path)]) == 0
+
+    def test_missing_history_file(self, tmp_path):
+        assert gate.main(["--history", str(tmp_path / "nope.json")]) == 2
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert gate.main(["--history", str(path)]) == 2
+
+    def test_single_record_file_is_wrapped(self, tmp_path):
+        path = self._write(tmp_path, _record(1.0))
+        assert gate.main(["--history", str(path)]) == 0
+
+    def test_threshold_flag(self, tmp_path):
+        path = self._write(tmp_path, [_record(1.0), _record(1.5)])
+        assert gate.main(["--history", str(path)]) == 1
+        assert gate.main(["--history", str(path), "--threshold", "0.6"]) == 0
+
+    def test_real_repo_history_passes(self):
+        # The tracked history must never leave the gate failing: CI runs
+        # the gate after appending a comparable record.
+        assert gate.main([]) == 0

@@ -33,6 +33,7 @@ from repro.config import ServeConfig, SimRankConfig
 from repro.errors import ServeError, SimRankError
 from repro.serve import QueryBatcher, SimRankService, make_daemon
 from repro.serve.daemon import ServeDaemon
+from repro.serve.service import SERVE_PATHS
 from repro.simrank.cache import get_operator_cache
 from repro.simrank.topk import simrank_operator
 
@@ -293,11 +294,23 @@ class TestDaemon:
         self._get(daemon, "/topk?u=3")
         status, payload = self._get(daemon, "/metrics")
         assert status == 200
-        assert set(payload) == {"counters", "cache", "graph", "config"}
+        assert set(payload) == {"counters", "latency", "cache", "graph",
+                                "config"}
         assert payload["counters"]["queries"] == 1
         assert payload["graph"]["num_nodes"] == 60
         assert payload["config"]["epsilon"] == 0.1
+        assert payload["config"]["kernel"] == "auto"
+        assert payload["config"]["dtype"] == "float64"
         assert payload["cache"] is None  # no cache_dir configured
+        latency = payload["latency"]
+        assert set(latency) == {"paths", "qps", "window_size"}
+        assert set(latency["paths"]) == set(SERVE_PATHS)
+        exact = latency["paths"]["exact"]
+        assert exact["count"] == 1
+        assert 0.0 <= exact["p50_seconds"] <= exact["p95_seconds"] \
+            <= exact["p99_seconds"]
+        assert latency["paths"]["cached"] is None
+        assert latency["paths"]["degraded"] is None
 
     def test_bad_requests_are_400(self, daemon, graph):
         assert self._get(daemon, f"/topk?u={graph.num_nodes}")[0] == 400

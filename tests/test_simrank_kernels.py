@@ -1,0 +1,220 @@
+"""Kernel-equivalence and float32 suites for the push-round kernel layer.
+
+The contract under test (``repro/simrank/kernels.py``): for a fixed
+dtype, every kernel × executor × worker count returns *bit-identical*
+matrices — the same guarantee the executor axis carries, and the reason
+``kernel`` stays out of the operator-cache key while ``dtype`` is keyed.
+Plus the float32 mode's adjusted error bound
+(:func:`repro.simrank.kernels.float32_error_bound`), checked against the
+dense ``linearized_simrank`` oracle under hypothesis-driven graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from _simrank_fixtures import disconnected, erdos_renyi, sbm, star, weighted
+from repro.errors import SimRankError
+from repro.simrank.engine import localpush_engine, multi_source_localpush
+from repro.simrank.exact import linearized_simrank
+from repro.simrank.kernels import (
+    DTYPES,
+    F32_UNIT_ROUNDOFF,
+    KERNELS,
+    PHASES,
+    PhaseProfile,
+    float32_error_bound,
+    localpush_max_rounds,
+    numba_available,
+    resolve_kernel,
+    shard_bounds,
+    working_dtype,
+)
+
+
+def assert_bitwise(a, b) -> None:
+    """The two CSR matrices are bitwise identical (values and storage)."""
+    assert a.dtype == b.dtype
+    assert np.array_equal(a.indptr, b.indptr)
+    assert np.array_equal(a.indices, b.indices)
+    assert np.array_equal(a.data, b.data)
+
+
+def graphs():
+    return [erdos_renyi(80, 0.08, 3), sbm(90, 5), star(12),
+            weighted(40, 9), disconnected()]
+
+
+class TestResolveKernel:
+    def test_auto_resolves_to_fused(self):
+        assert resolve_kernel("auto") == "fused"
+
+    @pytest.mark.parametrize("name", ["scipy", "fused"])
+    def test_explicit_kernels_resolve_to_themselves(self, name):
+        assert resolve_kernel(name) == name
+
+    def test_numba_degrades_to_fused_without_numba(self, monkeypatch):
+        monkeypatch.setattr("repro.simrank.kernels.numba_available",
+                            lambda: False)
+        assert resolve_kernel("numba") == "fused"
+
+    def test_numba_resolves_when_available(self, monkeypatch):
+        monkeypatch.setattr("repro.simrank.kernels.numba_available",
+                            lambda: True)
+        assert resolve_kernel("numba") == "numba"
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(SimRankError, match="kernel"):
+            resolve_kernel("cython")
+
+    def test_every_listed_kernel_resolves(self):
+        for name in KERNELS:
+            assert resolve_kernel(name) in ("scipy", "fused", "numba")
+
+    def test_working_dtype(self):
+        assert working_dtype("float64") == np.float64
+        assert working_dtype("float32") == np.float32
+        assert tuple(DTYPES) == ("float64", "float32")
+        with pytest.raises(SimRankError, match="dtype"):
+            working_dtype("float16")
+
+
+class TestFloat32Bound:
+    def test_bound_exceeds_epsilon(self):
+        assert float32_error_bound(0.1, 0.6) > 0.1
+
+    def test_rounds_terminate_the_residual_decay(self):
+        # decay^rounds must fall below the push threshold (1-c)·ε — the
+        # geometric-decay argument behind the bound's round count.
+        for epsilon, decay in [(0.1, 0.6), (0.01, 0.6), (0.1, 0.8)]:
+            rounds = localpush_max_rounds(epsilon, decay)
+            assert decay ** rounds <= (1.0 - decay) * epsilon * (1 + 1e-12)
+
+    def test_loose_threshold_needs_no_rounds(self):
+        assert localpush_max_rounds(10.0, 0.6) == 0
+
+    def test_rounding_term_grows_as_epsilon_shrinks(self):
+        loose = float32_error_bound(0.1, 0.6) - 0.1
+        tight = float32_error_bound(0.001, 0.6) - 0.001
+        assert 0.0 < loose < tight
+
+    def test_unit_roundoff_is_float32(self):
+        assert F32_UNIT_ROUNDOFF == 2.0 ** -24
+
+
+class TestShardBounds:
+    def test_matches_array_split(self):
+        for count, shards in [(10, 3), (8192, 1), (8193, 2), (7, 7), (9, 4)]:
+            expected = [(int(part[0]), int(part[-1]) + 1)
+                        for part in np.array_split(np.arange(count), shards)]
+            assert shard_bounds(count, shards) == expected
+
+
+class TestKernelBitIdentity:
+    """fused/numba/auto == scipy, bitwise, per executor × worker count."""
+
+    @pytest.mark.parametrize("kernel", ["fused", "auto", "numba"])
+    @pytest.mark.parametrize("executor,workers", [
+        ("serial", None), ("thread", 2), ("thread", 3), ("process", 2)])
+    def test_full_matrix_bitwise(self, kernel, executor, workers):
+        for graph in graphs():
+            base = localpush_engine(graph, decay=0.6, epsilon=0.01,
+                                    kernel="scipy", executor="serial")
+            other = localpush_engine(graph, decay=0.6, epsilon=0.01,
+                                     kernel=kernel, executor=executor,
+                                     num_workers=workers)
+            assert_bitwise(base.matrix, other.matrix)
+            assert other.num_pushes == base.num_pushes
+            assert other.num_rounds == base.num_rounds
+
+    def test_multi_shard_rounds_bitwise(self):
+        graph = sbm(90, 5)
+        base = localpush_engine(graph, decay=0.6, epsilon=1e-3,
+                                kernel="scipy", num_shards=3)
+        for executor, workers in [("serial", None), ("process", 2)]:
+            fused = localpush_engine(graph, decay=0.6, epsilon=1e-3,
+                                     kernel="fused", num_shards=3,
+                                     executor=executor, num_workers=workers)
+            assert_bitwise(base.matrix, fused.matrix)
+
+    @pytest.mark.parametrize("coalesce_every", [1, 3])
+    def test_streamed_topk_bitwise(self, coalesce_every):
+        for graph in graphs():
+            base = localpush_engine(graph, decay=0.6, epsilon=1e-3,
+                                    kernel="scipy", stream_top_k=8)
+            fused = localpush_engine(graph, decay=0.6, epsilon=1e-3,
+                                     kernel="fused", stream_top_k=8,
+                                     coalesce_every=coalesce_every)
+            assert_bitwise(base.matrix, fused.matrix)
+
+    def test_single_source_rows_bitwise(self):
+        graph = sbm(90, 5)
+        sources = [0, 17, 55]
+        base = multi_source_localpush(graph, sources, decay=0.6,
+                                      epsilon=1e-3, kernel="scipy")
+        fused = multi_source_localpush(graph, sources, decay=0.6,
+                                       epsilon=1e-3, kernel="fused",
+                                       executor="thread", num_workers=2)
+        for b, f in zip(base, fused):
+            assert b.source == f.source
+            assert_bitwise(b.row, f.row)
+
+    def test_float32_kernels_bitwise(self):
+        for graph in graphs():
+            base = localpush_engine(graph, decay=0.6, epsilon=0.01,
+                                    kernel="scipy", dtype="float32")
+            fused = localpush_engine(graph, decay=0.6, epsilon=0.01,
+                                     kernel="fused", dtype="float32")
+            assert base.matrix.dtype == np.float32
+            assert_bitwise(base.matrix, fused.matrix)
+
+    def test_result_reports_the_resolved_kernel(self):
+        graph = star(6)
+        assert localpush_engine(graph, kernel="auto").kernel == "fused"
+        assert localpush_engine(graph, kernel="scipy").kernel == "scipy"
+        if not numba_available():
+            # Graceful degradation: requesting numba without the optional
+            # dependency silently runs the (bit-identical) fused kernel.
+            assert localpush_engine(graph, kernel="numba").kernel == "fused"
+
+    def test_profile_accumulates_the_four_phases(self):
+        profile = PhaseProfile()
+        localpush_engine(sbm(90, 5), decay=0.6, epsilon=0.01,
+                         kernel="fused", profile=profile)
+        seconds = profile.as_dict()
+        assert set(seconds) == set(PHASES)
+        assert all(value >= 0.0 for value in seconds.values())
+        assert sum(seconds.values()) > 0.0
+
+
+class TestFloat32Sweep:
+    """Hypothesis-driven float32 runs stay within the adjusted bound."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(20, 60), p=st.floats(0.05, 0.2),
+           seed=st.integers(0, 10_000),
+           epsilon=st.sampled_from([0.05, 0.1, 0.2]),
+           decay=st.sampled_from([0.4, 0.6, 0.8]))
+    def test_error_within_adjusted_bound(self, n, p, seed, epsilon, decay):
+        graph = erdos_renyi(n, p, seed)
+        exact = linearized_simrank(graph, decay=decay, tolerance=1e-12)
+        result = localpush_engine(graph, epsilon=epsilon, decay=decay,
+                                  prune=False, absorb_residual=True,
+                                  kernel="fused", dtype="float32")
+        dense = result.matrix.toarray().astype(np.float64)
+        error = float(np.abs(dense - exact).max())
+        assert error < float32_error_bound(epsilon, decay)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(20, 50), p=st.floats(0.05, 0.2),
+           seed=st.integers(0, 10_000))
+    def test_fused_float32_matches_scipy_float32(self, n, p, seed):
+        graph = erdos_renyi(n, p, seed)
+        base = localpush_engine(graph, decay=0.6, epsilon=0.05,
+                                kernel="scipy", dtype="float32")
+        fused = localpush_engine(graph, decay=0.6, epsilon=0.05,
+                                 kernel="fused", dtype="float32")
+        assert_bitwise(base.matrix, fused.matrix)
