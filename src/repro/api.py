@@ -20,6 +20,10 @@ free to be refactored between releases.
   the all-pairs precompute).  The long-lived serving layer on top lives
   in :mod:`repro.serve` and is configured by
   :class:`repro.config.ServeConfig`.
+* :func:`apply_updates` — apply an edge-update stream to a graph and
+  return a live :class:`repro.dynamic.operator.DynamicOperator`, repaired
+  incrementally under a :class:`repro.config.DynamicConfig` instead of
+  recomputed from scratch.
 
 Example
 -------
@@ -44,6 +48,9 @@ from repro.graphs.graph import Graph
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     import scipy.sparse as sp
 
+    from repro.config import DynamicConfig
+    from repro.dynamic.operator import CacheLike, DynamicOperator
+    from repro.graphs.delta import Updates
     from repro.models.base import NodeClassifier
     from repro.training.evaluation import EvaluationSummary
 
@@ -212,6 +219,39 @@ def score(graph: Graph, u: int, v: int,
     return float(row[0, int(v)])
 
 
+def apply_updates(graph: Graph, updates: "Updates", *,
+                  config: Optional[SimRankConfig] = None,
+                  dynamic: Optional["DynamicConfig"] = None,
+                  cache: "CacheLike" = None) -> "DynamicOperator":
+    """Apply an edge-update stream to ``graph`` and return a live operator.
+
+    ``updates`` is anything :meth:`repro.graphs.delta.UpdateBatch.coerce`
+    accepts — a single :class:`~repro.graphs.delta.GraphDelta`, an
+    iterable of them, or an ``UpdateBatch``.  The returned
+    :class:`~repro.dynamic.operator.DynamicOperator` holds the repaired
+    state on ``graph.apply_delta(updates)`` under the error contract of
+    ``config`` (library defaults when ``None``) and keeps accepting
+    further updates through its :meth:`~repro.dynamic.operator.DynamicOperator.apply`.
+
+    With a cache (``cache=`` or ``config.cache_dir``), a delta-chained
+    entry written by an earlier identical call answers without any push
+    work, and a warm base-graph entry turns the build into an
+    estimate-only warm start — the repair then seeds from the
+    reconstruction algebra (see the :mod:`repro.dynamic` docstring).
+    """
+    from repro.dynamic.operator import DynamicOperator
+
+    cfg = config if config is not None else SimRankConfig()
+    chained = DynamicOperator.from_chain(graph, updates, simrank=cfg,
+                                         dynamic=dynamic, cache=cache)
+    if chained is not None:
+        return chained
+    operator = DynamicOperator(graph, simrank=cfg, dynamic=dynamic,
+                               cache=cache)
+    operator.apply(updates)
+    return operator
+
+
 def run_experiment(name: str, *args: object, **kwargs: object) -> object:
     """Run a registered declarative experiment and return its result.
 
@@ -235,5 +275,5 @@ def list_experiments() -> list:
 
 
 __all__ = ["precompute", "build_model", "run", "run_experiment",
-           "list_experiments", "topk", "score", "RunResult", "RunSpec",
-           "SimRankConfig", "ExperimentSpec"]
+           "list_experiments", "topk", "score", "apply_updates",
+           "RunResult", "RunSpec", "SimRankConfig", "ExperimentSpec"]

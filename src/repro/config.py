@@ -483,6 +483,106 @@ class ServeConfig:
         return base.with_overrides(**overrides) if overrides else base
 
 
+@dataclass(frozen=True)
+class DynamicConfig:
+    """Configuration of the :mod:`repro.dynamic` incremental-maintenance layer.
+
+    ``max_batch_edges``
+        Admission cap on the number of deltas in one
+        :class:`repro.graphs.delta.UpdateBatch`; oversized batches are
+        rejected before any repair work starts.
+    ``repair_max_pushes``
+        Safety cap on frontier absorptions per repair run (``None`` =
+        uncapped) — the repair analogue of the engine's ``max_pushes``;
+        exceeding it raises instead of spinning on a pathological delta.
+    ``store_repaired``
+        Store each repaired snapshot as a delta-chained operator-cache
+        entry (when the operator has a cache), so a later process can
+        warm-start from ``base fingerprint + delta hash`` instead of
+        recomputing.
+    ``background_repair``
+        Serving only: apply repairs on a background thread and keep
+        answering from the pre-update operator until the repair lands.
+        ``False`` makes ``/update`` synchronous (the request returns
+        after the swap — what the smoke tests use for determinism).
+    """
+
+    max_batch_edges: int = 4096
+    repair_max_pushes: Optional[int] = None
+    store_repaired: bool = True
+    background_repair: bool = True
+
+    #: CLI-flag ↔ field mapping consumed by :meth:`from_cli_args` (the
+    #: boolean ``--synchronous-repair``/``--no-store-repaired`` switches
+    #: are bridged explicitly there).
+    CLI_FLAG_FIELDS: ClassVar[Mapping[str, str]] = {
+        "max_batch_edges": "max_batch_edges",
+        "repair_max_pushes": "repair_max_pushes",
+    }
+
+    def __post_init__(self) -> None:
+        coerce = object.__setattr__
+        coerce(self, "max_batch_edges",
+               _as_int("max_batch_edges", self.max_batch_edges))
+        _require(self.max_batch_edges >= 1,
+                 f"max_batch_edges must be a positive integer, "
+                 f"got {self.max_batch_edges!r}")
+        if self.repair_max_pushes is not None:
+            coerce(self, "repair_max_pushes",
+                   _as_int("repair_max_pushes", self.repair_max_pushes))
+            _require(self.repair_max_pushes >= 1,
+                     f"repair_max_pushes must be a positive integer or "
+                     f"None, got {self.repair_max_pushes!r}")
+        coerce(self, "store_repaired", bool(self.store_repaired))
+        coerce(self, "background_repair", bool(self.background_repair))
+
+    def with_overrides(self, **changes: object) -> "DynamicConfig":
+        """A validated copy with the given fields replaced."""
+        unknown = set(changes) - {f.name for f in fields(self)}
+        _require(not unknown,
+                 f"unknown DynamicConfig field(s): "
+                 f"{', '.join(sorted(unknown))}")
+        return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-serialisable); inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "DynamicConfig":
+        """Reconstruct a validated config from :meth:`to_dict` output."""
+        _require(isinstance(data, Mapping),
+                 f"DynamicConfig.from_dict expects a mapping, "
+                 f"got {type(data).__name__}")
+        unknown = set(data) - {f.name for f in fields(cls)}
+        _require(not unknown,
+                 f"unknown DynamicConfig field(s): "
+                 f"{', '.join(sorted(unknown))}")
+        return cls(**dict(data))
+
+    @classmethod
+    def from_cli_args(cls, args: Any,
+                      base: Optional["DynamicConfig"] = None
+                      ) -> "DynamicConfig":
+        """Build a config from parsed ``repro.cli serve`` flags.
+
+        Flags left at their ``None`` default inherit from ``base``; the
+        ``store_true`` switches ``--synchronous-repair`` and
+        ``--no-store-repaired`` override only when set.
+        """
+        base = base if base is not None else cls()
+        overrides: Dict[str, object] = {
+            field_name: getattr(args, attr)
+            for attr, field_name in cls.CLI_FLAG_FIELDS.items()
+            if getattr(args, attr, None) is not None
+        }
+        if getattr(args, "synchronous_repair", False):
+            overrides["background_repair"] = False
+        if getattr(args, "no_store_repaired", False):
+            overrides["store_repaired"] = False
+        return base.with_overrides(**overrides) if overrides else base
+
+
 def merge_deprecated_kwargs(config: Optional[SimRankConfig],
                             deprecated: Mapping[str, Tuple[str, object]],
                             *, default: Optional[SimRankConfig] = None,
@@ -900,6 +1000,7 @@ __all__ = [
     "CELL_SPEC_FIELDS",
     "UNSET",
     "SimRankConfig",
+    "DynamicConfig",
     "SIGMA_DEFAULT_SIMRANK",
     "ServeConfig",
     "RunSpec",

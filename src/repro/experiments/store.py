@@ -49,7 +49,6 @@ paper artefacts accumulate with full provenance.
 from __future__ import annotations
 
 import contextlib
-import hashlib
 import json
 import os
 from pathlib import Path
@@ -57,6 +56,7 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.config import ExperimentCell
 from repro.errors import ArtifactError
+from repro.graphs.fingerprint import payload_digest
 
 #: Bump to orphan every previously written cell record (e.g. when the
 #: record schema or a cell runner's semantics change).
@@ -153,13 +153,12 @@ class ArtifactStore:
         cell's resolved ``(RunSpec, params)``; the experiment name and
         the reduction knobs stay out (see the module docstring).
         """
-        payload = json.dumps({
+        return payload_digest({
             "version": STORE_FORMAT_VERSION,
             "runner": runner_name(cell_runner),
             "spec": cell.spec.to_dict(),
             "params": cell.params,
-        }, sort_keys=True, default=str)
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+        })
 
     def cell_path(self, key: str) -> Path:
         return self.directory / f"{_CELL_PREFIX}{key}.json"

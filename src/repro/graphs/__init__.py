@@ -1,5 +1,7 @@
-"""Graph substrate: containers, normalisation and homophily measures."""
+"""Graph substrate: containers, deltas, normalisation and homophily."""
 
+from repro.graphs.delta import DELTA_KINDS, GraphDelta, UpdateBatch
+from repro.graphs.fingerprint import graph_fingerprint, payload_digest
 from repro.graphs.graph import Graph
 from repro.graphs.homophily import (
     class_insensitive_edge_homophily,
@@ -16,6 +18,11 @@ from repro.graphs.sparse import top_k_per_row
 
 __all__ = [
     "Graph",
+    "GraphDelta",
+    "UpdateBatch",
+    "DELTA_KINDS",
+    "graph_fingerprint",
+    "payload_digest",
     "node_homophily",
     "edge_homophily",
     "class_insensitive_edge_homophily",

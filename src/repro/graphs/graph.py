@@ -193,6 +193,77 @@ class Graph:
         return Graph(adjacency, features=features, labels=labels,
                      name=name or f"{self.name}-sub")
 
+    def apply_delta(self, updates) -> "Graph":
+        """Return a new :class:`Graph` with an update batch applied.
+
+        ``updates`` is anything
+        :meth:`repro.graphs.delta.UpdateBatch.coerce` accepts — a
+        :class:`~repro.graphs.delta.GraphDelta`, an
+        :class:`~repro.graphs.delta.UpdateBatch` or an iterable of
+        deltas — applied left to right against this graph's edge set.
+        The node set is fixed: every endpoint must be an existing node
+        id.  Deltas are strict (insert requires the edge absent, delete
+        and reweight require it present); a violation raises
+        :class:`~repro.errors.GraphError` and nothing is applied.
+        Features, labels and the name carry over unchanged.
+
+        Cost is proportional to the batch size plus the touched rows of
+        the CSR, not the edge count: the changes accumulate into a small
+        COO correction added to the adjacency (a deletion contributes
+        exactly ``-weight``, so the cancelled entry is exact ``0.0`` and
+        dropped by the CSR normalisation) — the delta-sized contract the
+        :mod:`repro.dynamic` repair path relies on.
+        """
+        from repro.graphs.delta import UpdateBatch
+
+        batch = UpdateBatch.coerce(updates)
+        n = self.num_nodes
+        adjacency = self.adjacency
+        # Net weight change per canonical (u, v) pair; presence checks
+        # see earlier deltas of the same batch through this mapping.
+        changes: dict = {}
+        for delta in batch:
+            u, v = delta.u, delta.v
+            if v >= n:
+                raise GraphError(
+                    f"delta endpoint {v} out of range for a graph with "
+                    f"{n} nodes")
+            current = float(adjacency[u, v]) + changes.get((u, v), 0.0)
+            if delta.kind == "insert":
+                if current != 0.0:
+                    raise GraphError(
+                        f"cannot insert edge ({u}, {v}): already present")
+                changes[(u, v)] = changes.get((u, v), 0.0) + delta.weight
+            elif delta.kind == "delete":
+                if current == 0.0:
+                    raise GraphError(
+                        f"cannot delete edge ({u}, {v}): not present")
+                changes[(u, v)] = changes.get((u, v), 0.0) - current
+            else:  # reweight
+                if current == 0.0:
+                    raise GraphError(
+                        f"cannot reweight edge ({u}, {v}): not present")
+                changes[(u, v)] = (changes.get((u, v), 0.0)
+                                   + (delta.weight - current))
+        if not changes:
+            return Graph(adjacency.copy(), features=self.features,
+                         labels=self.labels, name=self.name)
+        pairs = [pair for pair, weight in changes.items() if weight != 0.0]
+        if pairs:
+            rows = np.fromiter((p[0] for p in pairs), dtype=np.int64,
+                               count=len(pairs))
+            cols = np.fromiter((p[1] for p in pairs), dtype=np.int64,
+                               count=len(pairs))
+            data = np.fromiter((changes[p] for p in pairs), dtype=np.float64,
+                               count=len(pairs))
+            correction = sp.coo_matrix(
+                (np.concatenate([data, data]),
+                 (np.concatenate([rows, cols]),
+                  np.concatenate([cols, rows]))), shape=(n, n))
+            adjacency = (adjacency + correction.tocsr()).tocsr()
+        return Graph(adjacency, features=self.features,
+                     labels=self.labels, name=self.name)
+
     def with_features(self, features: np.ndarray) -> "Graph":
         return Graph(self.adjacency, features=features, labels=self.labels, name=self.name)
 

@@ -62,7 +62,7 @@ NUMPY_GLOBAL_RANDOM = frozenset({
 PUBLIC_SURFACE = frozenset({
     "repro", "repro.api", "repro.config", "repro.errors",
     "repro.experiments", "repro.datasets", "repro.graphs",
-    "repro.serve",
+    "repro.serve", "repro.dynamic",
 })
 
 #: Module prefixes an experiment *spec builder* may draw names from: the
@@ -217,8 +217,9 @@ class CacheKeyCompleteness(Rule):
 # --------------------------------------------------------------------- #
 # R2 — frozen-config discipline
 # --------------------------------------------------------------------- #
-FROZEN_CONFIG_CLASSES = ("SimRankConfig", "ServeConfig", "RunSpec",
-                         "ExperimentSpec", "ExperimentCell", "TrainConfig")
+FROZEN_CONFIG_CLASSES = ("SimRankConfig", "ServeConfig", "DynamicConfig",
+                         "RunSpec", "ExperimentSpec", "ExperimentCell",
+                         "TrainConfig")
 
 
 @register
@@ -320,7 +321,10 @@ class FrozenConfigDiscipline(Rule):
 DETERMINISM_SCOPED_FILES = ("repro/simrank/engine.py",
                             "repro/simrank/kernels.py",
                             "repro/experiments/engine.py",
-                            "repro/serve/service.py")
+                            "repro/serve/service.py",
+                            "repro/dynamic/operator.py",
+                            "repro/graphs/delta.py",
+                            "repro/graphs/fingerprint.py")
 
 
 @register

@@ -14,11 +14,19 @@ Endpoints (all ``GET``, all JSON):
     counters, operator/row cache statistics, graph and config echo.
 ``/healthz``
     Liveness probe.
+``/update`` (``POST``)
+    Apply an edge-update batch to the served graph.  The JSON body is
+    the :meth:`repro.graphs.delta.UpdateBatch.to_dict` shape —
+    ``{"deltas": [{"kind": "insert", "u": 0, "v": 1}, ...]}`` — plus an
+    optional ``"wait": true`` to block until the repair lands (and get
+    its telemetry back).  By default the repair runs in the background
+    and queries keep answering from the pre-update graph
+    (``stale_served`` counts them) until the repaired operator swaps in.
 
-Bad parameters are a 400, an exhausted degradation ladder a 503 — the
-daemon never dies on a query.  ``main`` is the ``repro.cli serve``
-subcommand: it loads a registry dataset, builds the service stack and
-blocks in ``serve_forever``.
+Bad parameters (and invalid deltas) are a 400, an exhausted degradation
+ladder a 503 — the daemon never dies on a query.  ``main`` is the
+``repro.cli serve`` subcommand: it loads a registry dataset, builds the
+service stack and blocks in ``serve_forever``.
 """
 
 from __future__ import annotations
@@ -29,8 +37,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, urlparse
 
-from repro.config import ServeConfig, SimRankConfig
-from repro.errors import ConfigError, ReproError, ServeError, SimRankError
+from repro.config import DynamicConfig, ServeConfig, SimRankConfig
+from repro.errors import (ConfigError, GraphError, ReproError, ServeError,
+                          SimRankError)
 from repro.graphs.graph import Graph
 from repro.serve.batching import QueryBatcher
 from repro.serve.service import SimRankService
@@ -123,12 +132,46 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
         except ServeError as error:
             self._send_json(503, {"error": str(error)})
-        except (ConfigError, SimRankError) as error:
+        except (ConfigError, GraphError, SimRankError) as error:
+            self._send_json(400, {"error": str(error)})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        service = self.server.service
+        try:
+            if parsed.path != "/update":
+                self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
+                return
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise ConfigError(
+                    f"/update body must be a JSON object: {error}") from None
+            if not isinstance(payload, dict):
+                raise ConfigError("/update body must be a JSON object with "
+                                  "a 'deltas' list")
+            wait = payload.pop("wait", None)
+            if wait is not None and not isinstance(wait, bool):
+                raise ConfigError(f"'wait' must be a boolean, got {wait!r}")
+            from repro.graphs.delta import UpdateBatch
+
+            batch = UpdateBatch.from_dict(payload)
+            result = service.apply_update(batch, wait=wait)
+            self._send_json(200, {
+                **result,
+                "counters": service.counters.to_dict(),
+            })
+        except ServeError as error:
+            self._send_json(503, {"error": str(error)})
+        except (ConfigError, GraphError, SimRankError) as error:
             self._send_json(400, {"error": str(error)})
 
 
 def make_daemon(graph: Graph, *, simrank: Optional[SimRankConfig] = None,
-                serve: Optional[ServeConfig] = None) -> ServeDaemon:
+                serve: Optional[ServeConfig] = None,
+                dynamic: Optional[DynamicConfig] = None) -> ServeDaemon:
     """Build the full daemon stack (service → batcher → HTTP server).
 
     Binds immediately; ``serve.port=0`` picks a free port
@@ -137,7 +180,8 @@ def make_daemon(graph: Graph, *, simrank: Optional[SimRankConfig] = None,
     ``server_close()`` to stop.
     """
     serve = serve if serve is not None else ServeConfig()
-    service = SimRankService(graph, simrank=simrank, serve=serve)
+    service = SimRankService(graph, simrank=simrank, serve=serve,
+                             dynamic=dynamic)
     return ServeDaemon((serve.host, serve.port), service)
 
 
@@ -181,6 +225,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="executor worker count")
     parser.add_argument("--cache-dir", default=None,
                         help="operator cache directory (the cached rung)")
+    parser.add_argument("--max-batch-edges", type=int, default=None,
+                        help="largest /update batch accepted")
+    parser.add_argument("--repair-max-pushes", type=int, default=None,
+                        help="admission cap on repair frontier absorptions")
+    parser.add_argument("--synchronous-repair", action="store_true",
+                        help="block /update until the repair lands "
+                             "(default: repair in the background)")
+    parser.add_argument("--no-store-repaired", action="store_true",
+                        help="do not write repaired snapshots to the "
+                             "operator cache")
     return parser
 
 
@@ -207,11 +261,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {error}")
         return 2
     daemon = make_daemon(dataset.graph, simrank=simrank_config,
-                         serve=serve_config)
+                         serve=serve_config,
+                         dynamic=DynamicConfig.from_cli_args(args))
     host, port = daemon.server_address[0], daemon.server_address[1]
     print(f"serving {args.dataset} ({dataset.graph.num_nodes} nodes) "
           f"on http://{host}:{port} — endpoints: /topk /score /metrics "
-          f"/healthz")
+          f"/healthz /update")
     try:
         daemon.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown

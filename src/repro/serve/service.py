@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from threading import Lock
+from threading import Lock, Thread
 from time import monotonic
 from typing import (TYPE_CHECKING, Callable, Deque, Dict, List, Optional,
                     Sequence, Tuple)
@@ -40,11 +40,13 @@ from typing import (TYPE_CHECKING, Callable, Deque, Dict, List, Optional,
 import numpy as np
 import scipy.sparse as sp
 
-from repro.config import ServeConfig, SimRankConfig
-from repro.errors import ServeError, SimRankError
+from repro.config import DynamicConfig, ServeConfig, SimRankConfig
+from repro.errors import GraphError, ServeError, SimRankError
 from repro.graphs.graph import Graph
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.dynamic.operator import DynamicOperator, RepairResult
+    from repro.graphs.delta import Updates
     from repro.simrank.cache import OperatorCache
 
 #: The ladder rungs, in fall-through order; every answer names its rung.
@@ -98,6 +100,13 @@ class ServiceCounters:
     shared exact frontier rounds and ``coalesced`` the queries that
     shared their round with at least one other query.
 
+    The dynamic-update integration adds ``updates_applied`` (update
+    batches whose repair landed), ``repair_seconds`` (cumulative wall
+    time those repairs took — the only non-integer counter) and
+    ``stale_served`` (queries answered from the pre-update graph while a
+    repair was still in flight — the documented freshness trade of
+    background repair, see :meth:`SimRankService.apply_update`).
+
     The counters also accumulate per-path latency samples
     (:meth:`record_latency`, a rolling :data:`LATENCY_WINDOW` per path)
     summarised by :meth:`latency_summary` into the ``/metrics`` latency
@@ -116,6 +125,9 @@ class ServiceCounters:
         self.failed = 0
         self.exact_failures = 0
         self.budget_overruns = 0
+        self.updates_applied = 0
+        self.repair_seconds = 0.0
+        self.stale_served = 0
         self._latency: Dict[str, Deque[float]] = {
             path: deque(maxlen=LATENCY_WINDOW) for path in SERVE_PATHS}
         self._latency_counts: Dict[str, int] = {
@@ -163,7 +175,7 @@ class ServiceCounters:
         return {"paths": paths, "qps": qps,
                 "window_size": LATENCY_WINDOW}
 
-    def to_dict(self) -> Dict[str, int]:
+    def to_dict(self) -> Dict[str, float]:
         return {
             "queries": self.queries,
             "batches": self.batches,
@@ -174,6 +186,9 @@ class ServiceCounters:
             "failed": self.failed,
             "exact_failures": self.exact_failures,
             "budget_overruns": self.budget_overruns,
+            "updates_applied": self.updates_applied,
+            "repair_seconds": self.repair_seconds,
+            "stale_served": self.stale_served,
         }
 
 
@@ -208,12 +223,14 @@ class SimRankService:
     def __init__(self, graph: Graph, *,
                  simrank: Optional[SimRankConfig] = None,
                  serve: Optional[ServeConfig] = None,
+                 dynamic: Optional[DynamicConfig] = None,
                  cache: Optional["OperatorCache"] = None,
                  compute_exact: Optional[RowCompute] = None,
                  compute_degraded: Optional[RowCompute] = None) -> None:
         self.graph = graph
         self.simrank = simrank if simrank is not None else SimRankConfig()
         self.serve = serve if serve is not None else ServeConfig()
+        self.dynamic = dynamic if dynamic is not None else DynamicConfig()
         if cache is None and self.simrank.cache_dir is not None:
             from repro.simrank.cache import get_operator_cache
 
@@ -232,6 +249,13 @@ class SimRankService:
         # server.  Concurrency comes from the batcher coalescing queries
         # into one shared round, not from racing rounds.
         self._lock = Lock()
+        # Updates repair on a separate lock so queries keep flowing (from
+        # the pre-update graph) while a repair is in flight; only the
+        # final graph/operator swap takes the query lock.
+        self._update_lock = Lock()
+        self._dynamic_op: Optional["DynamicOperator"] = None
+        self._repairs_pending = 0
+        self.last_update_error: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Default (real) row computations
@@ -364,6 +388,8 @@ class SimRankService:
             self.counters.queries += len(cleaned)
             if len(cleaned) > 1:
                 self.counters.coalesced += len(cleaned)
+            if self._repairs_pending:
+                self.counters.stale_served += len(cleaned)
         elapsed = timer.stop()
         with self._lock:
             for source in cleaned:
@@ -392,6 +418,8 @@ class SimRankService:
         with self._lock:
             served = self._serve_rows([cleaned[0]], None)
             self.counters.queries += 1
+            if self._repairs_pending:
+                self.counters.stale_served += 1
         elapsed = timer.stop()
         row, path, epsilon = served[cleaned[0]]
         with self._lock:
@@ -399,6 +427,105 @@ class SimRankService:
         return ScoreAnswer(u=cleaned[0], v=cleaned[1],
                            value=float(row[0, cleaned[1]]), path=path,
                            epsilon=epsilon, elapsed_seconds=elapsed)
+
+    # ------------------------------------------------------------------ #
+    # Dynamic updates
+    # ------------------------------------------------------------------ #
+    def apply_update(self, updates: "Updates",
+                     wait: Optional[bool] = None) -> Dict[str, object]:
+        """Apply an edge-update batch to the served graph.
+
+        The batch is validated against the currently served graph (a bad
+        delta raises :class:`repro.errors.GraphError` immediately), then
+        the maintained :class:`repro.dynamic.operator.DynamicOperator`
+        repairs incrementally — in a background thread by default
+        (``DynamicConfig.background_repair``), synchronously when
+        ``wait=True``.  Until the repair lands, queries keep answering
+        from the pre-update graph and count ``stale_served``; the landing
+        atomically swaps in the updated graph (and, with
+        ``store_repaired``, writes the repaired full-fidelity snapshot to
+        the operator cache so the *cached* rung serves post-update rows
+        without push work).
+
+        Returns an acknowledgement payload; synchronous repairs include
+        the repair telemetry (``num_pushes``, ``repair_seconds``,
+        ``warm_start``).  Concurrent updates serialise on an update lock
+        in submission order.
+        """
+        from repro.graphs.delta import UpdateBatch
+
+        batch = UpdateBatch.coerce(updates)
+        if len(batch) == 0:
+            return {"accepted": True, "num_deltas": 0, "background": False}
+        if len(batch) > self.dynamic.max_batch_edges:
+            raise SimRankError(
+                f"update batch has {len(batch)} deltas, exceeding "
+                f"max_batch_edges={self.dynamic.max_batch_edges}")
+        # Eager validation against the graph being served right now —
+        # the daemon maps the GraphError to a 400 before any repair work.
+        self.graph.apply_delta(batch)
+        background = (self.dynamic.background_repair if wait is None
+                      else not wait)
+        with self._lock:
+            self._repairs_pending += 1
+        if background:
+            Thread(target=self._repair, args=(batch, False),
+                   daemon=True).start()
+            return {"accepted": True, "num_deltas": len(batch),
+                    "background": True}
+        result = self._repair(batch, True)
+        assert result is not None
+        return {"accepted": True, "num_deltas": len(batch),
+                "background": False, "num_pushes": result.num_pushes,
+                "num_rounds": result.num_rounds,
+                "repair_seconds": result.repair_seconds,
+                "warm_start": result.warm_start}
+
+    def _repair(self, batch: "Updates", reraise: bool
+                ) -> Optional["RepairResult"]:
+        """Run one repair to convergence and land its graph swap.
+
+        Serialised on ``self._update_lock`` so concurrent submissions
+        repair one at a time against a consistent operator.  A failed
+        repair (e.g. the batch conflicts with an earlier update that
+        landed after its validation) leaves the service on the previous
+        graph, still answering; background failures are recorded in
+        ``last_update_error`` instead of raised.
+        """
+        with self._update_lock:
+            try:
+                operator = self._ensure_operator()
+                result = operator.apply(batch)
+            except (GraphError, SimRankError) as error:
+                with self._lock:
+                    self._repairs_pending -= 1
+                self.last_update_error = str(error)
+                if reraise:
+                    raise
+                return None
+            with self._lock:
+                self.graph = operator.graph
+                self._repairs_pending -= 1
+                self.counters.updates_applied += 1
+                self.counters.repair_seconds += result.repair_seconds
+        return result
+
+    def _ensure_operator(self) -> "DynamicOperator":
+        """The maintained operator, built lazily on the first update.
+
+        The build happens inside the repair (so a background update's
+        initial full-fidelity precompute never blocks queries) and warm
+        starts from any cached base-graph entry.  Once built, only
+        :meth:`_repair` advances it, under the update lock, so its graph
+        tracks ``self.graph`` exactly.
+        """
+        if self._dynamic_op is None:
+            from repro.dynamic.operator import DynamicOperator
+
+            self._dynamic_op = DynamicOperator(
+                self.graph, simrank=self.simrank, dynamic=self.dynamic,
+                cache=self.cache)
+        return self._dynamic_op
 
     # ------------------------------------------------------------------ #
     # Introspection

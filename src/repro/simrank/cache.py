@@ -58,6 +58,17 @@ direction never happens: a looser entry cannot serve a tighter request.
 Reuse hits are counted separately (``reuse_hits``) from exact key hits
 (``exact_hits``); ``hits`` remains their sum.
 
+Delta-chained entries
+---------------------
+Dynamic repairs (:mod:`repro.dynamic`) store their repaired snapshots
+under a key derived from the *base* graph fingerprint plus the update
+batch's content hash (:meth:`OperatorCache.delta_key_for`), so a warm
+base entry plus a small delta is addressable without the updated CSR.
+Chained entries carry the *updated* graph's fingerprint in their
+metadata and therefore also participate in the ordinary reuse scan and
+row serving for requests on the updated graph — a repaired operator
+satisfies the same ``(1−c)·ε`` contract as a freshly computed one.
+
 Invalidation and corruption
 ---------------------------
 * **Versioned invalidation** — :data:`CACHE_FORMAT_VERSION` participates in
@@ -76,7 +87,6 @@ leaves a half-written entry behind.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from pathlib import Path
@@ -87,6 +97,7 @@ import scipy.sparse as sp
 
 from repro.config import CACHE_KEY_FIELDS
 from repro.errors import SimRankError
+from repro.graphs.fingerprint import graph_fingerprint, payload_digest
 from repro.graphs.graph import Graph
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -105,23 +116,6 @@ _INDEX_NAME = "simrank-cache-index.json"
 #: directory shares one instance — and therefore one set of hit/miss
 #: counters, which the experiment tests assert on.
 _CACHE_REGISTRY: Dict[Path, "OperatorCache"] = {}
-
-
-def graph_fingerprint(graph: Graph) -> str:
-    """Content hash of a graph's adjacency structure (SHA-256 hex digest).
-
-    Hashes the canonical CSR arrays (``Graph`` sorts indices on
-    construction), so two graphs with identical topology and weights share
-    a fingerprint regardless of name, features or labels — none of which
-    influence the SimRank operator.
-    """
-    adjacency = graph.adjacency
-    digest = hashlib.sha256()
-    digest.update(np.int64(adjacency.shape[0]).tobytes())
-    digest.update(adjacency.indptr.astype(np.int64, copy=False).tobytes())
-    digest.update(adjacency.indices.astype(np.int64, copy=False).tobytes())
-    digest.update(adjacency.data.astype(np.float64, copy=False).tobytes())
-    return digest.hexdigest()
 
 
 def get_operator_cache(directory: str | os.PathLike,
@@ -224,12 +218,11 @@ class OperatorCache:
             # format: every operator cached before the dtype field
             # existed stays warm.
             del hashed["dtype"]
-        payload = json.dumps({
+        return payload_digest({
             "version": CACHE_FORMAT_VERSION,
             "graph": graph_fingerprint(graph),
             **hashed,
-        }, sort_keys=True)
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+        })
 
     def key_for(self, graph: Graph, *, method: str, decay: float,
                 epsilon: Optional[float], top_k: Optional[int],
@@ -250,6 +243,65 @@ class OperatorCache:
             "backend": backend,
             "dtype": dtype,
         })
+
+    def delta_key_for(self, base_fingerprint: str, delta_hash: str,
+                      fields: Dict[str, object]) -> str:
+        """Content-addressed key for a delta-chained (repaired) entry.
+
+        Dynamic repairs (:mod:`repro.dynamic`) key their snapshots off
+        the *base* graph fingerprint plus the update batch's content
+        hash (:meth:`repro.graphs.delta.UpdateBatch.content_hash`)
+        instead of the updated graph's fingerprint, so a process that
+        holds the base graph and the delta can address the repaired
+        operator without materialising the updated CSR first.  The
+        parameter fields are the same
+        :meth:`repro.config.SimRankConfig.cache_key_fields` mapping the
+        plain key uses — rejected on drift, hashed through the shared
+        :func:`repro.graphs.fingerprint.payload_digest` path.
+        """
+        if set(fields) != set(CACHE_KEY_FIELDS):
+            raise ValueError(
+                f"cache key fields must be exactly {sorted(CACHE_KEY_FIELDS)}, "
+                f"got {sorted(fields)}")
+        hashed = dict(fields)
+        if hashed.get("dtype") is None:
+            del hashed["dtype"]
+        return payload_digest({
+            "version": CACHE_FORMAT_VERSION,
+            "base": base_fingerprint,
+            "delta": delta_hash,
+            **hashed,
+        })
+
+    def lookup_delta(self, base_fingerprint: str, delta_hash: str,
+                     fields: Dict[str, object]
+                     ) -> Optional["SimRankOperator"]:
+        """Load the repaired operator chained off ``base + delta``.
+
+        Metadata is verified against ``fields`` exactly as for plain
+        exact-key hits; a hit counts as an ``exact_hit`` and bumps the
+        LRU clock, a miss (or a corrupt/stale file, evicted) counts as a
+        miss.
+        """
+        key = self.delta_key_for(base_fingerprint, delta_hash, fields)
+        expect = {name: value for name, value in fields.items()
+                  if name != "dtype" or value is not None}
+        return self.load(key, expect=expect)
+
+    def store_delta(self, base_fingerprint: str, delta_hash: str,
+                    fields: Dict[str, object],
+                    operator: "SimRankOperator", *,
+                    fingerprint: Optional[str] = None) -> Path:
+        """Persist a repaired operator under its delta-chained key.
+
+        ``fingerprint`` is the *updated* graph's fingerprint — recorded
+        in the entry metadata, so besides the chain addressing the entry
+        also joins the ordinary reuse scan (and row serving) for any
+        later request on the updated graph: a repaired operator
+        satisfies the same ``(1−c)·ε`` contract as a fresh one.
+        """
+        key = self.delta_key_for(base_fingerprint, delta_hash, fields)
+        return self.store(key, operator, fingerprint=fingerprint)
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{_FILE_PREFIX}{key}.npz"

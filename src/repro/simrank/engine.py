@@ -339,6 +339,9 @@ class _EngineRun:
     workers_used: Optional[int]
     max_shards_used: int
     kernel_used: str
+    #: Final residual, attached only when the caller asked to keep it
+    #: (``keep_residual=True`` — the dynamic-maintenance path).
+    residual: Optional[sp.csr_matrix] = None
 
 
 def _validate_engine_args(decay: float, epsilon: float, executor: str,
@@ -397,7 +400,11 @@ def _run_rounds(graph: Graph, *, decay: float, epsilon: float, prune: bool,
                 seed_nodes: Optional[np.ndarray] = None,
                 absorb_rows: Optional[np.ndarray] = None,
                 kernel: str = "auto", dtype: str = "float64",
-                profile: Optional[PhaseProfile] = None) -> _EngineRun:
+                profile: Optional[PhaseProfile] = None,
+                initial_residual: Optional[sp.csr_matrix] = None,
+                copy_residual: bool = True,
+                signed: bool = False, finalize: bool = True,
+                keep_residual: bool = False) -> _EngineRun:
     """The shared frontier-batched round loop.
 
     The per-round CSR arithmetic is delegated to a *round state* from
@@ -419,8 +426,32 @@ def _run_rounds(graph: Graph, *, decay: float, epsilon: float, prune: bool,
     Streaming top-k runs in-loop only for unrestricted runs; restricted
     runs accumulate triplets and apply the identical
     ``top_k_per_row(..., keep_diagonal=True)`` semantics post hoc.
+
+    The dynamic-maintenance hooks (all defaulted off, leaving every
+    fresh run bit-identical to the pre-hook loop):
+
+    ``initial_residual``
+        Warm-start residual replacing the identity seeding — the repair
+        residual of :mod:`repro.dynamic`.  Copied before use; the
+        caller's matrix is never mutated.
+    ``signed``
+        Magnitude-threshold frontier extraction (``|R| > threshold``)
+        for residuals that carry negative mass; excludes streaming
+        top-k, whose prune slack assumes non-negative residuals.
+    ``finalize``
+        ``False`` skips :func:`finalize_estimate` (diagonal restore and
+        ε/10 floor) so the returned estimate is the raw absorbed
+        frontier sum — the quantity the repair algebra adds to a
+        maintained estimate.
+    ``keep_residual``
+        Attach the final residual to the returned :class:`_EngineRun`.
     """
     from repro.simrank.localpush import finalize_estimate
+
+    if signed and stream_top_k is not None:
+        raise SimRankError(
+            "signed (repair) runs cannot stream top-k: the streaming "
+            "prune's slack bound assumes a non-negative residual")
 
     n = graph.num_nodes
     threshold = (1.0 - decay) * epsilon
@@ -431,11 +462,21 @@ def _run_rounds(graph: Graph, *, decay: float, epsilon: float, prune: bool,
     walk_t = walk.T.tocsr()
     runner = _make_executor(executor, walk, walk_t, n, decay, num_workers)
 
-    residual = _seed_residual(n, seed_nodes, np_dtype)
+    if initial_residual is not None:
+        residual = sp.csr_matrix(initial_residual, dtype=np_dtype,
+                                 copy=copy_residual)
+        if residual.shape != (n, n):
+            raise SimRankError(
+                f"initial residual must have shape {(n, n)}, "
+                f"got {residual.shape}")
+        residual.sort_indices()
+        residual.eliminate_zeros()
+    else:
+        residual = _seed_residual(n, seed_nodes, np_dtype)
     state = make_round_state(resolve_kernel(kernel), residual, n=n,
                              dtype=np_dtype,
                              index_dtype=walk.indices.dtype,
-                             profile=profile)
+                             profile=profile, signed=signed)
     state.set_flush_cadence(coalesce_every)
     streaming = stream_top_k is not None and absorb_rows is None
     absorb_mask: Optional[np.ndarray] = None
@@ -531,8 +572,9 @@ def _run_rounds(graph: Graph, *, decay: float, epsilon: float, prune: bool,
                 shape=(n, n))
             estimate = estimate + leftover_mass
 
-    estimate = finalize_estimate(estimate, residual, epsilon=epsilon,
-                                 prune=prune)
+    if finalize:
+        estimate = finalize_estimate(estimate, residual, epsilon=epsilon,
+                                     prune=prune)
 
     if stream_top_k is not None:
         # Exact top_k_per_row semantics over the surviving superset: equal
@@ -542,7 +584,10 @@ def _run_rounds(graph: Graph, *, decay: float, epsilon: float, prune: bool,
         # the post-hoc prune.
         estimate = top_k_per_row(estimate, stream_top_k, keep_diagonal=True)
 
-    leftover = int(np.count_nonzero(residual.data > 0.0))
+    if signed:
+        leftover = int(residual.nnz)  # eliminate_zeros ran: all nonzero
+    else:
+        leftover = int(np.count_nonzero(residual.data > 0.0))
     return _EngineRun(
         estimate=estimate,
         num_pushes=num_pushes,
@@ -552,6 +597,7 @@ def _run_rounds(graph: Graph, *, decay: float, epsilon: float, prune: bool,
         workers_used=runner.workers_used,
         max_shards_used=max_shards_used,
         kernel_used=state.kernel,
+        residual=residual if keep_residual else None,
     )
 
 
@@ -636,6 +682,86 @@ def localpush_engine(graph: Graph, *, decay: float = DEFAULT_DECAY,
         num_shards=run.max_shards_used,
         kernel=run.kernel_used,
         dtype=dtype,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Warm-started (repair) runs
+# --------------------------------------------------------------------- #
+@dataclass
+class ResumeRun:
+    """Outcome of a warm-started round loop (:func:`resume_localpush`).
+
+    ``estimate_delta`` is the raw absorbed frontier sum of the resumed
+    rounds — no diagonal restore, no ε/10 floor — i.e. the correction a
+    maintained estimate adds to itself.  ``residual`` is the final
+    residual with every entry magnitude ``≤ (1−c)·ε``.
+    """
+
+    estimate_delta: sp.csr_matrix
+    residual: sp.csr_matrix
+    num_pushes: int
+    num_rounds: int
+    num_residual_entries: int
+    elapsed_seconds: float
+    workers_used: Optional[int]
+    max_shards_used: int
+    kernel_used: str
+
+
+def resume_localpush(graph: Graph, initial_residual: sp.csr_matrix, *,
+                     decay: float = DEFAULT_DECAY, epsilon: float = 0.1,
+                     max_pushes: Optional[int] = None,
+                     executor: str = "serial",
+                     num_workers: Optional[int] = None,
+                     num_shards: Optional[int] = None,
+                     coalesce_every: int = 4, kernel: str = "auto",
+                     dtype: str = "float64",
+                     copy_residual: bool = True,
+                     profile: Optional[PhaseProfile] = None) -> ResumeRun:
+    """Resume the round loop from an explicit (possibly signed) residual.
+
+    This is the engine entry point of the dynamic subsystem
+    (:mod:`repro.dynamic`): given a residual ``R₀`` that restores the
+    LocalPush invariant ``Ŝ + G(R₀) = S`` for some maintained estimate
+    ``Ŝ`` on ``graph``, it runs the standard frontier rounds — any
+    ``kernel`` × ``executor`` × worker count, same shard plan, same
+    bit-determinism argument — in *signed* mode (``|R| > (1−c)·ε``
+    frontier threshold, since repair residuals carry negative mass for
+    deleted edges) until convergence.  ``Ŝ + estimate_delta`` then
+    satisfies the same ``(1−c)·ε`` residual bound, and hence the same
+    ``< ε`` error bound, as a fresh run (see the :mod:`repro.dynamic`
+    package docstring for the algebra).
+
+    The caller's ``initial_residual`` is copied, never mutated — unless
+    ``copy_residual=False``, which hands the matrix's buffers to the
+    round loop (the dynamic operator passes a residual it just built and
+    owns; the defensive copy is measurable at repair latencies).
+    Streaming top-k and the single-source restrictions do not apply to
+    repair runs.
+    """
+    _validate_engine_args(decay, epsilon, executor, num_workers, num_shards,
+                          None, kernel, dtype)
+    run = _run_rounds(graph, decay=decay, epsilon=epsilon, prune=False,
+                      absorb_residual=False, max_pushes=max_pushes,
+                      executor=executor, num_workers=num_workers,
+                      num_shards=num_shards, stream_top_k=None,
+                      coalesce_every=coalesce_every, kernel=kernel,
+                      dtype=dtype, profile=profile,
+                      initial_residual=initial_residual,
+                      copy_residual=copy_residual, signed=True,
+                      finalize=False, keep_residual=True)
+    assert run.residual is not None
+    return ResumeRun(
+        estimate_delta=run.estimate,
+        residual=run.residual,
+        num_pushes=run.num_pushes,
+        num_rounds=run.num_rounds,
+        num_residual_entries=run.num_residual_entries,
+        elapsed_seconds=run.elapsed_seconds,
+        workers_used=run.workers_used,
+        max_shards_used=run.max_shards_used,
+        kernel_used=run.kernel_used,
     )
 
 
@@ -838,7 +964,8 @@ def single_pair_localpush(graph: Graph, source: int, target: int, *,
     return float(result.row[0, target])
 
 
-__all__ = ["localpush_engine", "single_source_localpush",
+__all__ = ["localpush_engine", "resume_localpush", "ResumeRun",
+           "single_source_localpush",
            "multi_source_localpush", "single_pair_localpush",
            "SingleSourceResult", "component_nodes", "default_num_workers",
            "EXECUTORS", "DEFAULT_SHARD_NNZ", "DEFAULT_MAX_WORKERS"]

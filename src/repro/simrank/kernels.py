@@ -410,17 +410,29 @@ def streaming_prune(estimate: sp.csr_matrix, k: int,
 # Round states: the per-run kernel objects driven by the engine loop
 # --------------------------------------------------------------------- #
 class ScipyRoundState:
-    """The historical CSR-object round arithmetic, verbatim."""
+    """The historical CSR-object round arithmetic, verbatim.
+
+    ``signed=True`` switches the frontier threshold to entry
+    *magnitude* (``|R| > threshold``).  The fresh-run loop never needs
+    it — seeding with the identity keeps the residual non-negative —
+    but a dynamic repair warm-starts from a residual that carries
+    negative mass for deleted edges (:mod:`repro.dynamic`), and its
+    convergence argument bounds ``‖R‖_max = max |R_uv|``.  The default
+    keeps the positive-only compare, bit-identical to every run before
+    the flag existed.
+    """
 
     kernel = "scipy"
 
     def __init__(self, residual: sp.csr_matrix, *, n: int, dtype: np.dtype,
                  index_dtype: np.dtype,
-                 profile: Optional[PhaseProfile] = None) -> None:
+                 profile: Optional[PhaseProfile] = None,
+                 signed: bool = False) -> None:
         self._residual = residual
         self._n = n
         self._dtype = dtype
         self._profile = profile
+        self._signed = bool(signed)
         self._estimate = sp.csr_matrix((n, n), dtype=dtype)
 
     def _measure(self, phase: str) -> _Measure:
@@ -434,7 +446,10 @@ class ScipyRoundState:
     def extract_frontier(self, threshold: float) -> Optional[Frontier]:
         with self._measure("frontier"):
             residual = self._residual
-            above = residual.data > threshold
+            if self._signed:
+                above = np.abs(residual.data) > threshold
+            else:
+                above = residual.data > threshold
             count = int(np.count_nonzero(above))
             if count == 0:
                 return None
@@ -507,9 +522,11 @@ class FusedRoundState(ScipyRoundState):
 
     def __init__(self, residual: sp.csr_matrix, *, n: int, dtype: np.dtype,
                  index_dtype: np.dtype,
-                 profile: Optional[PhaseProfile] = None) -> None:
+                 profile: Optional[PhaseProfile] = None,
+                 signed: bool = False) -> None:
         super().__init__(residual, n=n, dtype=dtype,
-                         index_dtype=index_dtype, profile=profile)
+                         index_dtype=index_dtype, profile=profile,
+                         signed=signed)
         self._index_dtype = index_dtype
         self._workspace = _Workspace()
         #: Selector matrices of the one-pass partial merge, per shard
@@ -530,7 +547,13 @@ class FusedRoundState(ScipyRoundState):
             data = residual.data
             workspace = self._workspace
             above = workspace.bool_buffer("above", data.size)
-            np.greater(data, threshold, out=above)
+            if self._signed:
+                magnitude = workspace.scratch("magnitude", data.size,
+                                              self._dtype)
+                np.abs(data, out=magnitude)
+                np.greater(magnitude, threshold, out=above)
+            else:
+                np.greater(data, threshold, out=above)
             positions = np.flatnonzero(above)
             count = int(positions.size)
             if count == 0:
@@ -688,12 +711,19 @@ class NumbaRoundState(FusedRoundState):
 
     def __init__(self, residual: sp.csr_matrix, *, n: int, dtype: np.dtype,
                  index_dtype: np.dtype,
-                 profile: Optional[PhaseProfile] = None) -> None:
+                 profile: Optional[PhaseProfile] = None,
+                 signed: bool = False) -> None:
         super().__init__(residual, n=n, dtype=dtype,
-                         index_dtype=index_dtype, profile=profile)
+                         index_dtype=index_dtype, profile=profile,
+                         signed=signed)
         self._numba_extract = _load_numba_extract()
 
     def extract_frontier(self, threshold: float) -> Optional[Frontier]:
+        if self._signed:
+            # The jitted loop compiles the positive-only compare; signed
+            # runs take the fused numpy extraction, which produces the
+            # identical arrays (same canonical entry order).
+            return FusedRoundState.extract_frontier(self, threshold)
         with self._measure("frontier"):
             residual = self._residual
             workspace = self._workspace
@@ -758,8 +788,15 @@ _ROUND_STATES: Dict[str, type] = {
 
 def make_round_state(kernel: str, residual: sp.csr_matrix, *, n: int,
                      dtype: np.dtype, index_dtype: np.dtype,
-                     profile: Optional[PhaseProfile] = None) -> RoundState:
-    """Construct the round state for a *resolved* kernel name."""
+                     profile: Optional[PhaseProfile] = None,
+                     signed: bool = False) -> RoundState:
+    """Construct the round state for a *resolved* kernel name.
+
+    ``signed=True`` selects magnitude-threshold frontier extraction for
+    repair runs whose residual carries negative mass (see
+    :class:`ScipyRoundState`); the default is the positive-only compare
+    used by every fresh run.
+    """
     try:
         state_cls = _ROUND_STATES[kernel]
     except KeyError:
@@ -767,7 +804,8 @@ def make_round_state(kernel: str, residual: sp.csr_matrix, *, n: int,
             f"unknown LocalPush kernel {kernel!r}; "
             f"expected one of {tuple(_ROUND_STATES)}") from None
     state: RoundState = state_cls(residual, n=n, dtype=dtype,
-                                  index_dtype=index_dtype, profile=profile)
+                                  index_dtype=index_dtype, profile=profile,
+                                  signed=signed)
     return state
 
 

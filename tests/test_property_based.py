@@ -304,3 +304,57 @@ class TestSplitProperties:
         union = np.concatenate([split.train, split.val, split.test])
         assert np.array_equal(np.sort(union), np.arange(labels.size))
         assert set(labels[split.train]) == set(range(num_classes))
+
+
+# --------------------------------------------------------------------------- #
+# Dynamic maintenance invariants
+# --------------------------------------------------------------------------- #
+class TestDynamicProperties:
+    @SETTINGS
+    @given(random_graphs(min_nodes=4, max_nodes=12), st.data())
+    def test_random_update_stream_stays_in_bound(self, graph, data):
+        """Interleaved updates and queries stay within the ε bound.
+
+        A random stream of valid inserts/deletes/reweights is applied
+        through one :class:`DynamicOperator`; after every repair the
+        maintained estimate must still be within ``epsilon`` of the
+        dense oracle on the *current* graph, exactly as a fresh
+        recompute would be.
+        """
+        from repro.config import SimRankConfig
+        from repro.dynamic import DynamicOperator
+        from repro.graphs.delta import GraphDelta
+
+        epsilon = 0.1
+        operator = DynamicOperator(
+            graph, simrank=SimRankConfig(method="localpush", epsilon=epsilon))
+        num_updates = data.draw(st.integers(1, 4), label="num_updates")
+        for _ in range(num_updates):
+            current = operator.graph
+            n = current.num_nodes
+            dense = current.adjacency.toarray()
+            present = [(u, v) for u in range(n) for v in range(u + 1, n)
+                       if dense[u, v] != 0.0]
+            absent = [(u, v) for u in range(n) for v in range(u + 1, n)
+                      if dense[u, v] == 0.0]
+            kinds = ["reweight", "delete"] if present else []
+            if absent:
+                kinds.append("insert")
+            kind = data.draw(st.sampled_from(kinds), label="kind")
+            pairs = absent if kind == "insert" else present
+            u, v = data.draw(st.sampled_from(pairs), label="pair")
+            if kind == "reweight":
+                weight = data.draw(st.floats(0.25, 4.0), label="weight")
+                delta = GraphDelta(kind, u, v, weight=weight)
+            elif kind == "insert":
+                delta = GraphDelta(kind, u, v)
+            else:
+                delta = GraphDelta(kind, u, v)
+            operator.apply(delta)
+            # Query path: the served snapshot against the dense oracle.
+            reference = linearized_simrank(operator.graph,
+                                           num_iterations=60)
+            snapshot = operator.operator().matrix.toarray()
+            assert np.abs(snapshot - reference).max() < epsilon
+            assert (operator.residual_max
+                    <= operator.push_threshold * (1 + 1e-12))
