@@ -65,8 +65,9 @@ from repro.datasets.synthetic import SyntheticGraphConfig, generate_synthetic_gr
 from repro.errors import ConfigError
 from repro.simrank.engine import EXECUTORS, default_num_workers, localpush_engine
 from repro.simrank.exact import linearized_simrank
-from repro.simrank.kernels import PhaseProfile, float32_error_bound
+from repro.simrank.kernels import PHASES, PhaseProfile, float32_error_bound
 from repro.simrank.localpush import localpush_simrank
+from repro.telemetry import SpanRecorder, Tracer, TracingPhaseProfile, phase_seconds
 from repro.utils.timer import Timer
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_localpush.json"
@@ -348,13 +349,26 @@ def float32_sweep(*, epsilon: float, decay: float, average_degree: float,
 
 def profile_breakdown(graph, *, epsilon: float, decay: float,
                       num_workers: int, show: bool) -> dict:
-    """The ``profile`` record section: per-phase seconds of one core run."""
-    profile = PhaseProfile()
+    """The ``profile`` record section: per-phase seconds of one core run.
+
+    Measured through the telemetry span path: the engine runs under a
+    :class:`TracingPhaseProfile` (one ``localpush.<phase>`` span per
+    phase measurement per round) and the table is
+    :func:`repro.telemetry.summary.phase_seconds` over the recorded
+    spans — the same aggregation ``repro-trace`` prints, so the
+    benchmark and the tracing CLI can never disagree.  The record shape
+    (:data:`PROFILE_SCHEMA`) is unchanged from the pre-telemetry
+    accumulator.
+    """
+    recorder = SpanRecorder()
+    profile = TracingPhaseProfile(Tracer([recorder]))
     run = time_kernel(graph, kernel="auto", executor="serial",
                       epsilon=epsilon, decay=decay, num_workers=num_workers,
                       profile=profile)
+    totals = {phase: 0.0 for phase in PHASES}
+    totals.update(phase_seconds(recorder.spans()))
     phases = {phase: round(seconds, 4)
-              for phase, seconds in profile.as_dict().items()}
+              for phase, seconds in totals.items()}
     if show:
         print(f"  phase breakdown (kernel={run['kernel']}, serial, "
               f"epsilon={epsilon}):")

@@ -1,0 +1,112 @@
+"""CI assertion: the disabled telemetry path is effectively free.
+
+The whole telemetry design rests on one promise — an instrumented layer
+given no handle (or a disabled one) pays nothing measurable: entering
+the no-op tracer's span is two attribute lookups and no allocation, no
+clock read.  This script measures that promise directly and fails CI's
+perf-gate job when it breaks, e.g. if someone "simplifies" ``NullTracer``
+into allocating real spans or reading ``perf_counter``.
+
+Two measurements over ``--iterations`` loop bodies:
+
+* **baseline** — the bare loop (a call to a trivial function, so the
+  loop body is comparable work);
+* **noop span** — the same loop with the body wrapped in
+  ``NULL_TRACER.span(...)`` as every instrumented call site does.
+
+The gate fails when the per-iteration overhead (noop − baseline)
+exceeds ``--max-overhead-ns`` (default 2000 ns — a deliberately huge
+ceiling: the real cost is tens of nanoseconds, but CI machines are
+noisy and the gate must only catch order-of-magnitude breakage, never
+flake on scheduler jitter).  The measurement is the best of
+``--repeats`` runs, the standard ``timeit`` discipline for noisy boxes.
+
+Exit codes: ``0`` pass, ``1`` overhead above the ceiling, ``2`` the
+telemetry package is not importable (the gate is run with
+``PYTHONPATH=src``).
+
+Usage
+-----
+``PYTHONPATH=src python benchmarks/check_telemetry_overhead.py``
+``... --iterations 200000 --max-overhead-ns 500``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from time import perf_counter
+
+
+def _work(value: int) -> int:
+    """A trivial but non-empty loop body (keeps both loops comparable)."""
+    return value + 1
+
+
+def _time_baseline(iterations: int) -> float:
+    start = perf_counter()
+    value = 0
+    for _ in range(iterations):
+        value = _work(value)
+    return perf_counter() - start
+
+
+def _time_noop_span(iterations: int, tracer: object) -> float:
+    span = tracer.span  # type: ignore[attr-defined]
+    start = perf_counter()
+    value = 0
+    for _ in range(iterations):
+        with span("bench.noop"):
+            value = _work(value)
+    return perf_counter() - start
+
+
+def measure(iterations: int, repeats: int) -> tuple[float, float]:
+    """Best-of-``repeats`` per-iteration seconds: (baseline, noop span)."""
+    from repro.telemetry import NULL_TRACER
+
+    baseline = min(_time_baseline(iterations) for _ in range(repeats))
+    noop = min(_time_noop_span(iterations, NULL_TRACER)
+               for _ in range(repeats))
+    return baseline / iterations, noop / iterations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Assert the no-op telemetry span is effectively free.")
+    parser.add_argument("--iterations", type=int, default=100_000,
+                        help="loop iterations per measurement "
+                             "(default 100000)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="measurement repeats; the best is judged "
+                             "(default 5)")
+    parser.add_argument("--max-overhead-ns", type=float, default=2000.0,
+                        help="per-iteration overhead ceiling in "
+                             "nanoseconds (default 2000)")
+    args = parser.parse_args(argv)
+    if args.iterations < 1 or args.repeats < 1:
+        print("error: --iterations and --repeats must be positive")
+        return 2
+
+    try:
+        baseline, noop = measure(args.iterations, args.repeats)
+    except ImportError as error:
+        print(f"error: cannot import repro.telemetry ({error}); "
+              f"run with PYTHONPATH=src")
+        return 2
+
+    overhead_ns = (noop - baseline) * 1e9
+    print(f"baseline        : {baseline * 1e9:8.1f} ns/iter")
+    print(f"noop span       : {noop * 1e9:8.1f} ns/iter")
+    print(f"overhead        : {overhead_ns:8.1f} ns/iter "
+          f"(ceiling {args.max_overhead_ns:.0f})")
+    if overhead_ns > args.max_overhead_ns:
+        print("FAIL: the disabled telemetry path is no longer free — "
+              "check NullTracer/NullSpan for allocations or clock reads")
+        return 1
+    print("OK: disabled-telemetry overhead within the ceiling")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

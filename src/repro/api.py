@@ -41,7 +41,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from repro.config import SIMRANK_MODELS, ExperimentSpec, RunSpec, SimRankConfig
+from repro.config import (SIMRANK_MODELS, ExperimentSpec, RunSpec,
+                          SimRankConfig, TelemetryConfig)
 from repro.errors import ConfigError
 from repro.graphs.graph import Graph
 
@@ -276,4 +277,5 @@ def list_experiments() -> list:
 
 __all__ = ["precompute", "build_model", "run", "run_experiment",
            "list_experiments", "topk", "score", "apply_updates",
-           "RunResult", "RunSpec", "SimRankConfig", "ExperimentSpec"]
+           "RunResult", "RunSpec", "SimRankConfig", "ExperimentSpec",
+           "TelemetryConfig"]

@@ -583,6 +583,96 @@ class DynamicConfig:
         return base.with_overrides(**overrides) if overrides else base
 
 
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Configuration of the :mod:`repro.telemetry` observability layer.
+
+    ``enabled``
+        Master switch, **off by default**: the instrumented layers
+        resolve a ``None``/disabled handle to the shared no-op tracer,
+        so the default path does no telemetry work and stays
+        bit-identical to the un-instrumented code (the R3 guarantee).
+    ``trace_path``
+        Append-only JSONL file finished spans are written to (the
+        ``repro-trace`` CLI's input).  ``None`` keeps spans in memory
+        only (the bounded recorder).
+    ``max_recorded_spans``
+        Cap on the in-memory span recorder; past it new spans are
+        counted as dropped instead of stored, so a long-lived daemon
+        never grows unboundedly.
+    """
+
+    enabled: bool = False
+    trace_path: Optional[str] = None
+    max_recorded_spans: int = 4096
+
+    #: CLI-flag ↔ field mapping consumed by :meth:`from_cli_args` (the
+    #: boolean ``--telemetry`` switch is bridged explicitly there).
+    CLI_FLAG_FIELDS: ClassVar[Mapping[str, str]] = {
+        "trace_path": "trace_path",
+        "max_recorded_spans": "max_recorded_spans",
+    }
+
+    def __post_init__(self) -> None:
+        coerce = object.__setattr__
+        coerce(self, "enabled", bool(self.enabled))
+        if self.trace_path is not None:
+            _require(isinstance(self.trace_path, (str, os.PathLike)),
+                     f"trace_path must be a path or None, "
+                     f"got {self.trace_path!r}")
+            coerce(self, "trace_path", os.fspath(self.trace_path))
+        coerce(self, "max_recorded_spans",
+               _as_int("max_recorded_spans", self.max_recorded_spans))
+        _require(self.max_recorded_spans >= 1,
+                 f"max_recorded_spans must be a positive integer, "
+                 f"got {self.max_recorded_spans!r}")
+
+    def with_overrides(self, **changes: object) -> "TelemetryConfig":
+        """A validated copy with the given fields replaced."""
+        unknown = set(changes) - {f.name for f in fields(self)}
+        _require(not unknown,
+                 f"unknown TelemetryConfig field(s): "
+                 f"{', '.join(sorted(unknown))}")
+        return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-serialisable); inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "TelemetryConfig":
+        """Reconstruct a validated config from :meth:`to_dict` output."""
+        _require(isinstance(data, Mapping),
+                 f"TelemetryConfig.from_dict expects a mapping, "
+                 f"got {type(data).__name__}")
+        unknown = set(data) - {f.name for f in fields(cls)}
+        _require(not unknown,
+                 f"unknown TelemetryConfig field(s): "
+                 f"{', '.join(sorted(unknown))}")
+        return cls(**dict(data))
+
+    @classmethod
+    def from_cli_args(cls, args: Any,
+                      base: Optional["TelemetryConfig"] = None
+                      ) -> "TelemetryConfig":
+        """Build a config from parsed CLI flags.
+
+        Flags left at their ``None`` default inherit from ``base``;
+        ``--telemetry`` switches ``enabled`` on, and a ``--trace-path``
+        implies ``enabled`` too (a requested sink with a disabled
+        tracer would silently record nothing).
+        """
+        base = base if base is not None else cls()
+        overrides: Dict[str, object] = {
+            field_name: getattr(args, attr)
+            for attr, field_name in cls.CLI_FLAG_FIELDS.items()
+            if getattr(args, attr, None) is not None
+        }
+        if getattr(args, "telemetry", False) or "trace_path" in overrides:
+            overrides["enabled"] = True
+        return base.with_overrides(**overrides) if overrides else base
+
+
 def merge_deprecated_kwargs(config: Optional[SimRankConfig],
                             deprecated: Mapping[str, Tuple[str, object]],
                             *, default: Optional[SimRankConfig] = None,
@@ -1001,6 +1091,7 @@ __all__ = [
     "UNSET",
     "SimRankConfig",
     "DynamicConfig",
+    "TelemetryConfig",
     "SIGMA_DEFAULT_SIMRANK",
     "ServeConfig",
     "RunSpec",

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -30,6 +30,9 @@ from repro.simrank.engine import resume_localpush
 from repro.simrank.localpush import finalize_estimate, resolve_execution
 from repro.simrank.topk import SimRankOperator, topk_simrank
 from repro.utils.timer import Timer
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.telemetry.runtime import Telemetry
 
 CacheLike = Union[OperatorCache, str, os.PathLike, None]
 
@@ -89,17 +92,22 @@ class DynamicOperator:
     workers) and the serving contract (top_k, row_normalize, dtype);
     ``dynamic`` the maintenance knobs (see
     :class:`repro.config.DynamicConfig`); ``cache`` an operator cache
-    (instance or directory) overriding ``simrank.cache_dir``.
+    (instance or directory) overriding ``simrank.cache_dir``;
+    ``telemetry`` an optional :class:`repro.telemetry.Telemetry` handle —
+    when enabled, every :meth:`apply` repair is traced as a
+    ``dynamic.repair`` span (attributes ``batch_size``/``num_pushes``/
+    ``num_rounds``/``warm_start``) and the cache mirrors its events.
     """
 
     def __init__(self, graph: Graph, *,
                  simrank: Optional[SimRankConfig] = None,
                  dynamic: Optional[DynamicConfig] = None,
-                 cache: CacheLike = None) -> None:
+                 cache: CacheLike = None,
+                 telemetry: Optional["Telemetry"] = None) -> None:
         self._bootstrap(graph.num_nodes,
                         simrank if simrank is not None else SimRankConfig(),
                         dynamic if dynamic is not None else DynamicConfig(),
-                        cache)
+                        cache, telemetry)
         self.graph = graph
         self.base_fingerprint = graph_fingerprint(graph)
         self.chain = UpdateBatch()
@@ -136,11 +144,18 @@ class DynamicOperator:
     # Construction helpers
     # ------------------------------------------------------------------ #
     def _bootstrap(self, num_nodes: int, simrank: SimRankConfig,
-                   dynamic: DynamicConfig, cache: CacheLike) -> None:
+                   dynamic: DynamicConfig, cache: CacheLike,
+                   telemetry: Optional["Telemetry"] = None) -> None:
         """Shared attribute setup for both construction paths."""
+        from repro.telemetry.runtime import resolve_telemetry
+
         self.simrank = simrank
         self.dynamic = dynamic
+        self.telemetry = resolve_telemetry(telemetry)
+        self._tracer = self.telemetry.tracer
         self._cache = _resolve_cache(cache, simrank)
+        if self._cache is not None:
+            self._cache.attach_telemetry(self.telemetry)
         # The maintained state is full fidelity at reference precision;
         # its cache contract (and the delta-chain key fields) say so.
         # One derivation path: SimRankConfig.cache_key_fields.
@@ -164,7 +179,9 @@ class DynamicOperator:
     def from_chain(cls, base_graph: Graph, updates: Updates, *,
                    simrank: Optional[SimRankConfig] = None,
                    dynamic: Optional[DynamicConfig] = None,
-                   cache: CacheLike = None) -> Optional["DynamicOperator"]:
+                   cache: CacheLike = None,
+                   telemetry: Optional["Telemetry"] = None
+                   ) -> Optional["DynamicOperator"]:
         """Rebuild a repaired operator purely from a delta-chained entry.
 
         Looks up the cache entry keyed by the *base* graph's fingerprint
@@ -182,7 +199,8 @@ class DynamicOperator:
         if cache_store is None or len(batch) == 0:
             return None
         operator = cls.__new__(cls)
-        operator._bootstrap(base_graph.num_nodes, simrank, dynamic, cache)
+        operator._bootstrap(base_graph.num_nodes, simrank, dynamic, cache,
+                            telemetry)
         entry = cache_store.lookup_delta(graph_fingerprint(base_graph),
                                          batch.content_hash(),
                                          operator._maintenance_fields)
@@ -226,15 +244,20 @@ class DynamicOperator:
                                 repair_seconds=0.0, warm_start="noop")
         timer = Timer()
         timer.start()
-        new_graph = self.graph.apply_delta(batch)
-        decay = self.simrank.decay
-        residual0, warm_start = self._seed_repair(new_graph, decay)
-        run = resume_localpush(
-            new_graph, residual0, decay=decay,
-            epsilon=self.simrank.epsilon,
-            max_pushes=self.dynamic.repair_max_pushes,
-            executor=self._executor, num_workers=self.simrank.workers,
-            kernel=self.simrank.kernel, copy_residual=False)
+        with self._tracer.span("dynamic.repair",
+                               batch_size=len(batch)) as span:
+            new_graph = self.graph.apply_delta(batch)
+            decay = self.simrank.decay
+            residual0, warm_start = self._seed_repair(new_graph, decay)
+            run = resume_localpush(
+                new_graph, residual0, decay=decay,
+                epsilon=self.simrank.epsilon,
+                max_pushes=self.dynamic.repair_max_pushes,
+                executor=self._executor, num_workers=self.simrank.workers,
+                kernel=self.simrank.kernel, copy_residual=False)
+            span.set("num_pushes", run.num_pushes)
+            span.set("num_rounds", run.num_rounds)
+            span.set("warm_start", warm_start)
         estimate = (self._estimate + run.estimate_delta).tocsr()
         estimate.eliminate_zeros()
         estimate.sort_indices()

@@ -45,6 +45,17 @@ class ServeError(ReproError):
     """
 
 
+class TelemetryError(ReproError):
+    """Raised when the telemetry subsystem is misused.
+
+    Covers invalid metric names or label values, registering one metric
+    name under two instrument kinds, and malformed trace files handed to
+    the ``repro-trace`` summariser.  Telemetry is observability only —
+    this error never fires on a default-off (no-op) handle, so the hot
+    paths it instruments cannot start failing because of it.
+    """
+
+
 class ModelError(ReproError):
     """Raised when a model is mis-configured or used before being built."""
 

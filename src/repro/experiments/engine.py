@@ -35,6 +35,7 @@ from repro.config import ExperimentCell, ExperimentSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     from repro.config import RunSpec
+    from repro.telemetry.runtime import Telemetry
     from repro.training.config import TrainConfig
     from repro.training.evaluation import EvaluationSummary
 from repro.errors import ExperimentError
@@ -71,11 +72,32 @@ def evaluation_cell(cell: ExperimentCell) -> Dict[str, object]:
 
 
 def _execute_cell(cell_runner: Callable[[ExperimentCell], dict],
-                  cell: ExperimentCell) -> Tuple[dict, float]:
-    """Run one cell under a timer (module-level: process-pool picklable)."""
+                  cell: ExperimentCell, trace: bool = False,
+                  experiment: str = ""
+                  ) -> Tuple[dict, float, Optional[Dict[str, object]]]:
+    """Run one cell under a timer (module-level: process-pool picklable).
+
+    With ``trace`` on, the cell runs under a *local* tracer (built here
+    so the whole call stays picklable and works inside process-pool
+    workers): an ``experiment.cell`` root span with an
+    ``experiment.cell.run`` child around the runner call, plus whatever
+    spans telemetry-aware layers underneath record.  The returned tree
+    is the versioned ``SpanRecorder.tree()`` payload embedded in the run
+    artefact's cell records.
+    """
     start = time.perf_counter()
-    record = cell_runner(cell)
-    return record, time.perf_counter() - start
+    if not trace:
+        record = cell_runner(cell)
+        return record, time.perf_counter() - start, None
+    from repro.telemetry.tracing import SpanRecorder, Tracer
+
+    recorder = SpanRecorder()
+    tracer = Tracer([recorder])
+    with tracer.span("experiment.cell", index=cell.index,
+                     experiment=experiment):
+        with tracer.span("experiment.cell.run"):
+            record = cell_runner(cell)
+    return record, time.perf_counter() - start, recorder.tree()
 
 
 @dataclass(frozen=True)
@@ -87,6 +109,9 @@ class CellOutcome:
     seconds: float = 0.0
     cached: bool = False
     key: Optional[str] = None
+    #: Versioned span tree of the traced execution (``None`` when the
+    #: run was untraced or the cell was served from the store).
+    trace: Optional[Dict[str, object]] = None
 
     @property
     def index(self) -> int:
@@ -143,6 +168,7 @@ class ExperimentRun:
                 "seconds": outcome.seconds,
                 "cached": outcome.cached,
                 "record": outcome.record,
+                "trace": outcome.trace,
             } for outcome in self.outcomes],
             "rows": rows,
         }
@@ -151,9 +177,12 @@ class ExperimentRun:
 def _run_pending(pending: Sequence[ExperimentCell],
                  cell_runner: Callable[[ExperimentCell], dict],
                  executor: str, workers: Optional[int],
-                 on_complete: Callable[[ExperimentCell, dict, float], None]
-                 ) -> Dict[int, Tuple[dict, float]]:
-    """Execute ``pending`` cells, returning ``{cell index: (record, s)}``.
+                 on_complete: Callable[
+                     [ExperimentCell, dict, float,
+                      Optional[Dict[str, object]]], None],
+                 trace: bool = False, experiment: str = ""
+                 ) -> Dict[int, Tuple[dict, float, Optional[Dict[str, object]]]]:
+    """Execute ``pending`` cells: ``{cell index: (record, s, trace)}``.
 
     ``on_complete`` fires (in the calling thread) as each cell finishes —
     the store persists cells incrementally there, so a sweep killed or
@@ -167,23 +196,25 @@ def _run_pending(pending: Sequence[ExperimentCell],
     if workers is not None and workers < 1:
         raise ExperimentError(f"workers must be a positive integer, "
                               f"got {workers!r}")
-    results: Dict[int, Tuple[dict, float]] = {}
+    results: Dict[int, Tuple[dict, float, Optional[Dict[str, object]]]] = {}
     if executor == "serial" or len(pending) <= 1:
         for cell in pending:
-            record, seconds = _execute_cell(cell_runner, cell)
-            results[cell.index] = (record, seconds)
-            on_complete(cell, record, seconds)
+            record, seconds, tree = _execute_cell(cell_runner, cell, trace,
+                                                  experiment)
+            results[cell.index] = (record, seconds, tree)
+            on_complete(cell, record, seconds, tree)
         return results
     pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
     num_workers = min(workers or default_num_workers(), len(pending))
     with pool_cls(max_workers=num_workers) as pool:
-        futures = {pool.submit(_execute_cell, cell_runner, cell): cell
+        futures = {pool.submit(_execute_cell, cell_runner, cell, trace,
+                               experiment): cell
                    for cell in pending}
         for future in as_completed(futures):
             cell = futures[future]
-            record, seconds = future.result()
-            results[cell.index] = (record, seconds)
-            on_complete(cell, record, seconds)
+            record, seconds, tree = future.result()
+            results[cell.index] = (record, seconds, tree)
+            on_complete(cell, record, seconds, tree)
     return results
 
 
@@ -191,13 +222,19 @@ def execute(spec: ExperimentSpec, *,
             definition: Optional[ExperimentDefinition] = None,
             executor: str = "serial", workers: Optional[int] = None,
             store: Optional[ArtifactStore | str] = None,
-            resume: bool = True, force: bool = False) -> ExperimentRun:
+            resume: bool = True, force: bool = False,
+            telemetry: Optional["Telemetry"] = None) -> ExperimentRun:
     """Execute ``spec`` cell by cell and reduce to the paper artefact.
 
     ``definition`` defaults to the registry entry under ``spec.name``.
     With a ``store``, finished cells are served from disk when ``resume``
     is true (``force`` recomputes and overwrites them), every fresh cell
     is persisted as it completes, and a run artefact is appended.
+
+    With an enabled ``telemetry`` handle, every freshly executed cell is
+    traced (see :func:`_execute_cell`); the span trees land in the run
+    artefact's cell records (``trace`` key) and, when the handle carries
+    a JSONL sink, are also appended there with run-unique span ids.
     """
     if not isinstance(spec, ExperimentSpec):
         raise ExperimentError(
@@ -206,6 +243,10 @@ def execute(spec: ExperimentSpec, *,
     cell_runner = definition.cell or evaluation_cell
     if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
         store = get_artifact_store(store)
+    from repro.telemetry.runtime import resolve_telemetry
+
+    telemetry = resolve_telemetry(telemetry)
+    trace = telemetry.enabled
 
     started = time.perf_counter()
     cells = spec.cells()
@@ -222,14 +263,17 @@ def execute(spec: ExperimentSpec, *,
                 continue
         pending.append(cell)
 
-    def persist(cell: ExperimentCell, record: dict, seconds: float) -> None:
+    def persist(cell: ExperimentCell, record: dict, seconds: float,
+                tree: Optional[Dict[str, object]] = None) -> None:
         # Incremental: each completed cell lands on disk immediately, so a
         # sweep killed mid-run resumes from exactly the unfinished cells.
         if store is not None:
             store.store_cell(keys[cell.index], cell, cell_runner, record,
-                             experiment=spec.name, seconds=seconds)
+                             experiment=spec.name, seconds=seconds,
+                             trace=tree)
 
-    executed = _run_pending(pending, cell_runner, executor, workers, persist)
+    executed = _run_pending(pending, cell_runner, executor, workers, persist,
+                            trace, spec.name)
 
     outcomes: List[CellOutcome] = []
     for cell in cells:
@@ -237,10 +281,13 @@ def execute(spec: ExperimentSpec, *,
             outcomes.append(CellOutcome(cell=cell, record=resumed[cell.index],
                                         cached=True, key=keys[cell.index]))
             continue
-        record, seconds = executed[cell.index]
+        record, seconds, tree = executed[cell.index]
         outcomes.append(CellOutcome(cell=cell, record=record, seconds=seconds,
-                                    cached=False, key=keys[cell.index]))
+                                    cached=False, key=keys[cell.index],
+                                    trace=tree))
 
+    if trace and telemetry.sink is not None:
+        _emit_traces(telemetry, outcomes)
     result = definition.reduce(spec, outcomes)
     run = ExperimentRun(spec=spec, result=result, outcomes=outcomes,
                         executor=executor, workers=workers,
@@ -250,13 +297,42 @@ def execute(spec: ExperimentSpec, *,
     return run
 
 
+def _emit_traces(telemetry: "Telemetry",
+                 outcomes: Sequence[CellOutcome]) -> None:
+    """Append every traced cell's spans to the handle's JSONL sink.
+
+    Each cell was traced by its own local tracer (span ids start at 1 in
+    every worker), so ids are offset per cell to stay unique across the
+    whole run's trace file — ``repro-trace`` needs the parent links to
+    resolve unambiguously.
+    """
+    sink = telemetry.sink
+    assert sink is not None
+    offset = 0
+    for outcome in outcomes:
+        if not outcome.trace:
+            continue
+        spans = outcome.trace.get("spans")
+        if not isinstance(spans, list) or not spans:
+            continue
+        for span in spans:
+            shifted = dict(span)
+            shifted["span_id"] = int(shifted["span_id"]) + offset
+            if shifted.get("parent_id") is not None:
+                shifted["parent_id"] = int(shifted["parent_id"]) + offset
+            sink.write(shifted)
+        offset += max(int(span["span_id"]) for span in spans)
+
+
 def run_experiment(name: str, *args: object, scale_factor: Optional[float] = None,
                    train: Optional["TrainConfig"] = None,
                    executor: str = "serial", workers: Optional[int] = None,
                    store: Optional[ArtifactStore | str] = None,
                    resume: bool = True, force: bool = False,
                    spec: Optional[ExperimentSpec] = None,
-                   print_result: bool = True, **overrides: object) -> object:
+                   print_result: bool = True,
+                   telemetry: Optional["Telemetry"] = None,
+                   **overrides: object) -> object:
     """Run a registered experiment and return its result object.
 
     ``*args``/``**overrides`` are handed to the experiment's spec builder
@@ -276,7 +352,8 @@ def run_experiment(name: str, *args: object, scale_factor: Optional[float] = Non
     if train is not None:
         spec = spec.with_train(train)
     run = execute(spec, definition=definition, executor=executor,
-                  workers=workers, store=store, resume=resume, force=force)
+                  workers=workers, store=store, resume=resume, force=force,
+                  telemetry=telemetry)
     if print_result:
         from repro.experiments.common import format_table
 

@@ -68,6 +68,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="ignore stored cells (they are still overwritten)")
     parser.add_argument("--force", action="store_true",
                         help="recompute every cell even when stored")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="trace the sweep: per-cell span trees land in "
+                             "the run artefact and a JSONL trace is "
+                             "appended to PATH (summarise with repro-trace)")
     return parser
 
 
@@ -104,10 +108,22 @@ def main(argv: Optional[list[str]] = None) -> int:
             }, indent=2, default=str))
             return 0
 
-        run_experiment(args.experiment, spec=spec, executor=args.executor,
-                       workers=args.workers, store=args.store,
-                       resume=args.resume, force=args.force,
-                       print_result=True)
+        telemetry = None
+        if args.trace is not None:
+            from repro.config import TelemetryConfig
+            from repro.telemetry import telemetry_from_config
+
+            telemetry = telemetry_from_config(
+                TelemetryConfig(enabled=True, trace_path=args.trace))
+        try:
+            run_experiment(args.experiment, spec=spec,
+                           executor=args.executor, workers=args.workers,
+                           store=args.store, resume=args.resume,
+                           force=args.force, print_result=True,
+                           telemetry=telemetry)
+        finally:
+            if telemetry is not None:
+                telemetry.close()
         return 0
     except ExperimentError as error:
         parser.exit(2, f"error: {error}\n")

@@ -275,9 +275,16 @@ class ArtifactStore:
         return record
 
     def store_cell(self, key: str, cell: ExperimentCell, cell_runner: object,
-                   record: dict, *, experiment: str,
-                   seconds: float = 0.0) -> Path:
-        """Atomically persist one completed cell's record."""
+                   record: dict, *, experiment: str, seconds: float = 0.0,
+                   trace: Optional[dict] = None) -> Path:
+        """Atomically persist one completed cell's record.
+
+        ``trace`` is the cell's versioned span tree when the sweep ran
+        under an enabled telemetry handle; it rides along in the payload
+        (the key is untouched — tracing never invalidates stored cells)
+        and is omitted entirely for untraced runs, so their payloads are
+        byte-identical to the pre-telemetry format.
+        """
         payload = {
             "version": STORE_FORMAT_VERSION,
             "experiment": experiment,
@@ -287,6 +294,8 @@ class ArtifactStore:
             "seconds": seconds,
             "record": record,
         }
+        if trace is not None:
+            payload["trace"] = trace
         path = self.cell_path(key)
         temp_path = path.with_name(path.name + f".tmp{os.getpid()}")
         try:

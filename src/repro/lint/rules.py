@@ -62,7 +62,7 @@ NUMPY_GLOBAL_RANDOM = frozenset({
 PUBLIC_SURFACE = frozenset({
     "repro", "repro.api", "repro.config", "repro.errors",
     "repro.experiments", "repro.datasets", "repro.graphs",
-    "repro.serve", "repro.dynamic",
+    "repro.serve", "repro.dynamic", "repro.telemetry",
 })
 
 #: Module prefixes an experiment *spec builder* may draw names from: the
@@ -218,8 +218,8 @@ class CacheKeyCompleteness(Rule):
 # R2 — frozen-config discipline
 # --------------------------------------------------------------------- #
 FROZEN_CONFIG_CLASSES = ("SimRankConfig", "ServeConfig", "DynamicConfig",
-                         "RunSpec", "ExperimentSpec", "ExperimentCell",
-                         "TrainConfig")
+                         "TelemetryConfig", "RunSpec", "ExperimentSpec",
+                         "ExperimentCell", "TrainConfig")
 
 
 @register
@@ -324,7 +324,13 @@ DETERMINISM_SCOPED_FILES = ("repro/simrank/engine.py",
                             "repro/serve/service.py",
                             "repro/dynamic/operator.py",
                             "repro/graphs/delta.py",
-                            "repro/graphs/fingerprint.py")
+                            "repro/graphs/fingerprint.py",
+                            # Telemetry instruments the scoped layers
+                            # above, so it lives under the same clock
+                            # discipline: monotonic reads only.
+                            "repro/telemetry/tracing.py",
+                            "repro/telemetry/metrics.py",
+                            "repro/telemetry/runtime.py")
 
 
 @register

@@ -51,6 +51,16 @@ batches, except where noted), exposed in every response and at
 - The row-cache pair ``row_hits``/``row_misses`` lives on the
   :class:`repro.simrank.cache.OperatorCache` and appears under
   ``cache`` in ``/metrics``.
+
+Every counter is backed by a :mod:`repro.telemetry` registry counter
+(``repro_serve_<name>_total``), making increments atomic under the
+daemon's thread-per-request server.  ``GET /metrics/prometheus`` serves
+the registry in the Prometheus text format (latency quantiles and QPS
+are refreshed as gauges at scrape time); the JSON ``/metrics`` shape is
+unchanged.  Start the daemon with ``--telemetry`` (and optionally
+``--trace-path``) to additionally record spans — ``serve.exact_batch``
+per shared frontier round, ``dynamic.repair`` per update batch — and to
+mirror operator-cache events into the scraped registry.
 """
 
 from repro.serve.batching import QueryBatcher

@@ -12,6 +12,11 @@ Endpoints (all ``GET``, all JSON):
 ``/metrics``
     :meth:`repro.serve.service.SimRankService.metrics` — per-path
     counters, operator/row cache statistics, graph and config echo.
+``/metrics/prometheus``
+    The same registry in the Prometheus text exposition format
+    (:meth:`repro.serve.service.SimRankService.prometheus_metrics`);
+    the one non-JSON endpoint, served with the standard
+    ``text/plain; version=0.0.4`` content type for scrapers.
 ``/healthz``
     Liveness probe.
 ``/update`` (``POST``)
@@ -34,10 +39,13 @@ from __future__ import annotations
 import argparse
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.config import DynamicConfig, ServeConfig, SimRankConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.telemetry.runtime import Telemetry
 from repro.errors import (ConfigError, GraphError, ReproError, ServeError,
                           SimRankError)
 from repro.graphs.graph import Graph
@@ -86,6 +94,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         parsed = urlparse(self.path)
         params = parse_qs(parsed.query)
@@ -98,6 +114,11 @@ class _Handler(BaseHTTPRequestHandler):
                 })
             elif parsed.path == "/metrics":
                 self._send_json(200, service.metrics())
+            elif parsed.path == "/metrics/prometheus":
+                from repro.telemetry.exposition import PROMETHEUS_CONTENT_TYPE
+
+                self._send_text(200, service.prometheus_metrics(),
+                                PROMETHEUS_CONTENT_TYPE)
             elif parsed.path == "/topk":
                 u = _query_int(params, "u")
                 k = _query_int(params, "k", required=False)
@@ -171,17 +192,20 @@ class _Handler(BaseHTTPRequestHandler):
 
 def make_daemon(graph: Graph, *, simrank: Optional[SimRankConfig] = None,
                 serve: Optional[ServeConfig] = None,
-                dynamic: Optional[DynamicConfig] = None) -> ServeDaemon:
+                dynamic: Optional[DynamicConfig] = None,
+                telemetry: Optional["Telemetry"] = None) -> ServeDaemon:
     """Build the full daemon stack (service → batcher → HTTP server).
 
     Binds immediately; ``serve.port=0`` picks a free port
     (``daemon.server_address`` reports the bound one).  The caller owns
     the lifecycle: ``serve_forever()`` to run, ``shutdown()`` +
-    ``server_close()`` to stop.
+    ``server_close()`` to stop.  ``telemetry`` threads an enabled
+    handle through the whole stack (service counters, cache events,
+    spans — see :class:`repro.serve.service.SimRankService`).
     """
     serve = serve if serve is not None else ServeConfig()
     service = SimRankService(graph, simrank=simrank, serve=serve,
-                             dynamic=dynamic)
+                             dynamic=dynamic, telemetry=telemetry)
     return ServeDaemon((serve.host, serve.port), service)
 
 
@@ -235,6 +259,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-store-repaired", action="store_true",
                         help="do not write repaired snapshots to the "
                              "operator cache")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="enable the telemetry subsystem: spans are "
+                             "recorded in memory and every instrumented "
+                             "layer shares the /metrics/prometheus registry")
+    parser.add_argument("--trace-path", default=None, metavar="PATH",
+                        help="append finished spans to a JSONL trace file "
+                             "(implies --telemetry; summarise with "
+                             "repro-trace)")
+    parser.add_argument("--max-recorded-spans", type=int, default=None,
+                        help="cap on the in-memory span recorder")
     return parser
 
 
@@ -260,19 +294,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ReproError as error:
         print(f"error: {error}")
         return 2
+    from repro.config import TelemetryConfig
+    from repro.telemetry import telemetry_from_config
+
+    telemetry = telemetry_from_config(TelemetryConfig.from_cli_args(args))
     daemon = make_daemon(dataset.graph, simrank=simrank_config,
                          serve=serve_config,
-                         dynamic=DynamicConfig.from_cli_args(args))
+                         dynamic=DynamicConfig.from_cli_args(args),
+                         telemetry=telemetry)
     host, port = daemon.server_address[0], daemon.server_address[1]
     print(f"serving {args.dataset} ({dataset.graph.num_nodes} nodes) "
           f"on http://{host}:{port} — endpoints: /topk /score /metrics "
-          f"/healthz /update")
+          f"/metrics/prometheus /healthz /update")
     try:
         daemon.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         pass
     finally:
         daemon.server_close()
+        telemetry.close()
     return 0
 
 

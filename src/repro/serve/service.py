@@ -48,6 +48,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.dynamic.operator import DynamicOperator, RepairResult
     from repro.graphs.delta import Updates
     from repro.simrank.cache import OperatorCache
+    from repro.telemetry.metrics import Counter, MetricsRegistry
+    from repro.telemetry.runtime import Telemetry
 
 #: The ladder rungs, in fall-through order; every answer names its rung.
 SERVE_PATHS = ("exact", "cached", "degraded")
@@ -61,6 +63,30 @@ RowCompute = Callable[[Sequence[int], Optional[int], float],
 #: for stable p99 estimates, small enough that a long-lived service never
 #: grows unboundedly.
 LATENCY_WINDOW = 1024
+
+#: Registry help strings for the twelve service counters, in the
+#: ``ServiceCounters.to_dict`` key order.
+_COUNTER_HELP = {
+    "queries": "Total queries answered.",
+    "batches": "Shared exact frontier rounds executed.",
+    "coalesced": "Queries that shared their exact round with another.",
+    "exact_served": "Queries answered by the exact rung.",
+    "cached_served": "Queries answered from a cached operator row.",
+    "degraded_served": "Queries answered at the degraded epsilon.",
+    "failed": "Queries for which every serving rung failed.",
+    "exact_failures": "Queries whose exact rung faulted.",
+    "budget_overruns": "Exact answers discarded as over the time budget.",
+    "updates_applied": "Update batches whose incremental repair landed.",
+    "repair_seconds": "Cumulative wall seconds of landed repairs.",
+    "stale_served": "Queries answered while a repair was in flight.",
+}
+
+
+def _serve_metric_name(name: str) -> str:
+    """Prometheus name for one service counter (``repro_serve_...``)."""
+    if name.endswith("_seconds"):
+        return f"repro_serve_{name}"
+    return f"repro_serve_{name}_total"
 
 
 @dataclass
@@ -113,21 +139,33 @@ class ServiceCounters:
     section: per-path p50/p95/p99 seconds plus queries-per-second over
     the observed query span.  Latency is observability only — it never
     influences an answer (see the module docstring's R3 note).
+
+    Thread safety
+    -------------
+    Every count is backed by a
+    :class:`repro.telemetry.metrics.MetricsRegistry` counter named
+    ``repro_serve_<name>_total`` (``repro_serve_repair_seconds`` for the
+    one non-count sum), so increments are atomic under the registry's
+    lock and survive the daemon's thread-per-request server without lost
+    updates; the latency window has its own lock.  Mutate through
+    :meth:`inc` — the old bare integer attributes are gone precisely
+    because ``+=`` on them was a read-modify-write race.
     """
 
-    def __init__(self) -> None:
-        self.queries = 0
-        self.batches = 0
-        self.coalesced = 0
-        self.exact_served = 0
-        self.cached_served = 0
-        self.degraded_served = 0
-        self.failed = 0
-        self.exact_failures = 0
-        self.budget_overruns = 0
-        self.updates_applied = 0
-        self.repair_seconds = 0.0
-        self.stale_served = 0
+    #: The twelve counter names, in ``to_dict`` key order.
+    NAMES = tuple(_COUNTER_HELP)
+
+    def __init__(self, registry: Optional["MetricsRegistry"] = None) -> None:
+        if registry is None:
+            from repro.telemetry.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+        self.registry = registry
+        self._counters: Dict[str, "Counter"] = {
+            name: registry.counter(_serve_metric_name(name),
+                                   _COUNTER_HELP[name])
+            for name in self.NAMES}
+        self._latency_lock = Lock()
         self._latency: Dict[str, Deque[float]] = {
             path: deque(maxlen=LATENCY_WINDOW) for path in SERVE_PATHS}
         self._latency_counts: Dict[str, int] = {
@@ -135,14 +173,23 @@ class ServiceCounters:
         self._first_query_at: Optional[float] = None
         self._last_query_at: Optional[float] = None
 
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Atomically add ``amount`` to counter ``name``."""
+        self._counters[name].inc(amount)
+
+    def value(self, name: str) -> float:
+        """Current value of counter ``name``."""
+        return self._counters[name].value()
+
     def record_latency(self, path: str, seconds: float) -> None:
         """Record one answered query's wall time under its serving path."""
-        self._latency[path].append(seconds)
-        self._latency_counts[path] += 1
-        now = monotonic()
-        if self._first_query_at is None:
-            self._first_query_at = now
-        self._last_query_at = now
+        with self._latency_lock:
+            self._latency[path].append(seconds)
+            self._latency_counts[path] += 1
+            now = monotonic()
+            if self._first_query_at is None:
+                self._first_query_at = now
+            self._last_query_at = now
 
     def latency_summary(self) -> Dict[str, object]:
         """The ``/metrics`` latency section.
@@ -154,42 +201,38 @@ class ServiceCounters:
         distinct instants exist).
         """
         paths: Dict[str, Optional[Dict[str, object]]] = {}
+        with self._latency_lock:
+            windows = {path: list(self._latency[path])
+                       for path in SERVE_PATHS}
+            counts = dict(self._latency_counts)
+            first, last = self._first_query_at, self._last_query_at
         for path in SERVE_PATHS:
-            window = self._latency[path]
+            window = windows[path]
             if not window:
                 paths[path] = None
                 continue
             p50, p95, p99 = np.percentile(np.asarray(window), (50, 95, 99))
             paths[path] = {
-                "count": self._latency_counts[path],
+                "count": counts[path],
                 "p50_seconds": float(p50),
                 "p95_seconds": float(p95),
                 "p99_seconds": float(p99),
             }
         qps: Optional[float] = None
-        if self._first_query_at is not None:
-            assert self._last_query_at is not None
-            span = self._last_query_at - self._first_query_at
+        if first is not None:
+            assert last is not None
+            span = last - first
             if span > 0.0:
-                qps = sum(self._latency_counts.values()) / span
+                qps = sum(counts.values()) / span
         return {"paths": paths, "qps": qps,
                 "window_size": LATENCY_WINDOW}
 
     def to_dict(self) -> Dict[str, float]:
-        return {
-            "queries": self.queries,
-            "batches": self.batches,
-            "coalesced": self.coalesced,
-            "exact_served": self.exact_served,
-            "cached_served": self.cached_served,
-            "degraded_served": self.degraded_served,
-            "failed": self.failed,
-            "exact_failures": self.exact_failures,
-            "budget_overruns": self.budget_overruns,
-            "updates_applied": self.updates_applied,
-            "repair_seconds": self.repair_seconds,
-            "stale_served": self.stale_served,
-        }
+        values: Dict[str, float] = {}
+        for name in self.NAMES:
+            raw = self._counters[name].value()
+            values[name] = raw if name == "repair_seconds" else int(raw)
+        return values
 
 
 def _row_entries(row: sp.csr_matrix) -> List[Tuple[int, float]]:
@@ -218,6 +261,15 @@ class SimRankService:
         Injectable row computations (fault-injection hooks).  Defaults
         run the single-source engine at ε and at the degraded ε
         respectively.  A rung fails by raising :class:`SimRankError`.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` handle.  When
+        enabled, the counters land in its registry (so
+        :meth:`prometheus_metrics` exposes them alongside every other
+        instrumented layer), the operator cache mirrors its events onto
+        ``repro_cache_events_total`` and each shared exact frontier
+        round is traced as a ``serve.exact_batch`` span.  The default is
+        the inert handle: counters still live on a private registry
+        (they are always-on service state), but no spans are recorded.
     """
 
     def __init__(self, graph: Graph, *,
@@ -226,7 +278,8 @@ class SimRankService:
                  dynamic: Optional[DynamicConfig] = None,
                  cache: Optional["OperatorCache"] = None,
                  compute_exact: Optional[RowCompute] = None,
-                 compute_degraded: Optional[RowCompute] = None) -> None:
+                 compute_degraded: Optional[RowCompute] = None,
+                 telemetry: Optional["Telemetry"] = None) -> None:
         self.graph = graph
         self.simrank = simrank if simrank is not None else SimRankConfig()
         self.serve = serve if serve is not None else ServeConfig()
@@ -242,7 +295,18 @@ class SimRankService:
         self._compute_degraded = (compute_degraded
                                   if compute_degraded is not None
                                   else self._engine_rows)
-        self.counters = ServiceCounters()
+        from repro.telemetry.runtime import resolve_telemetry
+
+        self.telemetry = resolve_telemetry(telemetry)
+        self._tracer = self.telemetry.tracer
+        # Counters need a registry either way (they are always-on service
+        # state); an enabled handle contributes its own so one scrape
+        # sees every layer, the inert default gets a private one — never
+        # DISABLED's module-global registry, which is shared.
+        self.counters = ServiceCounters(
+            self.telemetry.registry if self.telemetry.enabled else None)
+        if self.cache is not None:
+            self.cache.attach_telemetry(self.telemetry)
         # One query batch at a time: the engine already parallelises via
         # its executor, and serialising here keeps the counters and the
         # coalescing story simple under the daemon's thread-per-request
@@ -324,17 +388,19 @@ class SimRankService:
             timer = Timer()
             timer.start()
             try:
-                rows = self._compute_exact(unique, top_k, cfg.epsilon)
+                with self._tracer.span("serve.exact_batch",
+                                       batch_size=count):
+                    rows = self._compute_exact(unique, top_k, cfg.epsilon)
             except SimRankError:
-                counters.exact_failures += count
+                counters.inc("exact_failures", count)
             else:
                 elapsed = timer.stop()
                 budget = self.serve.time_budget_seconds
                 if budget is not None and elapsed > budget:
-                    counters.budget_overruns += count
+                    counters.inc("budget_overruns", count)
                 else:
-                    counters.batches += 1
-                    counters.exact_served += count
+                    counters.inc("batches")
+                    counters.inc("exact_served", count)
                     return {source: (rows[source], "exact", cfg.epsilon)
                             for source in unique}
 
@@ -349,20 +415,20 @@ class SimRankService:
                     dtype=None if cfg.dtype == "float64" else cfg.dtype)
                 if hit is not None:
                     row, entry_epsilon = hit
-                    counters.cached_served += 1
+                    counters.inc("cached_served")
                     served[source] = (row, "cached", entry_epsilon)
                     continue
             try:
                 rows = self._compute_degraded([source], top_k,
                                               degraded_epsilon)
             except SimRankError as error:
-                counters.failed += 1
+                counters.inc("failed")
                 raise ServeError(
                     f"every serving rung failed for source {source} "
                     f"(exact {'disabled' if not self.serve.exact_enabled else 'failed'}, "
                     f"no cached row, degraded ε={degraded_epsilon} failed): "
                     f"{error}") from error
-            counters.degraded_served += 1
+            counters.inc("degraded_served")
             served[source] = (rows[source], "degraded", degraded_epsilon)
         return served
 
@@ -385,11 +451,11 @@ class SimRankService:
         timer.start()
         with self._lock:
             served = self._serve_rows(cleaned, k)
-            self.counters.queries += len(cleaned)
+            self.counters.inc("queries", len(cleaned))
             if len(cleaned) > 1:
-                self.counters.coalesced += len(cleaned)
+                self.counters.inc("coalesced", len(cleaned))
             if self._repairs_pending:
-                self.counters.stale_served += len(cleaned)
+                self.counters.inc("stale_served", len(cleaned))
         elapsed = timer.stop()
         with self._lock:
             for source in cleaned:
@@ -417,9 +483,9 @@ class SimRankService:
         timer.start()
         with self._lock:
             served = self._serve_rows([cleaned[0]], None)
-            self.counters.queries += 1
+            self.counters.inc("queries")
             if self._repairs_pending:
-                self.counters.stale_served += 1
+                self.counters.inc("stale_served")
         elapsed = timer.stop()
         row, path, epsilon = served[cleaned[0]]
         with self._lock:
@@ -506,8 +572,8 @@ class SimRankService:
             with self._lock:
                 self.graph = operator.graph
                 self._repairs_pending -= 1
-                self.counters.updates_applied += 1
-                self.counters.repair_seconds += result.repair_seconds
+                self.counters.inc("updates_applied")
+                self.counters.inc("repair_seconds", result.repair_seconds)
         return result
 
     def _ensure_operator(self) -> "DynamicOperator":
@@ -524,7 +590,7 @@ class SimRankService:
 
             self._dynamic_op = DynamicOperator(
                 self.graph, simrank=self.simrank, dynamic=self.dynamic,
-                cache=self.cache)
+                cache=self.cache, telemetry=self.telemetry)
         return self._dynamic_op
 
     # ------------------------------------------------------------------ #
@@ -566,6 +632,49 @@ class SimRankService:
                 "max_batch_size": self.serve.max_batch_size,
             },
         }
+
+    def prometheus_metrics(self) -> str:
+        """The Prometheus text exposition of the service's registry.
+
+        The counters are live in the registry already; this refreshes
+        the scrape-time gauges first —
+        ``repro_serve_latency_seconds{path,quantile}`` and
+        ``repro_serve_qps`` from the rolling latency window, plus the
+        served graph size — then renders the whole registry (including
+        ``repro_cache_events_total`` and any other instrumented layer
+        sharing it through an enabled telemetry handle).
+        """
+        from typing import cast
+
+        from repro.telemetry.exposition import prometheus_text
+
+        registry = self.counters.registry
+        summary = self.counters.latency_summary()
+        latency_gauge = registry.gauge(
+            "repro_serve_latency_seconds",
+            "Rolling-window latency quantiles per serving path.")
+        paths = cast("Dict[str, Optional[Dict[str, object]]]",
+                     summary["paths"])
+        for path, percentiles in paths.items():
+            if percentiles is None:
+                continue
+            for quantile in ("p50", "p95", "p99"):
+                latency_gauge.set(
+                    float(cast(float, percentiles[f"{quantile}_seconds"])),
+                    path=path, quantile=quantile)
+        qps_gauge = registry.gauge(
+            "repro_serve_qps",
+            "Queries per second over the observed query span.")
+        qps = cast(Optional[float], summary["qps"])
+        if qps is not None:
+            qps_gauge.set(qps)
+        registry.gauge("repro_serve_graph_nodes",
+                       "Nodes in the served graph.").set(
+            float(self.graph.num_nodes))
+        registry.gauge("repro_serve_graph_edges",
+                       "Edges in the served graph.").set(
+            float(self.graph.num_edges))
+        return prometheus_text(registry)
 
 
 __all__ = ["SimRankService", "QueryAnswer", "ScoreAnswer",

@@ -102,6 +102,8 @@ from repro.graphs.graph import Graph
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.simrank.topk import SimRankOperator
+    from repro.telemetry.metrics import Counter
+    from repro.telemetry.runtime import Telemetry
 
 #: Bump to orphan every previously written cache entry (e.g. when the
 #: on-disk layout or the operator semantics change).  Version 2: metadata
@@ -176,6 +178,28 @@ class OperatorCache:
         self.lru_evictions = 0
         self.row_hits = 0
         self.row_misses = 0
+        self._events: Optional["Counter"] = None
+
+    def attach_telemetry(self, telemetry: Optional["Telemetry"]) -> None:
+        """Mirror counter events onto ``repro_cache_events_total``.
+
+        The plain integer counters above stay authoritative (their
+        values and the ``hits == exact_hits + reuse_hits`` invariant are
+        pinned by tests); attaching an enabled
+        :class:`repro.telemetry.Telemetry` handle additionally emits one
+        labelled registry increment per event so the cache shows up in
+        the Prometheus exposition.  A ``None`` or disabled handle is a
+        no-op — the unattached fast path is a single ``is None`` check.
+        """
+        if telemetry is None or not telemetry.enabled:
+            return
+        self._events = telemetry.registry.counter(
+            "repro_cache_events_total",
+            "Operator cache events (hit/miss/store/eviction) by type.")
+
+    def _event(self, event: str) -> None:
+        if self._events is not None:
+            self._events.inc(1.0, event=event)
 
     @property
     def max_bytes(self) -> Optional[int]:
@@ -409,6 +433,7 @@ class OperatorCache:
             self.path_for(victim).unlink(missing_ok=True)
             del entries[victim]
             self.lru_evictions += 1
+            self._event("lru_eviction")
 
     # ------------------------------------------------------------------ #
     # Load / store
@@ -446,6 +471,7 @@ class OperatorCache:
             # Truncated, corrupted, stale-format or mismatched entry: evict
             # so the caller recomputes and overwrites with a fresh file.
             self.evictions += 1
+            self._event("eviction")
             path.unlink(missing_ok=True)
             self._drop_entry(key)
             return None
@@ -473,9 +499,11 @@ class OperatorCache:
         operator = self._load(key, expect=expect)
         if operator is None:
             self.misses += 1
+            self._event("miss")
             return None
         self.hits += 1
         self.exact_hits += 1
+        self._event("exact_hit")
         index = self._load_index()
         self._touch(index, key)
         self._save_index(index)
@@ -574,6 +602,7 @@ class OperatorCache:
         if exact is not None:
             self.hits += 1
             self.exact_hits += 1
+            self._event("exact_hit")
             index = self._load_index()
             self._touch(index, key)
             self._save_index(index)
@@ -607,6 +636,7 @@ class OperatorCache:
                                        row_normalize=row_normalize)
                 self.hits += 1
                 self.reuse_hits += 1
+                self._event("reuse_hit")
                 self._touch(index, candidate_key)
                 self._save_index(index)
                 from repro.simrank.topk import SimRankOperator
@@ -626,6 +656,7 @@ class OperatorCache:
                 )
 
         self.misses += 1
+        self._event("miss")
         return None
 
     def lookup_row(self, graph: Graph, source: int, *, decay: float,
@@ -688,10 +719,12 @@ class OperatorCache:
                 dataclasses.replace(candidate, matrix=embedded),
                 epsilon=epsilon, top_k=top_k, row_normalize=row_normalize)
             self.row_hits += 1
+            self._event("row_hit")
             self._touch(index, candidate_key)
             self._save_index(index)
             return matrix.getrow(int(source)), float(entry["epsilon"])
         self.row_misses += 1
+        self._event("row_miss")
         return None
 
     # ------------------------------------------------------------------ #
@@ -737,6 +770,7 @@ class OperatorCache:
         finally:
             temp_path.unlink(missing_ok=True)
         self.stores += 1
+        self._event("store")
 
         index = self._sync_index(self._load_index())
         index["entries"][key] = {

@@ -497,6 +497,11 @@ def _run_rounds(graph: Graph, *, decay: float, epsilon: float, prune: bool,
     timer.start()
     try:
         while True:
+            if profile is not None:
+                # Round marker for span-emitting profiles (telemetry):
+                # a plain accumulating PhaseProfile ignores it.  Metadata
+                # only — it cannot influence the arithmetic.
+                profile.begin_round(num_rounds)
             frontier = state.extract_frontier(threshold)
             if frontier is None:
                 break

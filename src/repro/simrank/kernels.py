@@ -241,6 +241,11 @@ class PhaseProfile:
     (coalescing plus the streaming absorb/prune work).  Used by
     ``bench_localpush.py --profile``; ``None`` (the default everywhere)
     keeps the loop unmeasured.
+
+    This is also the engine's telemetry hook:
+    :class:`repro.telemetry.TracingPhaseProfile` subclasses it to
+    re-emit every measurement as a trace span, overriding :meth:`add`
+    and the per-round marker :meth:`begin_round` (a no-op here).
     """
 
     def __init__(self) -> None:
@@ -251,6 +256,9 @@ class PhaseProfile:
 
     def add(self, phase: str, seconds: float) -> None:
         self.seconds[phase] += seconds
+
+    def begin_round(self, index: int) -> None:
+        """Round marker called by the engine loop; metadata only."""
 
     def as_dict(self) -> Dict[str, float]:
         return dict(self.seconds)

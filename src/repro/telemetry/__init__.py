@@ -1,0 +1,105 @@
+"""Unified tracing + metrics: the observability subsystem.
+
+ROADMAP item 5 asked for one machine-readable observability layer
+instead of the four ad-hoc mechanisms that grew alongside the system
+(``ServiceCounters``, the ``OperatorCache`` hit/miss integers, per-cell
+``seconds`` in the ``ArtifactStore``, the benchmark's one-off phase
+table).  This package is that layer; everything below it is default-off
+and injectable.
+
+The span model
+--------------
+A **span** is one timed operation: ``name``, ``span_id``, ``parent_id``,
+``start``, ``duration``, ``attributes``.  Spans are produced by a
+:class:`Tracer` as context managers and form a tree per thread (each
+thread keeps its own active-span stack).  Spans are stored *flat* with
+parent links — in the in-memory :class:`SpanRecorder` (bounded,
+thread-safe), in the append-only :class:`JsonlSpanSink` (one JSON object
+per line, ``repro-trace``'s input) and in the versioned
+``{"version", "spans", "dropped"}`` trees embedded in experiment run
+artefacts.  :data:`TRACE_FORMAT_VERSION` stamps all three.
+
+Span names are dotted ``layer.operation``:
+
+===========================  ====================================================
+``localpush.<phase>``        one engine phase measurement (frontier/push/
+                             merge/prune), attributes ``phase``/``round``
+``serve.exact_batch``        one shared exact frontier round, attr ``batch_size``
+``dynamic.repair``           one update-batch repair, attrs ``batch_size``/
+                             ``num_pushes``/``num_rounds``/``warm_start``
+``experiment.cell``          one sweep cell, attrs ``index``/``experiment``;
+                             child ``experiment.cell.run`` is the runner call
+===========================  ====================================================
+
+The metric naming scheme
+------------------------
+Instruments live in a :class:`MetricsRegistry` (typed
+:class:`Counter`/:class:`Gauge`/:class:`Histogram`, label support, all
+mutation atomic under the registry's single lock).  Names follow the
+Prometheus convention ``repro_<layer>_<what>[_total|_seconds]``:
+
+* ``repro_serve_<counter>_total`` — the twelve ``ServiceCounters``
+  names (``queries``, ``exact_served``, …) re-based on the registry
+  (``repro_serve_repair_seconds`` is the one non-counter-suffixed sum);
+* ``repro_cache_events_total{event=...}`` — operator-cache hit/miss/
+  eviction/reuse/row events;
+* ``repro_serve_latency_seconds{path=...,quantile=...}`` plus
+  ``repro_serve_qps`` — gauges refreshed at scrape time from the
+  rolling latency window.
+
+Exposition is dual: :func:`prometheus_text` renders the registry in the
+Prometheus text format (deterministic ordering, spec label escaping —
+pinned byte-for-byte by the round-trip test) and :func:`json_snapshot`
+is its versioned JSON twin.  The daemon serves both
+(``GET /metrics/prometheus``; the legacy ``/metrics`` JSON shape is
+unchanged).
+
+Overhead guarantees
+-------------------
+Telemetry is **default-off** everywhere: every instrumented layer takes
+an optional handle (:class:`Telemetry`) resolving to :data:`DISABLED`,
+whose tracer returns one preallocated inert span — entering it is two
+attribute lookups, no allocation, no clock read.  The engine is only
+traced through its pre-existing ``profile=`` hook
+(:class:`TracingPhaseProfile`), so the disabled path is *byte-identical*
+to the pre-telemetry code and the R3 bit-identical guarantee is
+untouched.  ``benchmarks/check_telemetry_overhead.py`` asserts the
+no-op span cost in CI's perf-gate job, and tracers read only the
+monotonic clock (``time.perf_counter``) — this package sits inside the
+R3 determinism lint scope to keep it that way.
+
+Entry points
+------------
+``repro-trace`` (= ``python -m repro.telemetry``) summarises a JSONL
+trace: top spans by self time, per-name and per-phase aggregates.
+:class:`repro.config.TelemetryConfig` is the frozen public config;
+``repro.cli serve --telemetry [--trace-path …]`` and
+``repro-experiment … --trace …`` are the CLI bridges.
+"""
+
+from repro.telemetry.exposition import (METRICS_FORMAT_VERSION,
+                                        PROMETHEUS_CONTENT_TYPE,
+                                        json_snapshot, prometheus_text)
+from repro.telemetry.metrics import (DEFAULT_BUCKETS, Counter, Gauge,
+                                     Histogram, MetricsRegistry)
+from repro.telemetry.runtime import (DISABLED, Telemetry,
+                                     TracingPhaseProfile, resolve_telemetry,
+                                     telemetry_from_config)
+from repro.telemetry.summary import (aggregate_by_name, format_summary,
+                                     load_trace, phase_seconds, self_times,
+                                     top_spans_by_self_time)
+from repro.telemetry.tracing import (NULL_TRACER, TRACE_FORMAT_VERSION,
+                                     JsonlSpanSink, NullTracer, Span,
+                                     SpanRecorder, Tracer)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS",
+    "Span", "Tracer", "NullTracer", "NULL_TRACER", "SpanRecorder",
+    "JsonlSpanSink", "TRACE_FORMAT_VERSION",
+    "prometheus_text", "json_snapshot", "METRICS_FORMAT_VERSION",
+    "PROMETHEUS_CONTENT_TYPE",
+    "Telemetry", "DISABLED", "resolve_telemetry", "telemetry_from_config",
+    "TracingPhaseProfile",
+    "load_trace", "format_summary", "aggregate_by_name", "phase_seconds",
+    "self_times", "top_spans_by_self_time",
+]

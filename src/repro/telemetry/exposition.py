@@ -1,0 +1,100 @@
+"""Exposition formats for a :class:`repro.telemetry.MetricsRegistry`.
+
+Two renderings of the same snapshot:
+
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (version 0.0.4): ``# HELP`` / ``# TYPE`` comment pairs followed by one
+  ``name{labels} value`` line per series, histograms expanded into
+  cumulative ``_bucket{le=...}`` lines plus ``_sum``/``_count``.  The
+  output is deterministic (instruments in registration order, series
+  sorted by label key) so snapshot tests can pin it byte for byte — no
+  ``#``-comment drift.
+* :func:`json_snapshot` — the versioned JSON twin
+  (``{"version": METRICS_FORMAT_VERSION, "metrics": {...}}``) for
+  machine consumers that prefer structure over scrape format.
+
+Label values are escaped per the Prometheus spec (backslash, double
+quote and newline); everything else passes through verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.telemetry.metrics import (Counter, Gauge, Histogram, LabelKey,
+                                     MetricsRegistry)
+
+#: Version of the JSON snapshot payload; bump on schema change.
+METRICS_FORMAT_VERSION = 1
+
+#: The Prometheus text exposition content type.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value: integers without a trailing ``.0``."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_block(key: LabelKey, extra: str = "") -> str:
+    parts = [f'{label}="{escape_label_value(value)}"'
+             for label, value in key]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for instrument in registry.instruments():
+        if instrument.help:
+            lines.append(f"# HELP {instrument.name} "
+                         f"{_escape_help(instrument.help)}")
+        lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+        if isinstance(instrument, (Counter, Gauge)):
+            for key, value in sorted(instrument.series().items()):
+                lines.append(f"{instrument.name}{_label_block(key)} "
+                             f"{_format_value(value)}")
+        elif isinstance(instrument, Histogram):
+            for key, series in sorted(instrument.series().items()):
+                for bound, count in zip(instrument.buckets,
+                                        series.bucket_counts):
+                    le_block = _label_block(
+                        key, 'le="' + _format_value(bound) + '"')
+                    lines.append(f"{instrument.name}_bucket{le_block} "
+                                 f"{count}")
+                inf_block = _label_block(key, 'le="+Inf"')
+                lines.append(f"{instrument.name}_bucket{inf_block} "
+                             f"{series.count}")
+                lines.append(f"{instrument.name}_sum{_label_block(key)} "
+                             f"{_format_value(series.sum)}")
+                lines.append(f"{instrument.name}_count{_label_block(key)} "
+                             f"{series.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def json_snapshot(registry: MetricsRegistry) -> Dict[str, object]:
+    """The versioned JSON twin of :func:`prometheus_text`."""
+    return {"version": METRICS_FORMAT_VERSION,
+            "metrics": registry.snapshot()}
+
+
+__all__ = ["prometheus_text", "json_snapshot", "escape_label_value",
+           "METRICS_FORMAT_VERSION", "PROMETHEUS_CONTENT_TYPE"]

@@ -1,0 +1,122 @@
+"""The injectable telemetry handle and the engine phase-span adapter.
+
+:class:`Telemetry` bundles the two halves of the subsystem — a
+:class:`repro.telemetry.metrics.MetricsRegistry` and a
+:class:`repro.telemetry.tracing.Tracer` — into the single object the
+instrumented layers accept.  The contract every layer follows:
+
+* the parameter defaults to ``None`` and resolves to :data:`DISABLED`
+  (a no-op tracer, an untouched registry), so the default path does no
+  telemetry work beyond an ``is None`` check / an inert context
+  manager — the bit-identical R3 guarantee and the perf gate are
+  untouched;
+* with an enabled handle, spans land in the handle's in-memory recorder
+  and (when configured) its JSONL sink, and counters land in its
+  registry.
+
+:func:`telemetry_from_config` builds a handle from the frozen
+:class:`repro.config.TelemetryConfig` (the CLI bridge's output).
+
+:class:`TracingPhaseProfile` adapts the engine's existing
+:class:`repro.simrank.kernels.PhaseProfile` hook onto spans: every
+phase measurement (frontier/push/merge/prune) is re-emitted as a
+completed span carrying its phase and round index, so the engine's
+round loop needs no new parameters to trace — pass the adapter as its
+``profile=``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import TelemetryConfig
+from repro.simrank.kernels import PhaseProfile
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import (NULL_TRACER, JsonlSpanSink, SpanRecorder,
+                                     Tracer)
+
+
+class Telemetry:
+    """One registry + one tracer: the handle the hot layers accept."""
+
+    def __init__(self, *, registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 recorder: Optional[SpanRecorder] = None,
+                 sink: Optional[JsonlSpanSink] = None,
+                 enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.recorder = recorder
+        self.sink = sink
+        if tracer is None:
+            if enabled:
+                recorders = [r for r in (recorder, sink) if r is not None]
+                tracer = Tracer(recorders)
+            else:
+                tracer = NULL_TRACER
+        self.tracer = tracer
+
+    def phase_profile(self, prefix: str = "localpush"
+                      ) -> Optional[PhaseProfile]:
+        """A span-emitting engine profile, or ``None`` when disabled.
+
+        ``None`` is exactly what the engine's ``profile=`` parameter
+        expects for "unmeasured", so callers can pass the result through
+        unconditionally.
+        """
+        if not self.enabled:
+            return None
+        return TracingPhaseProfile(self.tracer, prefix=prefix)
+
+    def close(self) -> None:
+        """Flush and close the JSONL sink (no-op without one)."""
+        if self.sink is not None:
+            self.sink.close()
+
+
+#: The shared default-off handle: inert tracer, never-written registry.
+DISABLED = Telemetry(enabled=False)
+
+
+def resolve_telemetry(telemetry: Optional[Telemetry]) -> Telemetry:
+    """The idiom every instrumented layer uses for its default."""
+    return telemetry if telemetry is not None else DISABLED
+
+
+def telemetry_from_config(config: Optional[TelemetryConfig]) -> Telemetry:
+    """Build a handle from the frozen config (:data:`DISABLED` when off)."""
+    if config is None or not config.enabled:
+        return DISABLED
+    recorder = SpanRecorder(max_spans=config.max_recorded_spans)
+    sink = (JsonlSpanSink(config.trace_path)
+            if config.trace_path is not None else None)
+    return Telemetry(recorder=recorder, sink=sink)
+
+
+class TracingPhaseProfile(PhaseProfile):
+    """A :class:`PhaseProfile` that re-emits measurements as spans.
+
+    Accumulates per-phase seconds exactly like the base class (so
+    ``as_dict()`` stays the one-number-per-phase view) *and* records one
+    completed ``<prefix>.<phase>`` span per measurement, tagged with the
+    phase name and the engine round it belongs to
+    (:meth:`begin_round` is the engine's round marker).
+    """
+
+    def __init__(self, tracer: Tracer, prefix: str = "localpush") -> None:
+        super().__init__()
+        self._tracer = tracer
+        self._prefix = prefix
+        self._round = 0
+
+    def begin_round(self, index: int) -> None:
+        self._round = index
+
+    def add(self, phase: str, seconds: float) -> None:
+        super().add(phase, seconds)
+        self._tracer.record_complete(f"{self._prefix}.{phase}", seconds,
+                                     phase=phase, round=self._round)
+
+
+__all__ = ["Telemetry", "DISABLED", "resolve_telemetry",
+           "telemetry_from_config", "TracingPhaseProfile"]

@@ -33,7 +33,7 @@ from repro.config import ServeConfig, SimRankConfig
 from repro.errors import ServeError, SimRankError
 from repro.serve import QueryBatcher, SimRankService, make_daemon
 from repro.serve.daemon import ServeDaemon
-from repro.serve.service import SERVE_PATHS
+from repro.serve.service import LATENCY_WINDOW, SERVE_PATHS, ServiceCounters
 from repro.simrank.cache import get_operator_cache
 from repro.simrank.topk import simrank_operator
 
@@ -321,6 +321,23 @@ class TestDaemon:
     def test_unknown_path_is_404(self, daemon):
         assert self._get(daemon, "/nope")[0] == 404
 
+    def test_prometheus_endpoint(self, daemon):
+        self._get(daemon, "/topk?u=3")
+        host, port = daemon.server_address[0], daemon.server_address[1]
+        with urllib.request.urlopen(
+                f"http://{host}:{port}/metrics/prometheus",
+                timeout=10) as response:
+            assert response.status == 200
+            content_type = response.headers["Content-Type"]
+            text = response.read().decode("utf-8")
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        assert "# TYPE repro_serve_queries_total counter" in text
+        assert "repro_serve_queries_total 1" in text
+        assert 'repro_serve_latency_seconds{path="exact",quantile="p50"}' \
+            in text
+        assert "repro_serve_graph_nodes 60" in text
+
     def test_exhausted_ladder_is_503_and_the_daemon_survives(self, graph):
         service = SimRankService(graph, compute_exact=_failing_compute,
                                  compute_degraded=_failing_compute)
@@ -336,3 +353,95 @@ class TestDaemon:
             daemon.shutdown()
             daemon.server_close()
             thread.join(timeout=5)
+
+
+class TestLatencyWindow:
+    """Edge cases of the rolling per-path latency percentile window."""
+
+    def test_no_queries_yet(self):
+        counters = ServiceCounters()
+        summary = counters.latency_summary()
+        assert all(summary["paths"][path] is None for path in SERVE_PATHS)
+        assert summary["qps"] is None
+        assert summary["window_size"] == LATENCY_WINDOW
+
+    def test_single_sample_collapses_the_percentiles(self):
+        counters = ServiceCounters()
+        counters.record_latency("exact", 0.125)
+        exact = counters.latency_summary()["paths"]["exact"]
+        assert exact["count"] == 1
+        assert exact["p50_seconds"] == exact["p95_seconds"] \
+            == exact["p99_seconds"] == 0.125
+        # The other paths stay untouched.
+        assert counters.latency_summary()["paths"]["cached"] is None
+
+    def test_rollover_past_the_window(self):
+        counters = ServiceCounters()
+        # Fill past the window with a huge constant, then roll it out
+        # with a full window of a small one: the percentiles must reflect
+        # only the surviving window while the count stays cumulative.
+        for _ in range(LATENCY_WINDOW):
+            counters.record_latency("exact", 100.0)
+        for _ in range(LATENCY_WINDOW):
+            counters.record_latency("exact", 0.001)
+        exact = counters.latency_summary()["paths"]["exact"]
+        assert exact["count"] == 2 * LATENCY_WINDOW
+        assert exact["p99_seconds"] == 0.001  # the 100s samples rolled out
+
+    def test_qps_needs_two_distinct_instants(self):
+        counters = ServiceCounters()
+        counters.record_latency("exact", 0.1)
+        # A single instant gives no span; qps stays None rather than inf.
+        first = counters.latency_summary()["qps"]
+        assert first is None or first > 0.0  # same-tick second sample races
+        time.sleep(0.01)
+        counters.record_latency("exact", 0.1)
+        assert counters.latency_summary()["qps"] > 0.0
+
+
+class TestCounterThreadSafety:
+    """The satellite the registry re-base exists for: no lost updates."""
+
+    def test_concurrent_increments_are_atomic(self):
+        counters = ServiceCounters()
+        increments, threads = 2000, 8
+
+        def worker():
+            for _ in range(increments):
+                counters.inc("queries")
+                counters.inc("repair_seconds", 0.5)
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        totals = counters.to_dict()
+        assert totals["queries"] == threads * increments
+        assert totals["repair_seconds"] == pytest.approx(
+            0.5 * threads * increments)
+
+    def test_concurrent_latency_recording(self):
+        counters = ServiceCounters()
+
+        def worker(path):
+            for _ in range(500):
+                counters.record_latency(path, 0.01)
+
+        pool = [threading.Thread(target=worker, args=(path,))
+                for path in SERVE_PATHS for _ in range(2)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        summary = counters.latency_summary()
+        for path in SERVE_PATHS:
+            assert summary["paths"][path]["count"] == 1000
+
+    def test_counters_view_matches_the_registry(self, graph):
+        service = SimRankService(graph, simrank=SimRankConfig(epsilon=0.1))
+        service.topk(3, k=5)
+        assert service.counters.value("queries") == 1.0
+        registry_counter = service.counters.registry.counter(
+            "repro_serve_queries_total")
+        assert registry_counter.value() == 1.0
